@@ -1,0 +1,187 @@
+//! Exact cash-register baseline.
+
+use hindex_common::{CashRegisterEstimator, SpaceUsage};
+use std::collections::HashMap;
+
+/// Exact cash-register H-index via a full paper → count table.
+///
+/// Alongside the table it maintains the current exact H-index
+/// *incrementally*: `h` only ever grows under cash-register updates,
+/// and grows by at most one per update, so it suffices to track
+/// `count_at_least_h_plus_1 = #{papers with count ≥ h+1}` and promote
+/// when that reaches `h + 1`. Each update adjusts the tally in `O(1)`
+/// amortized (promotion rescans a bucket histogram).
+#[derive(Debug, Clone, Default)]
+pub struct CashTable {
+    counts: HashMap<u64, u64>,
+    /// Histogram bucket: value → number of papers with exactly that
+    /// count. Kept only for counts ≤ current h + 1 is not enough for
+    /// promotions, so the full (sparse) histogram is maintained.
+    histogram: HashMap<u64, u64>,
+    h: u64,
+    /// Papers with count ≥ h + 1.
+    above: u64,
+}
+
+impl CashTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact citation count of a paper.
+    #[must_use]
+    pub fn count(&self, paper: u64) -> u64 {
+        self.counts.get(&paper).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct papers with at least one citation.
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+}
+
+impl CashRegisterEstimator for CashTable {
+    fn update(&mut self, index: u64, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let entry = self.counts.entry(index).or_insert(0);
+        let old = *entry;
+        *entry += delta;
+        let new = *entry;
+        if old > 0 {
+            let bucket = self.histogram.get_mut(&old).expect("histogram in sync");
+            *bucket -= 1;
+            if *bucket == 0 {
+                self.histogram.remove(&old);
+            }
+        }
+        *self.histogram.entry(new).or_insert(0) += 1;
+        // Crossing the h+1 bar?
+        if old <= self.h && new > self.h {
+            self.above += 1;
+            if self.above > self.h {
+                // h increases by exactly one; recompute `above` for the
+                // new bar h+2 from the histogram tail.
+                self.h += 1;
+                self.above = self
+                    .histogram
+                    .iter()
+                    .filter(|&(&v, _)| v > self.h)
+                    .map(|(_, &c)| c)
+                    .sum();
+            }
+        }
+    }
+
+    fn estimate(&self) -> u64 {
+        self.h
+    }
+}
+
+impl SpaceUsage for CashTable {
+    fn space_words(&self) -> usize {
+        2 * self.counts.len() + 2 * self.histogram.len() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hindex_common::h_index;
+
+    fn replay(updates: &[(u64, u64)]) -> (CashTable, u64) {
+        let mut t = CashTable::new();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(i, d) in updates {
+            t.update(i, d);
+            *truth.entry(i).or_default() += d;
+        }
+        let values: Vec<u64> = truth.values().copied().collect();
+        (t, h_index(&values))
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(CashTable::new().estimate(), 0);
+    }
+
+    #[test]
+    fn unit_updates_single_paper() {
+        let mut t = CashTable::new();
+        for _ in 0..100 {
+            t.update(7, 1);
+        }
+        assert_eq!(t.estimate(), 1);
+        assert_eq!(t.count(7), 100);
+        assert_eq!(t.distinct(), 1);
+    }
+
+    #[test]
+    fn staircase_updates() {
+        // Papers 0..10 receive i+1 citations each → h = 5... values are
+        // 1..=10, h = 5.
+        let updates: Vec<(u64, u64)> = (0..10u64).map(|i| (i, i + 1)).collect();
+        let (t, truth) = replay(&updates);
+        assert_eq!(truth, 5);
+        assert_eq!(t.estimate(), 5);
+    }
+
+    #[test]
+    fn incremental_promotion_matches_truth_prefixwise() {
+        let mut t = CashTable::new();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // Interleaved unit updates over 20 papers.
+        for step in 0..2000u64 {
+            let paper = (step * 7) % 20;
+            t.update(paper, 1);
+            *truth.entry(paper).or_default() += 1;
+            let values: Vec<u64> = truth.values().copied().collect();
+            assert_eq!(t.estimate(), h_index(&values), "step {step}");
+        }
+    }
+
+    #[test]
+    fn zero_delta_ignored() {
+        let mut t = CashTable::new();
+        t.update(3, 0);
+        assert_eq!(t.distinct(), 0);
+        assert_eq!(t.estimate(), 0);
+    }
+
+    #[test]
+    fn space_tracks_distinct_papers() {
+        let mut t = CashTable::new();
+        for i in 0..100u64 {
+            t.update(i, 2);
+        }
+        assert!(t.space_words() >= 200);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_offline(
+            updates in proptest::collection::vec((0u64..50, 1u64..20), 0..300),
+        ) {
+            let (t, truth) = replay(&updates);
+            proptest::prop_assert_eq!(t.estimate(), truth);
+        }
+
+        #[test]
+        fn prop_prefix_monotone(
+            updates in proptest::collection::vec((0u64..30, 1u64..5), 1..200),
+        ) {
+            let mut t = CashTable::new();
+            let mut prev = 0;
+            for &(i, d) in &updates {
+                t.update(i, d);
+                let h = t.estimate();
+                proptest::prop_assert!(h >= prev, "h decreased");
+                prev = h;
+            }
+        }
+    }
+}

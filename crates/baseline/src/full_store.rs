@@ -1,0 +1,74 @@
+//! Store-everything aggregate baseline.
+
+use hindex_common::{h_index, AggregateEstimator, SpaceUsage};
+
+/// Exact aggregate-model baseline that stores every value — the
+/// strawman the paper's streaming algorithms are measured against.
+///
+/// `estimate` recomputes from scratch (`O(n)`), which is fine for its
+/// role as a ground-truth oracle in tests and experiments.
+#[derive(Debug, Clone, Default)]
+pub struct FullStore {
+    values: Vec<u64>,
+}
+
+impl FullStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stored values in arrival order.
+    #[must_use]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+impl AggregateEstimator for FullStore {
+    fn push(&mut self, value: u64) {
+        self.values.push(value);
+    }
+
+    fn estimate(&self) -> u64 {
+        h_index(&self.values)
+    }
+}
+
+impl SpaceUsage for FullStore {
+    fn space_words(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_offline() {
+        let mut fs = FullStore::new();
+        let vals = [5u64, 6, 5, 6, 5, 5, 5, 5, 5, 5];
+        for &v in &vals {
+            fs.push(v);
+        }
+        assert_eq!(fs.estimate(), 5);
+        assert_eq!(fs.space_words(), 10);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(FullStore::new().estimate(), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_always_exact(values in proptest::collection::vec(0u64..500, 0..150)) {
+            let mut fs = FullStore::new();
+            fs.extend_from(values.iter().copied());
+            proptest::prop_assert_eq!(fs.estimate(), h_index(&values));
+            proptest::prop_assert_eq!(fs.space_words(), values.len());
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! E10: throughput benchmarks (Criterion).
+//!
+//! One group per stream model, comparing each of the paper's algorithms
+//! against the exact baselines on identical workloads:
+//!
+//! * `aggregate_push` — per-element cost over a 100k-element Zipf
+//!   stream;
+//! * `aggregate_query` — estimate latency after ingestion;
+//! * `cash_update` — per-update cost of the ℓ₀-sampler bank vs the
+//!   exact table (10k updates);
+//! * `heavy_hitters_push` — per-paper cost of Algorithm 8 vs the exact
+//!   author table (2k papers);
+//! * `substrates` — the primitives: field multiply, ℓ₀-sampler update,
+//!   BJKST observe.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hindex_baseline::{AuthorTable, CashTable, FullStore};
+use hindex_bench::workloads::{hh_corpus, zipf_counts};
+use hindex_common::{
+    AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, IncrementalHIndex,
+};
+use hindex_core::{
+    CashRegisterHIndex, CashRegisterParams, ExponentialHistogram, HeavyHitters,
+    HeavyHittersParams, RandomOrderEstimator, RandomOrderParams, ShiftingWindow,
+};
+use hindex_sketch::distinct::DistinctCounter;
+use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+fn aggregate_push(c: &mut Criterion) {
+    let values = zipf_counts(N, 2.0, 1);
+    let eps = Epsilon::new(0.1).unwrap();
+    let delta = Delta::new(0.05).unwrap();
+    let mut g = c.benchmark_group("aggregate_push");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("alg1_exp_histogram", |b| {
+        b.iter_batched(
+            || ExponentialHistogram::new(eps),
+            |mut est| {
+                for &v in &values {
+                    est.push(v);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("alg2_shifting_window", |b| {
+        b.iter_batched(
+            || ShiftingWindow::new(eps),
+            |mut est| {
+                for &v in &values {
+                    est.push(v);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("alg3_random_order", |b| {
+        b.iter_batched(
+            || RandomOrderEstimator::new(RandomOrderParams::new(eps, delta, N)),
+            |mut est| {
+                for &v in &values {
+                    est.push(v);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("exact_heap", |b| {
+        b.iter_batched(
+            IncrementalHIndex::new,
+            |mut est| {
+                for &v in &values {
+                    est.insert(v);
+                }
+                black_box(est.h_index())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("full_store", |b| {
+        b.iter_batched(
+            FullStore::new,
+            |mut est| {
+                for &v in &values {
+                    est.push(v);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn aggregate_query(c: &mut Criterion) {
+    let values = zipf_counts(N, 2.0, 2);
+    let eps = Epsilon::new(0.1).unwrap();
+    let mut hist = ExponentialHistogram::new(eps);
+    let mut win = ShiftingWindow::new(eps);
+    for &v in &values {
+        hist.push(v);
+        win.push(v);
+    }
+    let mut g = c.benchmark_group("aggregate_query");
+    g.bench_function("alg1_estimate", |b| b.iter(|| black_box(hist.estimate())));
+    g.bench_function("alg2_estimate", |b| b.iter(|| black_box(win.estimate())));
+    g.finish();
+}
+
+fn cash_update(c: &mut Criterion) {
+    let updates: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i % 700, 1)).collect();
+    let mut g = c.benchmark_group("cash_update");
+    g.throughput(Throughput::Elements(updates.len() as u64));
+    g.sample_size(10);
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    g.bench_function("alg6_l0_bank_x77", |b| {
+        b.iter_batched(
+            || CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3)),
+            |mut est| {
+                for &(i, d) in &updates {
+                    est.update(i, d);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("exact_table", |b| {
+        b.iter_batched(
+            CashTable::new,
+            |mut est| {
+                for &(i, d) in &updates {
+                    est.update(i, d);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn heavy_hitters_push(c: &mut Criterion) {
+    let corpus = hh_corpus(&[60, 40], 500, 4);
+    let papers = corpus.papers();
+    let mut g = c.benchmark_group("heavy_hitters_push");
+    g.throughput(Throughput::Elements(papers.len() as u64));
+    g.sample_size(10);
+    g.bench_function("alg8_sketch", |b| {
+        b.iter_batched(
+            || {
+                HeavyHitters::new(
+                    HeavyHittersParams::new(
+                        Epsilon::new(0.2).unwrap(),
+                        Delta::new(0.1).unwrap(),
+                    ),
+                    &mut StdRng::seed_from_u64(5),
+                )
+            },
+            |mut hh| {
+                for p in papers {
+                    hh.push(p);
+                }
+                black_box(hh.decode().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("exact_author_table", |b| {
+        b.iter_batched(
+            AuthorTable::new,
+            |mut t| {
+                for p in papers {
+                    t.push(p);
+                }
+                black_box(t.heavy_hitters(0.2).len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("mersenne_mul", |b| {
+        let (x, y) = (123_456_789_012_345u64, 987_654_321_098_765u64);
+        b.iter(|| black_box(hindex_hashing::mersenne_mul(black_box(x), black_box(y))));
+    });
+    g.bench_function("l0_sampler_update", |b| {
+        let mut s = L0Sampler::new(L0SamplerParams::default(), &mut StdRng::seed_from_u64(6));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            s.update(black_box(i), 1);
+        });
+    });
+    g.bench_function("bjkst_observe", |b| {
+        let mut d = Bjkst::new(0.1, 0.05, &mut StdRng::seed_from_u64(7));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            d.observe(black_box(i));
+        });
+    });
+    g.finish();
+}
+
+fn extensions(c: &mut Criterion) {
+    use hindex_core::{SlidingHIndex, StreamingGIndex, TurnstileHIndex};
+    use hindex_sketch::{Dgim, HyperLogLog};
+    let values = zipf_counts(50_000, 2.0, 9);
+    let eps = Epsilon::new(0.15).unwrap();
+    let mut g = c.benchmark_group("extensions");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("sliding_window_push", |b| {
+        b.iter_batched(
+            || SlidingHIndex::new(eps, 4096, 0.1),
+            |mut est| {
+                for &v in &values {
+                    est.push(v);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("g_index_push", |b| {
+        b.iter_batched(
+            || StreamingGIndex::new(eps),
+            |mut est| {
+                for &v in &values {
+                    est.push(v);
+                }
+                black_box(est.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("extension_primitives");
+    g.bench_function("dgim_push", |b| {
+        let mut d = Dgim::new(1 << 16, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            d.push(black_box(i.is_multiple_of(3)));
+        });
+    });
+    g.bench_function("hyperloglog_observe", |b| {
+        let mut h = HyperLogLog::new(12, &mut StdRng::seed_from_u64(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h.observe(black_box(i));
+        });
+    });
+    g.bench_function("turnstile_update_x27", |b| {
+        let mut est = TurnstileHIndex::with_sampler_count(
+            Epsilon::new(0.4).unwrap(),
+            Delta::new(0.3).unwrap(),
+            27,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 500;
+            est.update(black_box(i), 1);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    aggregate_push,
+    aggregate_query,
+    cash_update,
+    heavy_hitters_push,
+    substrates,
+    extensions
+);
+criterion_main!(benches);

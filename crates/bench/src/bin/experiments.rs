@@ -1,0 +1,24 @@
+//! Experiment runner: regenerates every table/series in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p hindex-bench --bin experiments -- all
+//! cargo run --release -p hindex-bench --bin experiments -- e1 e3
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <e1|e2|e3|e4|e5|e6|e7|e8|e9|e11|e12|e13|e14|e15|all>...");
+        eprintln!("(e10 is the Criterion suite: `cargo bench -p hindex-bench`)");
+        return ExitCode::FAILURE;
+    }
+    for id in &args {
+        if !hindex_bench::experiments::run(id) {
+            eprintln!("unknown experiment id: {id}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

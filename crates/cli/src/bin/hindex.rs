@@ -1,0 +1,18 @@
+//! The `hindex` command-line tool. All logic lives in `hindex_cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdin = std::io::stdin().lock();
+    match hindex_cli::run(&argv, &mut stdin) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("hindex: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Subcommand implementations.
+
+pub mod agg;
+pub mod cash;
+pub mod generate;
+pub mod hh;

@@ -1,0 +1,99 @@
+//! `hindex` — command-line access to the streaming H-index algorithms.
+//!
+//! ```text
+//! hindex agg   [--eps 0.1] [--algorithm window|histogram|random|heap|store] [--n N] < counts.txt
+//! hindex cash  [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
+//! hindex hh    [--eps 0.2] [--delta 0.1] [--seed S] [--threshold T] < papers.txt
+//! hindex gen   --kind zipf|planted|heavy [--n N] [--h H] [--exponent A] [--seed S]
+//! ```
+//!
+//! Input formats (whitespace-separated, `#` comments and blank lines
+//! ignored):
+//!
+//! * `agg`  — one citation count per line;
+//! * `cash` — `paper_id delta` per line;
+//! * `hh`   — `paper_id author[,author…] citations` per line;
+//! * `gen`  — writes one of the above to stdout.
+//!
+//! The binary is a thin wrapper over [`run`]; everything is testable
+//! as a library.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+use std::io::Read;
+
+/// Runs a full CLI invocation: parses `argv` (without the program
+/// name), reads `input` if the command consumes a stream, and returns
+/// the output text.
+///
+/// # Errors
+///
+/// Returns a human-readable message on bad usage or malformed input.
+pub fn run(argv: &[String], input: &mut dyn Read) -> Result<String, String> {
+    let parsed = args::Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "agg" => commands::agg::run(&parsed, input),
+        "cash" => commands::cash::run(&parsed, input),
+        "hh" => commands::hh::run(&parsed, input),
+        "gen" => commands::generate::run(&parsed),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// The usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "usage: hindex <command> [flags]\n\
+     commands:\n\
+       agg    estimate the H-index of an aggregate stream (one count per line)\n\
+              --eps E (0.1)  --algorithm window|histogram|random|heap|store|g|alpha|sliding\n\
+              --n N (for random)  --alpha A (for alpha)  --window W (for sliding)\n\
+       cash   estimate from a cash-register update stream (`paper delta` lines)\n\
+              --eps E (0.2)  --delta D (0.1)  --algorithm sketch|exact (sketch)  --seed S (0)\n\
+       hh     find heavy hitters in H-index (`paper authors citations` lines)\n\
+              --eps E (0.2)  --delta D (0.1)  --seed S (0)  --threshold T (auto)\n\
+       gen    generate synthetic streams\n\
+              --kind zipf|planted|heavy  --n N (1000)  --h H (100)\n\
+              --exponent A (2.0)  --seed S (0)\n\
+       help   show this message"
+}
+
+/// Convenience used by tests: run with string input.
+///
+/// # Errors
+///
+/// Propagates [`run`] errors.
+pub fn run_str(argv: &[&str], input: &str) -> Result<String, String> {
+    let argv: Vec<String> = argv.iter().map(ToString::to_string).collect();
+    let mut cursor = std::io::Cursor::new(input.as_bytes().to_vec());
+    run(&argv, &mut cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"], "").unwrap();
+        assert!(out.contains("usage: hindex"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run_str(&["frobnicate"], "").unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn empty_argv_errors() {
+        let err = run_str(&[], "").unwrap_err();
+        assert!(err.contains("usage"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Estimator traits implemented by every streaming algorithm in the
+//! workspace.
+//!
+//! The paper distinguishes two input models (§2.3):
+//!
+//! * **aggregate** — the stream delivers each coordinate of the
+//!   underlying vector `V` once, as a finished total
+//!   ([`AggregateEstimator`]);
+//! * **cash register** — the stream delivers non-negative *updates*
+//!   `(i, z)` meaning `V[i] += z` ([`CashRegisterEstimator`]).
+//!
+//! [`SpaceUsage`] reports space in the paper's unit — machine *words* —
+//! so experiments can compare measured space against the theorem bounds
+//! directly rather than against allocator noise.
+
+/// Streaming estimator over the aggregate model: one finished total per
+/// publication.
+pub trait AggregateEstimator {
+    /// Feeds one aggregate value (e.g. the final citation count of one
+    /// paper).
+    fn push(&mut self, value: u64);
+
+    /// Current estimate of the H-index of everything pushed so far.
+    fn estimate(&self) -> u64;
+
+    /// Convenience: consume an iterator of values.
+    fn extend_from<I: IntoIterator<Item = u64>>(&mut self, values: I)
+    where
+        Self: Sized,
+    {
+        for v in values {
+            self.push(v);
+        }
+    }
+}
+
+/// Streaming estimator over the cash-register model: updates `(index,
+/// delta)` to an underlying vector, `delta ≥ 1`.
+pub trait CashRegisterEstimator {
+    /// Applies the update `V[index] += delta`.
+    fn update(&mut self, index: u64, delta: u64);
+
+    /// Current estimate of `h*(V)`.
+    fn estimate(&self) -> u64;
+}
+
+/// Space accounting in machine words, the unit the paper's theorems are
+/// stated in (each word is `log n` bits).
+pub trait SpaceUsage {
+    /// Number of words of state currently held: counters, stored sample
+    /// values/indices, sketch cells. Fixed-size configuration scalars
+    /// (ε, thresholds derivable from ε) are excluded, matching how the
+    /// paper counts.
+    fn space_words(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal conforming implementation to exercise defaults.
+    struct CountAtLeast {
+        bar: u64,
+        count: u64,
+    }
+
+    impl AggregateEstimator for CountAtLeast {
+        fn push(&mut self, value: u64) {
+            if value >= self.bar {
+                self.count += 1;
+            }
+        }
+        fn estimate(&self) -> u64 {
+            self.count
+        }
+    }
+
+    #[test]
+    fn extend_from_drains_iterator() {
+        let mut c = CountAtLeast { bar: 3, count: 0 };
+        c.extend_from([1u64, 3, 5, 2, 9]);
+        assert_eq!(c.estimate(), 3);
+    }
+}

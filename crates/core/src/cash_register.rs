@@ -1,0 +1,399 @@
+//! Algorithms 5 + 6 / Theorem 14: the cash-register model.
+//!
+//! Here the stream is *unaggregated*: updates `(p, z)` meaning paper
+//! `p` gained `z` citations, in arbitrary interleaving. No counter per
+//! paper can be afforded, so the algorithm samples:
+//!
+//! * `x` independent [ℓ₀-samplers](hindex_sketch::L0Sampler) each
+//!   deliver, at query time, a (near-)uniform random *cited paper*
+//!   together with its **exact** final citation count (sparse recovery
+//!   gives values, which step 4's `V[j] ≥ (1+ε)ⁱ` tests need);
+//! * a [BJKST](hindex_sketch::Bjkst) sketch delivers `y`, a `(1±ε)`
+//!   estimate of the number of distinct cited papers (the paper's
+//!   step 2, citing \[10\]).
+//!
+//! For each level `i`, `r_i = |{j ∈ X : V[j] ≥ (1+ε)ⁱ}| · y / x` scales
+//! the sampled-support fraction back to absolute counts; the estimate is
+//! the largest `(1+ε)ⁱ` with `r_i ≥ (1+ε)ⁱ(1−ε)`.
+//!
+//! Sampler count (Theorem 14):
+//!
+//! * **additive** mode: `x = ⌈3ε⁻² ln(2/δ)⌉` gives
+//!   `|ĥ − h*| ≤ ε·D` whp, where `D` is the number of distinct cited
+//!   papers (`D ≤ n`, so this is at least as strong as the paper's
+//!   `ε·n` statement);
+//! * **multiplicative** mode: given a promised lower bound `h* ≥ β` and
+//!   an upper bound `D ≤ D_max`, `x = ⌈3ε⁻² ln(2/δ) · D_max/β⌉` makes
+//!   the per-level Chernoff argument relative.
+
+use hindex_common::{CashRegisterEstimator, Delta, Epsilon, ExpGrid, SpaceUsage};
+use hindex_sketch::distinct::DistinctCounter;
+use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
+use rand::Rng;
+
+/// Which guarantee the sampler count is sized for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CashRegisterParams {
+    /// Additive error `ε·D` with probability `1 − δ`.
+    Additive {
+        /// Accuracy `ε`.
+        epsilon: Epsilon,
+        /// Failure probability `δ`.
+        delta: Delta,
+    },
+    /// Multiplicative error `ε·h*` with probability `1 − δ`, valid when
+    /// `h* ≥ beta` and the number of distinct cited papers stays below
+    /// `distinct_bound`.
+    Multiplicative {
+        /// Accuracy `ε`.
+        epsilon: Epsilon,
+        /// Failure probability `δ`.
+        delta: Delta,
+        /// Promised lower bound `β ≤ h*`.
+        beta: u64,
+        /// Upper bound on distinct cited papers.
+        distinct_bound: u64,
+    },
+}
+
+impl CashRegisterParams {
+    /// Accuracy parameter.
+    #[must_use]
+    pub fn epsilon(&self) -> Epsilon {
+        match *self {
+            CashRegisterParams::Additive { epsilon, .. }
+            | CashRegisterParams::Multiplicative { epsilon, .. } => epsilon,
+        }
+    }
+
+    /// Failure probability.
+    #[must_use]
+    pub fn delta(&self) -> Delta {
+        match *self {
+            CashRegisterParams::Additive { delta, .. }
+            | CashRegisterParams::Multiplicative { delta, .. } => delta,
+        }
+    }
+
+    /// The number of ℓ₀-sampler instances Theorem 14 asks for.
+    #[must_use]
+    pub fn num_samplers(&self) -> usize {
+        match *self {
+            CashRegisterParams::Additive { epsilon, delta } => {
+                let e = epsilon.get();
+                (3.0 / (e * e) * (2.0 / delta.get()).ln()).ceil() as usize
+            }
+            CashRegisterParams::Multiplicative {
+                epsilon,
+                delta,
+                beta,
+                distinct_bound,
+            } => {
+                assert!(beta >= 1, "beta must be positive");
+                let e = epsilon.get();
+                let scale = (distinct_bound.max(1) as f64 / beta as f64).max(1.0);
+                (3.0 / (e * e) * (2.0 / delta.get()).ln() * scale).ceil() as usize
+            }
+        }
+    }
+}
+
+/// Streaming H-index estimator for cash-register update streams
+/// (Algorithm 6 with the sampler counts of Theorem 14).
+#[derive(Debug, Clone)]
+pub struct CashRegisterHIndex {
+    params: CashRegisterParams,
+    grid: ExpGrid,
+    samplers: Vec<L0Sampler>,
+    distinct: Bjkst,
+    /// Largest value a single update has carried (caps the level scan).
+    max_seen: u64,
+}
+
+impl CashRegisterHIndex {
+    /// Creates the estimator; draws all sketch randomness from `rng`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(params: CashRegisterParams, rng: &mut R) -> Self {
+        Self::build(params, params.num_samplers(), rng)
+    }
+
+    /// Creates the estimator with an explicit sampler count instead of
+    /// the Theorem 14 formula — used by the E5 experiment to sweep the
+    /// space/accuracy trade-off.
+    #[must_use]
+    pub fn with_sampler_count<R: Rng + ?Sized>(
+        params: CashRegisterParams,
+        x: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::build(params, x.max(1), rng)
+    }
+
+    fn build<R: Rng + ?Sized>(params: CashRegisterParams, x: usize, rng: &mut R) -> Self {
+        // Each individual sampler may fail with constant probability;
+        // the Chernoff estimate over x samplers absorbs that, so default
+        // per-sampler parameters suffice.
+        let sampler_params = L0SamplerParams::default();
+        let samplers = (0..x).map(|_| L0Sampler::new(sampler_params, rng)).collect();
+        let distinct = Bjkst::new(
+            params.epsilon().get().min(0.25),
+            params.delta().split(2).get(),
+            rng,
+        );
+        Self {
+            params,
+            grid: ExpGrid::new(params.epsilon().get()),
+            samplers,
+            distinct,
+            max_seen: 0,
+        }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn params(&self) -> CashRegisterParams {
+        self.params
+    }
+
+    /// Merges another estimator that shares this one's randomness (a
+    /// pre-update `clone` — the sketches are linear, so the merge
+    /// equals processing the concatenated update streams). This is the
+    /// sharded-firehose ingestion pattern: clone one estimator per
+    /// shard, merge at query time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimators were built independently.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.samplers.len(),
+            other.samplers.len(),
+            "estimators must share configuration"
+        );
+        for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
+            a.merge(b);
+        }
+        self.distinct.merge(&other.distinct);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Number of ℓ₀-sampler instances in use.
+    #[must_use]
+    pub fn num_samplers(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// The sampled `(paper, exact count)` pairs currently recoverable —
+    /// exposed for experiments that analyze the sampler ensemble.
+    #[must_use]
+    pub fn draw_samples(&self) -> Vec<(u64, u64)> {
+        self.samplers
+            .iter()
+            .filter_map(|s| s.sample())
+            .filter(|&(_, v)| v > 0)
+            .map(|(i, v)| (i, v as u64))
+            .collect()
+    }
+}
+
+impl CashRegisterEstimator for CashRegisterHIndex {
+    fn update(&mut self, index: u64, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        for s in &mut self.samplers {
+            s.update(index, delta as i64);
+        }
+        self.distinct.observe(index);
+        self.max_seen = self.max_seen.max(delta);
+    }
+
+    fn estimate(&self) -> u64 {
+        let samples = self.draw_samples();
+        if samples.is_empty() {
+            return 0;
+        }
+        let x = samples.len() as f64;
+        let y = self.distinct.estimate() as f64;
+        let eps = self.params.epsilon().get();
+        // Scan levels from 0 while thresholds stay below the largest
+        // conceivable count; track the best qualifying threshold.
+        let max_count = samples.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        let mut best = 0u64;
+        let mut level = 0u32;
+        loop {
+            let t_int = self.grid.int_threshold(level);
+            if t_int > max_count {
+                break;
+            }
+            let hits = samples.iter().filter(|&&(_, v)| v >= t_int).count() as f64;
+            let r = hits * y / x;
+            if r >= self.grid.threshold(level) * (1.0 - eps) {
+                best = t_int;
+            }
+            level += 1;
+        }
+        best
+    }
+}
+
+impl SpaceUsage for CashRegisterHIndex {
+    fn space_words(&self) -> usize {
+        let sampler_words: usize = self.samplers.iter().map(SpaceUsage::space_words).sum();
+        sampler_words + self.distinct.space_words() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hindex_common::h_index;
+    use hindex_stream::generator::planted_h_corpus;
+    use hindex_stream::{Corpus, Unaggregator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn additive(e: f64, d: f64) -> CashRegisterParams {
+        CashRegisterParams::Additive {
+            epsilon: Epsilon::new(e).unwrap(),
+            delta: Delta::new(d).unwrap(),
+        }
+    }
+
+    /// Feed a corpus as a shuffled unit-update cash-register stream.
+    fn run(corpus: &Corpus, params: CashRegisterParams, seed: u64) -> CashRegisterHIndex {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut est = CashRegisterHIndex::new(params, &mut rng);
+        let updates = Unaggregator { max_batch: 3, shuffle: true }.stream(corpus, &mut rng);
+        for u in &updates {
+            est.update(u.paper.0, u.delta);
+        }
+        est
+    }
+
+    #[test]
+    fn sampler_counts_match_theorem() {
+        let add = additive(0.2, 0.1);
+        // 3/0.04 · ln 20 = 75 · 3.0 = 224.6 → 225.
+        assert_eq!(add.num_samplers(), 225);
+        let mul = CashRegisterParams::Multiplicative {
+            epsilon: Epsilon::new(0.2).unwrap(),
+            delta: Delta::new(0.1).unwrap(),
+            beta: 100,
+            distinct_bound: 1000,
+        };
+        assert_eq!(mul.num_samplers(), 2247);
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = CashRegisterHIndex::new(additive(0.3, 0.2), &mut rng);
+        assert_eq!(est.estimate(), 0);
+    }
+
+    #[test]
+    fn additive_guarantee_small_corpus() {
+        // D = 60 cited papers, h* = 20: additive slack ε·D = 18.
+        let e = 0.3;
+        let corpus = planted_h_corpus(20, 60, 5);
+        let truth = h_index(&corpus.citation_counts());
+        assert_eq!(truth, 20);
+        let mut ok = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let est = run(&corpus, additive(e, 0.1), seed);
+            let got = est.estimate();
+            let d = corpus.ground_truth().distinct_cited;
+            if (got as f64 - truth as f64).abs() <= e * d as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 1, "additive guarantee failed {}/{trials}", trials - ok);
+    }
+
+    #[test]
+    fn dense_support_estimates_well() {
+        // Every cited paper is in the H-support: D = h* = 50, so the
+        // additive ε·D bound is effectively multiplicative.
+        let e = 0.25;
+        let counts: Vec<u64> = vec![100; 50];
+        let corpus = Corpus::solo_from_counts(&counts);
+        let mut ok = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let est = run(&corpus, additive(e, 0.1), seed);
+            let got = est.estimate();
+            if (got as f64 - 50.0).abs() <= e * 50.0 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 1, "only {ok}/{trials} within bounds");
+    }
+
+    #[test]
+    fn multiplicative_mode_with_promised_bound() {
+        let e = 0.3;
+        // h* = 25 out of D ≤ 100 cited papers.
+        let corpus = planted_h_corpus(25, 100, 9);
+        let params = CashRegisterParams::Multiplicative {
+            epsilon: Epsilon::new(e).unwrap(),
+            delta: Delta::new(0.2).unwrap(),
+            beta: 20,
+            distinct_bound: 100,
+        };
+        let mut ok = 0;
+        let trials = 4;
+        for seed in 0..trials {
+            let est = run(&corpus, params, seed);
+            let got = est.estimate();
+            if (got as f64 - 25.0).abs() <= e * 25.0 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 1, "only {ok}/{trials} within ±ε h*");
+    }
+
+    #[test]
+    fn updates_accumulate_across_batches() {
+        // The same paper updated many times must count once, with its
+        // total.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut est = CashRegisterHIndex::new(additive(0.3, 0.1), &mut rng);
+        // 30 papers × 30 unit updates each, interleaved: h* = 30.
+        for round in 0..30 {
+            for paper in 0..30u64 {
+                est.update(paper, 1);
+                let _ = round;
+            }
+        }
+        let got = est.estimate();
+        assert!(
+            (got as f64 - 30.0).abs() <= 0.3 * 30.0 + 1.0,
+            "got {got}, want ≈ 30"
+        );
+    }
+
+    #[test]
+    fn samples_carry_exact_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut est = CashRegisterHIndex::new(additive(0.3, 0.3), &mut rng);
+        for paper in 0..20u64 {
+            for _ in 0..=paper {
+                est.update(paper, 1);
+            }
+        }
+        for (paper, value) in est.draw_samples() {
+            assert_eq!(value, paper + 1, "paper {paper} recovered wrong total");
+        }
+    }
+
+    #[test]
+    fn space_scales_with_sampler_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let small = CashRegisterHIndex::new(additive(0.5, 0.5), &mut rng);
+        let big = CashRegisterHIndex::new(additive(0.2, 0.05), &mut rng);
+        assert!(big.num_samplers() > small.num_samplers());
+        assert!(big.space_words() > small.space_words());
+    }
+}

@@ -1,0 +1,459 @@
+//! Algorithm 8 / Theorem 18: all heavy hitters in H-index.
+//!
+//! Goal: from a stream of papers, output every author whose H-index is
+//! at least an ε fraction of the total H-impact
+//! `h*(S) = Σ_a h*(a)`, with a `(1±ε)` estimate of each one's H-index
+//! — without tracking any per-author state.
+//!
+//! Mechanism (group testing): `x = ⌈log₂(1/(εδ))⌉` independent rows,
+//! each hashing authors pairwise-independently into `ℓ = ⌈2/ε²⌉`
+//! buckets; a paper is routed, per row, to the bucket of **each** of
+//! its authors. Every bucket runs Algorithm 7
+//! ([`crate::OneHeavyHitter`]). With `ℓ = 2/ε²`, a heavy author's
+//! bucket receives at most `ε·h*(aᵢ)` of foreign H-impact in
+//! expectation-over-hash with probability `≥ 1/2` per row
+//! (Markov), so across rows every heavy author is isolated and
+//! detected somewhere whp; light authors that get certified by a lucky
+//! bucket are removed by the final threshold filter.
+//!
+//! The threshold: the paper states heaviness against `h*(S)`, which no
+//! small-space algorithm knows exactly. [`HeavyHitters::total_impact_estimate`]
+//! returns `max_rows Σ_buckets ĥ(bucket)` — within the bucket noise it
+//! sandwiches `h*(S)` (bucket H-indices are subadditive over disjoint
+//! paper unions and at least the max member) — and
+//! [`HeavyHitters::decode`] filters on `ε` times that by default, with
+//! an explicit-threshold variant for experiments.
+
+use crate::one_heavy_hitter::OneHeavyHitter;
+use hindex_common::{Delta, Epsilon, SpaceUsage};
+use hindex_hashing::{Hasher64, PairwiseHash};
+use hindex_stream::{AuthorId, Paper};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Configuration for [`HeavyHitters`].
+#[derive(Debug, Clone, Copy)]
+pub struct HeavyHittersParams {
+    /// Heaviness / accuracy parameter `ε`.
+    pub epsilon: Epsilon,
+    /// Failure probability `δ`.
+    pub delta: Delta,
+    /// Override the bucket count `ℓ = ⌈2/ε²⌉` (experiments only).
+    pub buckets_override: Option<usize>,
+    /// Override the row count `x = ⌈log₂(1/(εδ))⌉` (experiments only).
+    pub rows_override: Option<usize>,
+}
+
+impl HeavyHittersParams {
+    /// Standard parameters.
+    #[must_use]
+    pub fn new(epsilon: Epsilon, delta: Delta) -> Self {
+        Self {
+            epsilon,
+            delta,
+            buckets_override: None,
+            rows_override: None,
+        }
+    }
+
+    /// Buckets per row.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets_override
+            .unwrap_or_else(|| (2.0 / self.epsilon.get().powi(2)).ceil() as usize)
+            .max(1)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows_override
+            .unwrap_or_else(|| {
+                (1.0 / (self.epsilon.get() * self.delta.get()))
+                    .log2()
+                    .ceil()
+                    .max(1.0) as usize
+            })
+            .max(1)
+    }
+}
+
+/// One detected heavy hitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitterCandidate {
+    /// The author.
+    pub author: AuthorId,
+    /// Median (over certifying buckets) estimate of the author's
+    /// H-index.
+    pub h_estimate: u64,
+    /// How many of the rows certified this author.
+    pub rows_found: usize,
+}
+
+/// Streaming heavy-hitters-in-H-index sketch (Algorithm 8).
+///
+/// ```
+/// use hindex_common::{Delta, Epsilon};
+/// use hindex_core::{HeavyHitters, HeavyHittersParams};
+/// use hindex_stream::{AuthorId, Paper};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let params = HeavyHittersParams::new(
+///     Epsilon::new(0.25).unwrap(),
+///     Delta::new(0.1).unwrap(),
+/// );
+/// let mut hh = HeavyHitters::new(params, &mut StdRng::seed_from_u64(1));
+/// // Author 7 dominates: 40 papers with 60 citations each.
+/// for i in 0..40 {
+///     hh.push(&Paper::solo(i, 7, 60));
+/// }
+/// for i in 40..60 {
+///     hh.push(&Paper::solo(i, i, 1)); // light noise authors
+/// }
+/// let out = hh.decode();
+/// assert_eq!(out[0].author, AuthorId(7));
+/// ```
+#[derive(Debug)]
+pub struct HeavyHitters {
+    params: HeavyHittersParams,
+    hashes: Vec<PairwiseHash>,
+    /// `detectors[row * buckets + bucket]`.
+    detectors: Vec<OneHeavyHitter>,
+    /// Exact total number of responses (one word; the intro's scale
+    /// `R`).
+    total_responses: u64,
+    papers_seen: u64,
+}
+
+impl HeavyHitters {
+    /// Creates the sketch; all randomness (hashes, reservoirs) comes
+    /// from `rng`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(params: HeavyHittersParams, rng: &mut R) -> Self {
+        let rows = params.rows();
+        let buckets = params.buckets();
+        let hashes = (0..rows).map(|_| PairwiseHash::new(rng)).collect();
+        // Per-bucket δ gets a union-bound split across all buckets.
+        let bucket_delta = (params.delta.get() / (rows * buckets) as f64).max(1e-9);
+        let detectors = (0..rows * buckets)
+            .map(|_| OneHeavyHitter::new(params.epsilon, bucket_delta, rng))
+            .collect();
+        Self {
+            params,
+            hashes,
+            detectors,
+            total_responses: 0,
+            papers_seen: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn params(&self) -> HeavyHittersParams {
+        self.params
+    }
+
+    /// Feeds one paper tuple: per row, the paper goes to the bucket of
+    /// each of its authors.
+    pub fn push(&mut self, paper: &Paper) {
+        self.papers_seen += 1;
+        self.total_responses += paper.citations;
+        let buckets = self.params.buckets() as u64;
+        for (row, hash) in self.hashes.iter().enumerate() {
+            for &author in &paper.authors {
+                let b = hash.hash_to_range(author.0, buckets) as usize;
+                self.detectors[row * self.params.buckets() + b]
+                    .push_parts(&paper.authors, paper.citations);
+            }
+        }
+    }
+
+    /// Exact total responses `R` seen (the intro's heaviness scale).
+    #[must_use]
+    pub fn total_responses(&self) -> u64 {
+        self.total_responses
+    }
+
+    /// Sketch-side estimate of the total H-impact `h*(S)`: the maximum
+    /// over rows of the sum of bucket H-index estimates.
+    #[must_use]
+    pub fn total_impact_estimate(&self) -> u64 {
+        let buckets = self.params.buckets();
+        (0..self.params.rows())
+            .map(|row| {
+                self.detectors[row * buckets..(row + 1) * buckets]
+                    .iter()
+                    .map(|d| d.combined_h_estimate().0)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decodes with the default threshold `ε · total_impact_estimate()`.
+    #[must_use]
+    pub fn decode(&self) -> Vec<HeavyHitterCandidate> {
+        let bar = (self.params.epsilon.get() * self.total_impact_estimate() as f64) as u64;
+        self.decode_with_threshold(bar)
+    }
+
+    /// Exploratory L2 decode: §5 names "L2 heavy hitters" (users whose
+    /// H-index is large in the *square* of the counts) as an open
+    /// direction. This decode keeps candidates with
+    /// `ĥ² ≥ ε · Σ_buckets ĥ(bucket)²`, using the max-row sum of
+    /// squared bucket estimates as the `Σ_a h*(a)²` proxy (heavy
+    /// authors are isolated whp, so their buckets' squares dominate the
+    /// sum exactly when they dominate the true L2 mass). No theorem is
+    /// claimed — this is the paper's future-work item made runnable.
+    #[must_use]
+    pub fn decode_l2(&self) -> Vec<HeavyHitterCandidate> {
+        let buckets = self.params.buckets();
+        let l2_mass: u128 = (0..self.params.rows())
+            .map(|row| {
+                self.detectors[row * buckets..(row + 1) * buckets]
+                    .iter()
+                    .map(|d| {
+                        let h = u128::from(d.combined_h_estimate().0);
+                        h * h
+                    })
+                    .sum::<u128>()
+            })
+            .max()
+            .unwrap_or(0);
+        let bar_sq = self.params.epsilon.get() * l2_mass as f64;
+        let all = self.decode_with_threshold(0);
+        all.into_iter()
+            .filter(|c| {
+                let h = c.h_estimate as f64;
+                h * h >= bar_sq
+            })
+            .collect()
+    }
+
+    /// Decodes, keeping only candidates whose estimated H-index is at
+    /// least `threshold`. Returns at most `⌈1/ε⌉` candidates, sorted by
+    /// descending estimate.
+    #[must_use]
+    pub fn decode_with_threshold(&self, threshold: u64) -> Vec<HeavyHitterCandidate> {
+        let buckets = self.params.buckets();
+        let mut per_author: HashMap<AuthorId, Vec<(usize, u64)>> = HashMap::new();
+        for (idx, det) in self.detectors.iter().enumerate() {
+            for (author, h_estimate) in det.decode_candidates() {
+                per_author.entry(author).or_default().push((idx / buckets, h_estimate));
+            }
+        }
+        let mut out: Vec<HeavyHitterCandidate> = per_author
+            .into_iter()
+            .map(|(author, mut found)| {
+                let rows_found = {
+                    let mut rows: Vec<usize> = found.iter().map(|&(r, _)| r).collect();
+                    rows.sort_unstable();
+                    rows.dedup();
+                    rows.len()
+                };
+                found.sort_unstable_by_key(|&(_, h)| h);
+                let h_estimate = found[found.len() / 2].1;
+                HeavyHitterCandidate {
+                    author,
+                    h_estimate,
+                    rows_found,
+                }
+            })
+            .filter(|c| c.h_estimate >= threshold)
+            .collect();
+        out.sort_by(|a, b| {
+            b.h_estimate
+                .cmp(&a.h_estimate)
+                .then(b.rows_found.cmp(&a.rows_found))
+                .then(a.author.0.cmp(&b.author.0))
+        });
+        let cap = (1.0 / self.params.epsilon.get()).ceil() as usize;
+        out.truncate(cap.max(1));
+        out
+    }
+}
+
+impl SpaceUsage for HeavyHitters {
+    fn space_words(&self) -> usize {
+        let det_words: usize = self.detectors.iter().map(SpaceUsage::space_words).sum();
+        det_words + 2 * self.hashes.len() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hindex_stream::generator::planted_heavy_hitters;
+    use hindex_stream::Corpus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sketch(e: f64, d: f64, seed: u64) -> HeavyHitters {
+        let mut rng = StdRng::seed_from_u64(seed);
+        HeavyHitters::new(
+            HeavyHittersParams::new(Epsilon::new(e).unwrap(), Delta::new(d).unwrap()),
+            &mut rng,
+        )
+    }
+
+    fn feed(hh: &mut HeavyHitters, corpus: &Corpus) {
+        for p in corpus.papers() {
+            hh.push(p);
+        }
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        let p = HeavyHittersParams::new(
+            Epsilon::new(0.25).unwrap(),
+            Delta::new(0.05).unwrap(),
+        );
+        assert_eq!(p.buckets(), 32); // 2 / 0.0625
+        assert_eq!(p.rows(), 7); // ⌈log₂(80)⌉
+    }
+
+    #[test]
+    fn empty_stream_decodes_empty() {
+        let hh = sketch(0.25, 0.1, 0);
+        assert!(hh.decode().is_empty());
+        assert_eq!(hh.total_impact_estimate(), 0);
+    }
+
+    #[test]
+    fn single_heavy_author_found() {
+        // Author 0 with h = 50 over 60 light authors (h ≤ 2 each):
+        // total impact ≈ 50 + 120·small — author 0 is ε-heavy for
+        // ε = 0.25.
+        let corpus = planted_heavy_hitters(&[50], 60, 3, 2, 1);
+        let truth = corpus.ground_truth();
+        let h0 = truth.per_author[&AuthorId(0)];
+        assert_eq!(h0, 50);
+        let mut found = 0;
+        for seed in 0..10 {
+            let mut hh = sketch(0.25, 0.1, seed);
+            feed(&mut hh, &corpus);
+            let out = hh.decode();
+            if let Some(c) = out.iter().find(|c| c.author == AuthorId(0)) {
+                assert!(
+                    (c.h_estimate as f64) >= 0.7 * h0 as f64
+                        && (c.h_estimate as f64) <= 1.3 * h0 as f64,
+                    "seed {seed}: estimate {} vs {h0}",
+                    c.h_estimate
+                );
+                found += 1;
+            }
+        }
+        assert!(found >= 9, "found in only {found}/10 runs");
+    }
+
+    #[test]
+    fn multiple_heavy_authors_found() {
+        let heavy = [60u64, 50, 45];
+        let corpus = planted_heavy_hitters(&heavy, 40, 3, 2, 2);
+        let truth = corpus.ground_truth();
+        // Every ground-truth ε-heavy author (Theorem 18's set) must be
+        // recovered.
+        let expected = truth.heavy_hitters(0.2);
+        assert_eq!(expected.len(), 3, "test premise: all three are ε-heavy");
+        let mut all_found = 0;
+        for seed in 0..10 {
+            let mut hh = sketch(0.2, 0.1, seed);
+            feed(&mut hh, &corpus);
+            let out = hh.decode();
+            let ok = expected
+                .iter()
+                .all(|&(a, _)| out.iter().any(|c| c.author == a));
+            if ok {
+                all_found += 1;
+            }
+        }
+        assert!(all_found >= 8, "all three found in only {all_found}/10 runs");
+    }
+
+    #[test]
+    fn light_authors_not_reported() {
+        let corpus = planted_heavy_hitters(&[80], 100, 4, 3, 3);
+        for seed in 0..5 {
+            let mut hh = sketch(0.25, 0.1, seed);
+            feed(&mut hh, &corpus);
+            for c in hh.decode() {
+                assert_eq!(c.author, AuthorId(0), "seed {seed}: spurious {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn impact_estimate_in_sane_range() {
+        let corpus = planted_heavy_hitters(&[50, 30], 50, 3, 2, 4);
+        let truth = corpus.ground_truth().total_h_impact;
+        let mut hh = sketch(0.25, 0.1, 5);
+        feed(&mut hh, &corpus);
+        let est = hh.total_impact_estimate();
+        assert!(
+            est >= truth / 3 && est <= truth * 2,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn total_responses_exact() {
+        let corpus = planted_heavy_hitters(&[20], 10, 2, 5, 6);
+        let mut hh = sketch(0.3, 0.1, 7);
+        feed(&mut hh, &corpus);
+        assert_eq!(
+            hh.total_responses(),
+            corpus.ground_truth().total_citations
+        );
+    }
+
+    #[test]
+    fn output_capped_at_one_over_eps() {
+        let heavy: Vec<u64> = vec![30; 12];
+        let corpus = planted_heavy_hitters(&heavy, 0, 0, 0, 8);
+        let mut hh = sketch(0.25, 0.1, 9);
+        feed(&mut hh, &corpus);
+        assert!(hh.decode_with_threshold(0).len() <= 4);
+    }
+
+    #[test]
+    fn explicit_threshold_filters() {
+        let corpus = planted_heavy_hitters(&[60, 10], 0, 0, 0, 10);
+        let mut hh = sketch(0.2, 0.1, 11);
+        feed(&mut hh, &corpus);
+        let strict = hh.decode_with_threshold(40);
+        assert!(strict.iter().all(|c| c.h_estimate >= 40));
+    }
+
+    #[test]
+    fn space_scales_with_geometry() {
+        use hindex_common::SpaceUsage;
+        let small = sketch(0.5, 0.5, 12);
+        let big = sketch(0.1, 0.01, 13);
+        assert!(big.space_words() > small.space_words());
+    }
+
+    #[test]
+    fn l2_decode_prefers_concentrated_impact() {
+        // L1-heaviness vs L2-heaviness diverge: one author with h = 60
+        // vs twelve authors with h = 18. L1 mass = 60 + 216 = 276;
+        // L2 mass = 3600 + 12·324 = 7488. At ε = 0.2: L1 bar = 55.2
+        // (everyone but the big author is out anyway), L2 bar² =
+        // 1497.6 → h ≥ 38.7. The L2 decode keeps only the concentrated
+        // author.
+        let mut heavy = vec![60u64];
+        heavy.extend(vec![18u64; 12]);
+        let corpus = planted_heavy_hitters(&heavy, 0, 0, 0, 14);
+        let mut found_l2_only_big = 0;
+        for seed in 0..6 {
+            let mut hh = sketch(0.2, 0.1, 100 + seed);
+            feed(&mut hh, &corpus);
+            let l2 = hh.decode_l2();
+            if l2.iter().any(|c| c.author == AuthorId(0))
+                && l2.iter().all(|c| c.author == AuthorId(0))
+            {
+                found_l2_only_big += 1;
+            }
+        }
+        assert!(found_l2_only_big >= 5, "L2 decode unstable: {found_l2_only_big}/6");
+    }
+}

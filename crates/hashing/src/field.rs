@@ -1,0 +1,146 @@
+//! Arithmetic over the Mersenne field 𝔽_p with `p = 2⁶¹ − 1`.
+//!
+//! The Mersenne structure lets us reduce a 122-bit product with two
+//! shifts and adds instead of a division, which keeps polynomial hashing
+//! fast enough to sit on the per-update hot path of every sketch.
+
+/// The Mersenne prime `p = 2⁶¹ − 1`.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u128` modulo `p = 2⁶¹ − 1`.
+///
+/// Uses the identity `2⁶¹ ≡ 1 (mod p)`: split the value into 61-bit
+/// limbs and add them. Two rounds suffice for any 128-bit input.
+#[inline]
+#[must_use]
+pub fn mersenne_reduce(x: u128) -> u64 {
+    const P: u128 = MERSENNE_P as u128;
+    // First round: fold the top 67 bits onto the bottom 61.
+    let folded = (x & P) + (x >> 61);
+    // Second round: the sum is at most ~2⁶⁸, fold once more.
+    let folded = (folded & P) + (folded >> 61);
+    let mut r = folded as u64;
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Multiplies two residues modulo `p`.
+#[inline]
+#[must_use]
+pub fn mersenne_mul(a: u64, b: u64) -> u64 {
+    mersenne_reduce(u128::from(a) * u128::from(b))
+}
+
+/// Adds two residues modulo `p`.
+#[inline]
+#[must_use]
+pub fn mersenne_add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    let s = a + b; // no overflow: both < 2⁶¹
+    if s >= MERSENNE_P {
+        s - MERSENNE_P
+    } else {
+        s
+    }
+}
+
+/// Raises `base` to `exp` modulo `p` by square-and-multiply.
+#[must_use]
+pub fn mersenne_pow(base: u64, mut exp: u64) -> u64 {
+    let mut base = base % MERSENNE_P;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mersenne_mul(acc, base);
+        }
+        base = mersenne_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Slow but obviously-correct reference reduction.
+    fn reduce_ref(x: u128) -> u64 {
+        (x % u128::from(MERSENNE_P)) as u64
+    }
+
+    #[test]
+    fn p_is_the_mersenne_prime() {
+        assert_eq!(MERSENNE_P, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn reduce_small_values() {
+        assert_eq!(mersenne_reduce(0), 0);
+        assert_eq!(mersenne_reduce(1), 1);
+        assert_eq!(mersenne_reduce(u128::from(MERSENNE_P)), 0);
+        assert_eq!(mersenne_reduce(u128::from(MERSENNE_P) + 1), 1);
+        assert_eq!(mersenne_reduce(u128::from(MERSENNE_P) - 1), MERSENNE_P - 1);
+    }
+
+    #[test]
+    fn reduce_extremes() {
+        assert_eq!(mersenne_reduce(u128::MAX), reduce_ref(u128::MAX));
+        let max_product = u128::from(MERSENNE_P - 1) * u128::from(MERSENNE_P - 1);
+        assert_eq!(mersenne_reduce(max_product), reduce_ref(max_product));
+    }
+
+    #[test]
+    fn mul_matches_reference() {
+        let samples = [0u64, 1, 2, 12345, MERSENNE_P - 1, MERSENNE_P / 2, 1 << 60];
+        for &a in &samples {
+            for &b in &samples {
+                let expected = reduce_ref(u128::from(a % MERSENNE_P) * u128::from(b % MERSENNE_P));
+                assert_eq!(mersenne_mul(a % MERSENNE_P, b % MERSENNE_P), expected, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_wraps_correctly() {
+        assert_eq!(mersenne_add(MERSENNE_P - 1, 1), 0);
+        assert_eq!(mersenne_add(MERSENNE_P - 1, 2), 1);
+        assert_eq!(mersenne_add(5, 7), 12);
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(mersenne_pow(2, 0), 1);
+        assert_eq!(mersenne_pow(2, 10), 1024);
+        // Fermat's little theorem: a^(p-1) ≡ 1 for a ≠ 0.
+        for a in [2u64, 3, 65537, MERSENNE_P - 2] {
+            assert_eq!(mersenne_pow(a, MERSENNE_P - 1), 1, "a={a}");
+        }
+        // 2^61 ≡ 1 since 2^61 = p + 1.
+        assert_eq!(mersenne_pow(2, 61), 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_reduce_matches_reference(x in proptest::num::u128::ANY) {
+            proptest::prop_assert_eq!(mersenne_reduce(x), reduce_ref(x));
+        }
+
+        #[test]
+        fn prop_mul_commutes_and_matches(a in 0u64..MERSENNE_P, b in 0u64..MERSENNE_P) {
+            let m = mersenne_mul(a, b);
+            proptest::prop_assert_eq!(m, mersenne_mul(b, a));
+            proptest::prop_assert_eq!(m, reduce_ref(u128::from(a) * u128::from(b)));
+        }
+
+        #[test]
+        fn prop_pow_agrees_with_repeated_mul(a in 0u64..MERSENNE_P, e in 0u64..32) {
+            let mut expected = 1u64;
+            for _ in 0..e {
+                expected = mersenne_mul(expected, a);
+            }
+            proptest::prop_assert_eq!(mersenne_pow(a, e), expected);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! CountSketch (Charikar–Chen–Farach-Colton).
+//!
+//! The signed companion of [`crate::CountMin`]: each key hashes to one
+//! bucket per row with a random ±1 sign, and the point estimate is the
+//! **median** of the signed bucket values — unbiased, with error
+//! `≤ ‖f‖₂/√width` per row instead of CountMin's `‖f‖₁/width`.
+//!
+//! §5 of the paper names "L2 heavy hitters" (users heavy in the
+//! *square* of the counts) as future work; CountSketch is the substrate
+//! any such algorithm builds on, so it belongs in this toolkit. The
+//! exploratory `hindex-core::heavy_hitters` L2 threshold mode uses the
+//! same idea at the decode level.
+
+use hindex_common::SpaceUsage;
+use hindex_hashing::{Hasher64, PairwiseHash};
+use rand::Rng;
+
+/// A CountSketch over `u64` keys with signed (turnstile) updates.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<PairwiseHash>,
+    /// `counts[row * width + col]`.
+    counts: Vec<i64>,
+}
+
+impl CountSketch {
+    /// Creates a sketch with explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `depth == 0`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(width: usize, depth: usize, rng: &mut R) -> Self {
+        assert!(width > 0 && depth > 0, "geometry must be positive");
+        Self {
+            width,
+            bucket_hashes: (0..depth).map(|_| PairwiseHash::new(rng)).collect(),
+            sign_hashes: (0..depth).map(|_| PairwiseHash::new(rng)).collect(),
+            counts: vec![0; width * depth],
+        }
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, key: u64) -> i64 {
+        if self.sign_hashes[row].hash(key) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Applies `f[key] += delta` (delta may be negative).
+    pub fn update(&mut self, key: u64, delta: i64) {
+        for row in 0..self.bucket_hashes.len() {
+            let col = self.bucket_hashes[row].hash_to_range(key, self.width as u64) as usize;
+            self.counts[row * self.width + col] += self.sign(row, key) * delta;
+        }
+    }
+
+    /// Unbiased point estimate of `f[key]`: median of the signed
+    /// per-row readings.
+    #[must_use]
+    pub fn query(&self, key: u64) -> i64 {
+        let mut readings: Vec<i64> = (0..self.bucket_hashes.len())
+            .map(|row| {
+                let col =
+                    self.bucket_hashes[row].hash_to_range(key, self.width as u64) as usize;
+                self.sign(row, key) * self.counts[row * self.width + col]
+            })
+            .collect();
+        readings.sort_unstable();
+        readings[readings.len() / 2]
+    }
+
+    /// Estimate of the second frequency moment `F₂ = ‖f‖₂²`: median
+    /// over rows of the row's sum of squared buckets (each row is an
+    /// AMS sketch).
+    #[must_use]
+    pub fn f2_estimate(&self) -> u64 {
+        let mut rows: Vec<u128> = (0..self.bucket_hashes.len())
+            .map(|row| {
+                self.counts[row * self.width..(row + 1) * self.width]
+                    .iter()
+                    .map(|&c| (c as i128 * c as i128) as u128)
+                    .sum()
+            })
+            .collect();
+        rows.sort_unstable();
+        u64::try_from(rows[rows.len() / 2]).unwrap_or(u64::MAX)
+    }
+
+    /// Merges a same-randomness clone (linear sketch).
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry or randomness mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.bucket_hashes, other.bucket_hashes, "randomness mismatch");
+        assert_eq!(self.sign_hashes, other.sign_hashes, "randomness mismatch");
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl SpaceUsage for CountSketch {
+    fn space_words(&self) -> usize {
+        self.counts.len() + 4 * self.bucket_hashes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_queries_zero() {
+        let cs = CountSketch::new(64, 5, &mut StdRng::seed_from_u64(0));
+        assert_eq!(cs.query(7), 0);
+        assert_eq!(cs.f2_estimate(), 0);
+    }
+
+    #[test]
+    fn isolated_key_exact() {
+        let mut cs = CountSketch::new(64, 5, &mut StdRng::seed_from_u64(1));
+        cs.update(99, 1234);
+        assert_eq!(cs.query(99), 1234);
+    }
+
+    #[test]
+    fn turnstile_cancellation() {
+        let mut cs = CountSketch::new(64, 5, &mut StdRng::seed_from_u64(2));
+        cs.update(5, 100);
+        cs.update(5, -100);
+        assert_eq!(cs.query(5), 0);
+        assert_eq!(cs.f2_estimate(), 0);
+    }
+
+    #[test]
+    fn point_estimates_near_truth_under_load() {
+        let mut cs = CountSketch::new(256, 7, &mut StdRng::seed_from_u64(3));
+        for k in 0..500u64 {
+            cs.update(k, ((k % 10) + 1) as i64);
+        }
+        let mut bad = 0;
+        for k in 0..500u64 {
+            let truth = ((k % 10) + 1) as i64;
+            if (cs.query(k) - truth).abs() > 10 {
+                bad += 1;
+            }
+        }
+        assert!(bad < 25, "{bad}/500 far off");
+    }
+
+    #[test]
+    fn heavy_key_estimated_well() {
+        let mut cs = CountSketch::new(256, 7, &mut StdRng::seed_from_u64(4));
+        cs.update(7, 1_000_000);
+        for k in 100..2100u64 {
+            cs.update(k, 5);
+        }
+        let est = cs.query(7);
+        assert!((est - 1_000_000).abs() < 10_000, "est {est}");
+    }
+
+    #[test]
+    fn f2_tracks_truth() {
+        // f = 100 keys with count 10: F2 = 100 · 100 = 10 000.
+        let mut cs = CountSketch::new(512, 7, &mut StdRng::seed_from_u64(5));
+        for k in 0..100u64 {
+            cs.update(k, 10);
+        }
+        let est = cs.f2_estimate() as f64;
+        assert!((est - 10_000.0).abs() <= 2_500.0, "F2 est {est}");
+    }
+
+    #[test]
+    fn merge_adds() {
+        let proto = CountSketch::new(128, 5, &mut StdRng::seed_from_u64(6));
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        a.update(3, 40);
+        b.update(3, 2);
+        a.merge(&b);
+        assert_eq!(a.query(3), 42);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_single_key_exact(key in proptest::num::u64::ANY, delta in -10_000i64..10_000, seed in proptest::num::u64::ANY) {
+            let mut cs = CountSketch::new(32, 5, &mut StdRng::seed_from_u64(seed));
+            cs.update(key, delta);
+            proptest::prop_assert_eq!(cs.query(key), delta);
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! ℓ₀-sampling: Definition 3 / Lemma 4 of the paper.
+//!
+//! Given a turnstile stream of updates to a vector `x`, an ℓ₀-sampler
+//! returns (with failure probability ≤ δ) a coordinate `j` distributed
+//! (near-)uniformly over the non-zero coordinates of `x` — and, in this
+//! implementation, the **exact value** `x[j]`, which is what Algorithm 6
+//! of the paper consumes (`V[j] ≥ (1+ε)^i` tests need values).
+//!
+//! Construction (Jowhari–Sağlam–Tardos, the paper's \[9\]): a level
+//! hash assigns each index a geometric level (`Pr[level ≥ j] = 2⁻ʲ`);
+//! level `j` maintains an s-sparse recovery of the sub-vector of indices
+//! with level ≥ j. At query time, the sparsest populated level that
+//! decodes has `Θ(s)` expected survivors; the survivor with the minimum
+//! hash value is the sample. Uniformity follows because the level hash
+//! is independent of the values.
+
+use crate::sparse::SparseRecovery;
+use hindex_common::SpaceUsage;
+use hindex_hashing::{Hasher64, PolynomialHash};
+use rand::Rng;
+
+/// Configuration for [`L0Sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct L0SamplerParams {
+    /// Per-level sparse-recovery sparsity. Larger s lowers the failure
+    /// probability (`δ ≈ 2^{-Θ(s)}`). Default 8.
+    pub sparsity: usize,
+    /// Rows per sparse recovery (decode failure `≈ 2^{-rows}`).
+    /// Default 6.
+    pub rows: usize,
+    /// Number of geometric levels. `levels = 64` covers any u64-sized
+    /// support; smaller values save space when the support is known to
+    /// be small. Default 40 (supports up to ~10¹² distinct indices).
+    pub levels: usize,
+    /// Independence of the level hash. Default 12.
+    pub hash_independence: usize,
+}
+
+impl Default for L0SamplerParams {
+    fn default() -> Self {
+        Self {
+            sparsity: 8,
+            rows: 6,
+            levels: 40,
+            hash_independence: 12,
+        }
+    }
+}
+
+impl L0SamplerParams {
+    /// Derives parameters targeting failure probability `δ`.
+    ///
+    /// Sets `sparsity = max(8, ⌈4·log₂(1/δ)⌉)` and
+    /// `rows = max(6, ⌈log₂(1/δ)⌉ + 2)`.
+    #[must_use]
+    pub fn for_failure_probability(delta: f64) -> Self {
+        assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+        let lg = (1.0 / delta).log2();
+        Self {
+            sparsity: (4.0 * lg).ceil().max(8.0) as usize,
+            rows: ((lg).ceil() as usize + 2).max(6),
+            ..Self::default()
+        }
+    }
+}
+
+/// A linear-sketch ℓ₀-sampler over `u64` indices with exact value
+/// recovery.
+///
+/// ```
+/// use hindex_sketch::L0Sampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut s = L0Sampler::with_defaults(&mut StdRng::seed_from_u64(1));
+/// s.update(7, 3);
+/// s.update(9, 5);
+/// s.update(7, -3); // turnstile: coordinate 7 fully cancels
+/// assert_eq!(s.sample(), Some((9, 5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct L0Sampler {
+    level_hash: PolynomialHash,
+    levels: Vec<SparseRecovery>,
+}
+
+impl L0Sampler {
+    /// Creates a sampler with the given parameters.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(params: L0SamplerParams, rng: &mut R) -> Self {
+        assert!(params.levels >= 1 && params.levels <= 64, "levels in 1..=64");
+        let level_hash = PolynomialHash::new(params.hash_independence.max(2), rng);
+        let levels = (0..params.levels)
+            .map(|_| SparseRecovery::new(params.sparsity.max(1), params.rows.max(1), rng))
+            .collect();
+        Self { level_hash, levels }
+    }
+
+    /// Creates a sampler with default parameters.
+    #[must_use]
+    pub fn with_defaults<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(L0SamplerParams::default(), rng)
+    }
+
+    /// The geometric level of an index: `Pr[level ≥ j] = 2⁻ʲ`.
+    fn level_of(&self, index: u64) -> usize {
+        let u = self.level_hash.hash_to_unit(index);
+        if u <= 0.0 {
+            return self.levels.len() - 1;
+        }
+        let lvl = (-u.log2()).floor();
+        (lvl.max(0.0) as usize).min(self.levels.len() - 1)
+    }
+
+    /// Applies the update `x[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        let top = self.level_of(index);
+        for level in &mut self.levels[..=top] {
+            level.update(index, delta);
+        }
+    }
+
+    /// Merges another sampler built with identical randomness (clone of
+    /// the same instance before any updates).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.levels.len(), other.levels.len(), "level mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b);
+        }
+    }
+
+    /// Draws the sample: `Some((index, value))` for a (near-)uniform
+    /// non-zero coordinate, or `None` on failure (zero vector, or all
+    /// populated levels too dense/undecodable — probability ≤ δ by
+    /// construction).
+    #[must_use]
+    pub fn sample(&self) -> Option<(u64, i64)> {
+        for level in &self.levels {
+            if let Some(support) = level.decode() {
+                if support.is_empty() {
+                    // This level's sub-vector is empty; deeper levels are
+                    // subsets and therefore empty too.
+                    return None;
+                }
+                // Min-hash survivor: uniform among the level's support.
+                return support
+                    .into_iter()
+                    .min_by(|&(i, _), &(j, _)| {
+                        self.level_hash
+                            .hash(i)
+                            .cmp(&self.level_hash.hash(j))
+                    });
+            }
+        }
+        None
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Estimate of `ℓ₀(x)` (the number of non-zero coordinates) from
+    /// this sampler's own level structure: the first level whose
+    /// sparse recovery decodes has `m` survivors out of an expected
+    /// `ℓ₀/2ʲ`, so `m·2ʲ` estimates the norm with relative error
+    /// `≈ √(2/s)`. Exact whenever `ℓ₀ ≤ s` (level 0 decodes). `None`
+    /// on total decode failure.
+    #[must_use]
+    pub fn l0_estimate(&self) -> Option<u64> {
+        for (j, level) in self.levels.iter().enumerate() {
+            if let Some(support) = level.decode() {
+                return Some((support.len() as u64) << j);
+            }
+        }
+        None
+    }
+}
+
+/// Turnstile `(1±ε, δ)` estimator of the number of non-zero
+/// coordinates (`ℓ₀` norm): the median of independent level-sampled
+/// estimates.
+///
+/// This is the deletion-tolerant replacement for
+/// [`crate::Bjkst`] that the turnstile H-index estimator needs:
+/// insert-only F₀ sketches cannot un-count a paper whose responses are
+/// all retracted, a linear sketch can.
+#[derive(Debug, Clone)]
+pub struct L0Norm {
+    cores: Vec<L0Sampler>,
+}
+
+impl L0Norm {
+    /// Creates an estimator with accuracy `ε` and failure probability
+    /// `δ`: `2⌈log₂(1/δ)⌉ + 1` cores with per-level sparsity
+    /// `⌈8/ε²⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ε, δ ∈ (0, 1)`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(epsilon: f64, delta: f64, rng: &mut R) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let copies = 2 * ((1.0 / delta).log2().ceil() as usize) + 1;
+        let params = L0SamplerParams {
+            sparsity: (8.0 / (epsilon * epsilon)).ceil() as usize,
+            ..L0SamplerParams::default()
+        };
+        Self {
+            cores: (0..copies).map(|_| L0Sampler::new(params, rng)).collect(),
+        }
+    }
+
+    /// Applies the update `x[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        for c in &mut self.cores {
+            c.update(index, delta);
+        }
+    }
+
+    /// Merges a same-randomness clone (linear sketch).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.cores.len(), other.cores.len(), "core count mismatch");
+        for (a, b) in self.cores.iter_mut().zip(&other.cores) {
+            a.merge(b);
+        }
+    }
+
+    /// Median estimate of the number of non-zero coordinates.
+    #[must_use]
+    pub fn estimate(&self) -> u64 {
+        let mut ests: Vec<u64> = self.cores.iter().filter_map(L0Sampler::l0_estimate).collect();
+        if ests.is_empty() {
+            return 0;
+        }
+        ests.sort_unstable();
+        ests[ests.len() / 2]
+    }
+
+    /// Number of independent cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+impl SpaceUsage for L0Norm {
+    fn space_words(&self) -> usize {
+        self.cores.iter().map(SpaceUsage::space_words).sum()
+    }
+}
+
+impl SpaceUsage for L0Sampler {
+    fn space_words(&self) -> usize {
+        let level_words: usize = self.levels.iter().map(SpaceUsage::space_words).sum();
+        level_words + self.level_hash.independence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn sampler(seed: u64) -> L0Sampler {
+        L0Sampler::with_defaults(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn l0_norm_exact_when_small() {
+        let mut norm = L0Norm::new(0.3, 0.05, &mut StdRng::seed_from_u64(50));
+        for i in 0..40u64 {
+            norm.update(i * 17, 2);
+        }
+        assert_eq!(norm.estimate(), 40);
+    }
+
+    #[test]
+    fn l0_norm_accuracy_at_scale() {
+        for (seed, d) in [(51u64, 2_000u64), (52, 20_000)] {
+            let mut norm = L0Norm::new(0.2, 0.05, &mut StdRng::seed_from_u64(seed));
+            for i in 0..d {
+                norm.update(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 60), 1);
+            }
+            let est = norm.estimate() as f64;
+            assert!(
+                (est - d as f64).abs() <= 0.25 * d as f64,
+                "d={d} est={est}"
+            );
+        }
+    }
+
+    #[test]
+    fn l0_norm_deletion_aware() {
+        let mut norm = L0Norm::new(0.3, 0.05, &mut StdRng::seed_from_u64(53));
+        for i in 0..60u64 {
+            norm.update(i, 5);
+        }
+        for i in 0..30u64 {
+            norm.update(i, -5); // fully retract half the coordinates
+        }
+        assert_eq!(norm.estimate(), 30);
+    }
+
+    #[test]
+    fn l0_norm_zero_vector() {
+        let mut norm = L0Norm::new(0.3, 0.1, &mut StdRng::seed_from_u64(54));
+        norm.update(7, 3);
+        norm.update(7, -3);
+        assert_eq!(norm.estimate(), 0);
+    }
+
+    #[test]
+    fn l0_norm_merge() {
+        let proto = L0Norm::new(0.3, 0.1, &mut StdRng::seed_from_u64(55));
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        for i in 0..20u64 {
+            a.update(i, 1);
+            b.update(100 + i, 1);
+        }
+        b.update(0, 1); // overlap
+        a.merge(&b);
+        let est = a.estimate();
+        assert!((38..=42).contains(&est), "est {est}");
+    }
+
+    #[test]
+    fn empty_vector_returns_none() {
+        assert_eq!(sampler(0).sample(), None);
+    }
+
+    #[test]
+    fn singleton_always_sampled_with_exact_value() {
+        for seed in 0..30 {
+            let mut s = sampler(seed);
+            s.update(424_242, 17);
+            assert_eq!(s.sample(), Some((424_242, 17)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sample_is_from_support_with_exact_value() {
+        let truth: HashMap<u64, i64> =
+            (0..500u64).map(|i| (i * 7 + 3, (i % 9 + 1) as i64)).collect();
+        let mut hits = 0;
+        for seed in 0..50 {
+            let mut s = sampler(seed);
+            for (&i, &v) in &truth {
+                s.update(i, v);
+            }
+            if let Some((i, v)) = s.sample() {
+                hits += 1;
+                assert_eq!(truth.get(&i), Some(&v), "seed {seed}: wrong value");
+            }
+        }
+        assert!(hits >= 45, "only {hits}/50 samples succeeded");
+    }
+
+    #[test]
+    fn deleted_coordinates_never_sampled() {
+        for seed in 0..30 {
+            let mut s = sampler(seed);
+            for i in 0..100u64 {
+                s.update(i, 5);
+            }
+            for i in 0..50u64 {
+                s.update(i, -5); // fully delete the bottom half
+            }
+            if let Some((i, v)) = s.sample() {
+                assert!(i >= 50, "seed {seed}: sampled deleted index {i}");
+                assert_eq!(v, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn full_cancellation_returns_none() {
+        for seed in 0..20 {
+            let mut s = sampler(seed);
+            for i in 0..200u64 {
+                s.update(i, 3);
+            }
+            for i in 0..200u64 {
+                s.update(i, -3);
+            }
+            assert_eq!(s.sample(), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn samples_are_roughly_uniform() {
+        // Chi-squared-style smoke test over a 20-element support using
+        // independent sampler instances.
+        let support: Vec<u64> = (0..20u64).map(|i| i * 101 + 5).collect();
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let trials = 600u64;
+        let mut fails = 0;
+        for seed in 0..trials {
+            let mut s = sampler(seed * 31 + 1);
+            for &i in &support {
+                s.update(i, 1);
+            }
+            match s.sample() {
+                Some((i, _)) => *counts.entry(i).or_default() += 1,
+                None => fails += 1,
+            }
+        }
+        assert!(fails < trials / 20, "too many failures: {fails}");
+        let succ = (trials - fails) as f64;
+        let expected = succ / support.len() as f64;
+        for &i in &support {
+            let c = f64::from(*counts.get(&i).unwrap_or(&0));
+            assert!(
+                c > expected * 0.4 && c < expected * 1.9,
+                "index {i}: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let proto = L0Sampler::with_defaults(&mut rng);
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        let mut c = proto.clone();
+        a.update(1, 1);
+        a.update(2, 2);
+        b.update(2, 3);
+        b.update(4, 4);
+        c.update(1, 1);
+        c.update(2, 5);
+        c.update(4, 4);
+        a.merge(&b);
+        assert_eq!(a.sample(), c.sample());
+    }
+
+    #[test]
+    fn params_for_delta_scale() {
+        let loose = L0SamplerParams::for_failure_probability(0.5);
+        let tight = L0SamplerParams::for_failure_probability(0.001);
+        assert!(tight.sparsity > loose.sparsity);
+        assert!(tight.rows >= loose.rows);
+    }
+
+    #[test]
+    fn space_grows_with_sparsity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = L0Sampler::new(
+            L0SamplerParams { sparsity: 2, rows: 2, levels: 10, hash_independence: 2 },
+            &mut rng,
+        );
+        let big = L0Sampler::new(
+            L0SamplerParams { sparsity: 16, rows: 8, levels: 40, hash_independence: 12 },
+            &mut rng,
+        );
+        assert!(big.space_words() > 10 * small.space_words());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_sample_from_true_support(
+            seed in proptest::num::u64::ANY,
+            support in proptest::collection::btree_map(0u64..100_000, 1i64..100, 1..50),
+        ) {
+            let mut s = sampler(seed);
+            for (&i, &v) in &support {
+                s.update(i, v);
+            }
+            if let Some((i, v)) = s.sample() {
+                proptest::prop_assert_eq!(support.get(&i), Some(&v));
+            }
+        }
+    }
+}

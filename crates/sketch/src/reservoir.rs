@@ -1,0 +1,174 @@
+//! Uniform reservoir sampling (Vitter's Algorithm R).
+//!
+//! Algorithm 7 of the paper keeps, for every threshold level, a uniform
+//! sample `T_i` of the papers whose citation count cleared that level;
+//! the decode then majority-tests the authors of the sampled papers.
+//! [`Reservoir`] is that primitive: a fixed-capacity uniform sample of
+//! an unbounded stream.
+
+use hindex_common::SpaceUsage;
+use rand::Rng;
+
+/// A fixed-capacity uniform sample over a stream of items.
+///
+/// ```
+/// use hindex_sketch::Reservoir;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut r = Reservoir::new(10);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// for item in 0..1000u64 {
+///     r.offer(item, &mut rng);
+/// }
+/// assert_eq!(r.items().len(), 10);
+/// assert_eq!(r.seen(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates an empty reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Offers one item; it is retained with probability
+    /// `capacity / seen`.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// The current sample (uniform over everything offered).
+    #[must_use]
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items offered so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the reservoir has filled to capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+}
+
+impl<T> SpaceUsage for Reservoir<T> {
+    fn space_words(&self) -> usize {
+        // One word per retained item (items in this workspace are ids or
+        // id pairs; multi-word items are counted by their holders) plus
+        // the seen counter.
+        self.items.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_caps() {
+        let mut r = Reservoir::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..100u64 {
+            r.offer(i, &mut rng);
+            assert!(r.items().len() <= 5);
+        }
+        assert!(r.is_full());
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn small_streams_kept_exactly() {
+        let mut r = Reservoir::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..7u64 {
+            r.offer(i, &mut rng);
+        }
+        let mut kept: Vec<u64> = r.items().to_vec();
+        kept.sort_unstable();
+        assert_eq!(kept, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inclusion_probability_uniform() {
+        // Each of 50 items should land in a capacity-10 reservoir with
+        // probability 1/5; check empirically over many trials.
+        let n = 50u64;
+        let cap = 10usize;
+        let trials = 3000u64;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(t);
+            let mut r = Reservoir::new(cap);
+            for i in 0..n {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.items() {
+                counts[i as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * cap as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.8 && (c as f64) < expected * 1.2,
+                "item {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::<u64>::new(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_never_exceeds_capacity(cap in 1usize..20, n in 0u64..500, seed in proptest::num::u64::ANY) {
+            let mut r = Reservoir::new(cap);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..n {
+                r.offer(i, &mut rng);
+            }
+            proptest::prop_assert!(r.items().len() <= cap);
+            proptest::prop_assert_eq!(r.items().len(), (n as usize).min(cap));
+            // Every retained item came from the stream.
+            proptest::prop_assert!(r.items().iter().all(|&i| i < n));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! s-sparse recovery by hashing into rows of 1-sparse cells.
+//!
+//! Structure: `rows × 2s` grid of [`OneSparseRecovery`] cells; row `r`
+//! routes index `i` to cell `h_r(i)`. If the sketched vector has at most
+//! `s` non-zero coordinates, each coordinate is isolated (alone in its
+//! cell) in at least one row with probability `≥ 1 − 2⁻rows` (each row
+//! isolates it with probability `≥ 1/2` by pairwise independence and
+//! Markov).
+//!
+//! The decode collects every cell that recovers as 1-sparse, merges the
+//! candidates, and then **verifies the complete decode against a
+//! whole-vector fingerprint** `F = Σ δ·rⁱ` maintained alongside the
+//! grid. This catches both missed coordinates and spurious cell
+//! decodes, so a successful [`SparseRecovery::decode`] is correct whp
+//! regardless of the input's actual sparsity — exactly the behaviour
+//! the ℓ₀-sampler's level search needs.
+
+use crate::one_sparse::{OneSparseRecovery, Recovery};
+use hindex_common::SpaceUsage;
+use hindex_hashing::field::MERSENNE_P;
+use hindex_hashing::{mersenne_pow, Hasher64, PairwiseHash};
+use rand::Rng;
+
+/// Linear sketch recovering vectors with up to `s` non-zero
+/// coordinates.
+///
+/// ```
+/// use hindex_sketch::SparseRecovery;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut s = SparseRecovery::new(4, 6, &mut StdRng::seed_from_u64(0));
+/// s.update(10, 3);
+/// s.update(99, 7);
+/// assert_eq!(s.decode(), Some(vec![(10, 3), (99, 7)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseRecovery {
+    s: usize,
+    cols: usize,
+    hashes: Vec<PairwiseHash>,
+    /// `cells[row * cols + col]`.
+    cells: Vec<OneSparseRecovery>,
+    /// Whole-vector fingerprint for decode verification.
+    checksum: OneSparseRecovery,
+}
+
+impl SparseRecovery {
+    /// Creates a sketch for sparsity `s` with failure probability
+    /// roughly `2^{-rows}` per decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0` or `rows == 0`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(s: usize, rows: usize, rng: &mut R) -> Self {
+        assert!(s >= 1, "sparsity must be at least 1");
+        assert!(rows >= 1, "need at least one row");
+        let cols = 2 * s;
+        let point = rng.random_range(1..MERSENNE_P);
+        let hashes = (0..rows).map(|_| PairwiseHash::new(rng)).collect();
+        let cells = vec![OneSparseRecovery::with_point(point); rows * cols];
+        Self {
+            s,
+            cols,
+            hashes,
+            cells,
+            checksum: OneSparseRecovery::with_point(point),
+        }
+    }
+
+    /// The sparsity bound `s`.
+    #[must_use]
+    pub fn sparsity(&self) -> usize {
+        self.s
+    }
+
+    /// Applies the update `V[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        // One exponentiation, shared across every touched cell.
+        let r_pow = mersenne_pow(self.checksum.point(), index);
+        self.checksum.update_with_power(index, delta, r_pow);
+        for (row, h) in self.hashes.iter().enumerate() {
+            let col = h.hash_to_range(index, self.cols as u64) as usize;
+            self.cells[row * self.cols + col].update_with_power(index, delta, r_pow);
+        }
+    }
+
+    /// Merges another sketch with identical configuration and
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ (same-randomness violations surface
+    /// as fingerprint-point mismatches inside the cell merge).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.s, other.s, "sparsity mismatch");
+        assert_eq!(self.hashes.len(), other.hashes.len(), "row mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+        self.checksum.merge(&other.checksum);
+    }
+
+    /// Attempts to recover the full support of the sketched vector by
+    /// iterative peeling.
+    ///
+    /// Each round scans the grid for cells that decode as 1-sparse,
+    /// subtracts the recovered coordinates from the working copy (which
+    /// can turn 2-item cells into decodable singletons), and repeats
+    /// until no progress; a residual that is itself 1-sparse is
+    /// recovered straight from the whole-vector checksum. The decode
+    /// succeeds iff the residual checksum is exactly zero, so a returned
+    /// support is correct whp regardless of the input's density; `None`
+    /// means the vector was too dense to peel (or a `≤ 2^{-Θ(rows)}`
+    /// failure on a sparse input).
+    ///
+    /// Returned pairs are sorted by index with exact values.
+    #[must_use]
+    pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        let mut cells = self.cells.clone();
+        let mut checksum = self.checksum.clone();
+        let mut found: Vec<(u64, i64)> = Vec::with_capacity(self.s);
+        // Peeling can legitimately recover somewhat more than s items;
+        // cap the work so dense inputs terminate quickly.
+        let cap = 2 * self.s + 2;
+        loop {
+            let mut newly: Vec<(u64, i64)> = Vec::new();
+            for cell in &cells {
+                if let Recovery::One { index, value } = cell.decode() {
+                    if found.iter().all(|&(i, _)| i != index)
+                        && newly.iter().all(|&(i, _)| i != index)
+                    {
+                        newly.push((index, value));
+                    }
+                }
+            }
+            if newly.is_empty() {
+                // Last resort: a 1-sparse residual is readable from the
+                // checksum itself.
+                if let Recovery::One { index, value } = checksum.decode() {
+                    if found.iter().all(|&(i, _)| i != index) {
+                        newly.push((index, value));
+                    }
+                }
+            }
+            if newly.is_empty() || found.len() + newly.len() > cap {
+                break;
+            }
+            for &(index, value) in &newly {
+                let r_pow = mersenne_pow(checksum.point(), index);
+                checksum.update_with_power(index, -value, r_pow);
+                for (row, h) in self.hashes.iter().enumerate() {
+                    let col = h.hash_to_range(index, self.cols as u64) as usize;
+                    cells[row * self.cols + col].update_with_power(index, -value, r_pow);
+                }
+                found.push((index, value));
+            }
+        }
+        // Verify: the residual checksum must be exactly zero, which
+        // catches both missed coordinates and spurious cell decodes.
+        match checksum.decode() {
+            Recovery::Zero => {
+                found.sort_unstable_by_key(|&(i, _)| i);
+                Some(found)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SpaceUsage for SparseRecovery {
+    fn space_words(&self) -> usize {
+        let cell_words: usize = self.cells.iter().map(SpaceUsage::space_words).sum();
+        // Two words per pairwise hash (a, b) plus the checksum cell.
+        cell_words + 2 * self.hashes.len() + self.checksum.space_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sketch(s: usize, seed: u64) -> SparseRecovery {
+        SparseRecovery::new(s, 6, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn peeling_recovers_despite_total_isolation_failure() {
+        // Regression: with this seed, index 29338 collides with some
+        // other item in every single row; only peeling (or the checksum
+        // residual) can recover it.
+        let support: Vec<(u64, i64)> = vec![
+            (0, 1), (29338, 1), (114051, 1), (244705, 507),
+            (278122, 1), (362791, 1), (496500, 1),
+        ];
+        let mut s = SparseRecovery::new(10, 8, &mut StdRng::seed_from_u64(15496699175210582792));
+        for &(i, v) in &support {
+            s.update(i, v);
+        }
+        assert_eq!(s.decode(), Some(support));
+    }
+
+    #[test]
+    fn empty_decodes_empty() {
+        assert_eq!(sketch(4, 0).decode(), Some(vec![]));
+    }
+
+    #[test]
+    fn recovers_exactly_s_items() {
+        let mut s = sketch(5, 1);
+        let items = [(10u64, 3i64), (20, 1), (30, 4), (40, 1), (50, 5)];
+        for &(i, v) in &items {
+            s.update(i, v);
+        }
+        assert_eq!(s.decode(), Some(items.to_vec()));
+    }
+
+    #[test]
+    fn recovers_after_cancellations() {
+        let mut s = sketch(3, 2);
+        s.update(1, 5);
+        s.update(2, 5);
+        s.update(3, 5);
+        s.update(4, 5);
+        s.update(5, 5); // five non-zeros: too dense for s = 3
+        s.update(1, -5);
+        s.update(2, -5); // back down to three
+        assert_eq!(s.decode(), Some(vec![(3, 5), (4, 5), (5, 5)]));
+    }
+
+    #[test]
+    fn too_dense_returns_none() {
+        let mut s = sketch(2, 3);
+        for i in 0..100u64 {
+            s.update(i, 1);
+        }
+        assert_eq!(s.decode(), None);
+    }
+
+    #[test]
+    fn split_values_accumulate() {
+        let mut s = sketch(2, 4);
+        for _ in 0..10 {
+            s.update(77, 2);
+            s.update(99, 3);
+        }
+        assert_eq!(s.decode(), Some(vec![(77, 20), (99, 30)]));
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a0 = SparseRecovery::new(4, 6, &mut rng);
+        let mut a = a0.clone();
+        let mut b = a0.clone();
+        a.update(1, 1);
+        a.update(2, 2);
+        b.update(2, 3);
+        b.update(9, 9);
+        a.merge(&b);
+        assert_eq!(a.decode(), Some(vec![(1, 1), (2, 5), (9, 9)]));
+    }
+
+    #[test]
+    fn decode_success_rate_for_sparse_inputs() {
+        // ≤ s-sparse inputs should decode with overwhelming probability
+        // across seeds.
+        let mut ok = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut s = sketch(8, seed);
+            for k in 0..8u64 {
+                s.update(k * 1009 + 17, (k + 1) as i64);
+            }
+            if s.decode().is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 2, "only {ok}/{trials} decodes succeeded");
+    }
+
+    #[test]
+    fn dense_inputs_never_misdecode() {
+        // When decode succeeds it must be *correct*; for vectors denser
+        // than s it must return None (fingerprint verification).
+        for seed in 0..100 {
+            let mut s = sketch(3, seed);
+            for i in 0..50u64 {
+                s.update(i * 31 + 1, 1);
+            }
+            assert_eq!(s.decode(), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn space_scales_with_s_and_rows() {
+        use hindex_common::SpaceUsage;
+        let small = SparseRecovery::new(2, 2, &mut StdRng::seed_from_u64(0));
+        let big = SparseRecovery::new(8, 6, &mut StdRng::seed_from_u64(0));
+        assert!(big.space_words() > small.space_words());
+        // 2·s·rows cells of 6 words each, plus hashes and checksum.
+        assert!(big.space_words() >= 8 * 2 * 6 * 6);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_sparse_decode_correct(
+            seed in proptest::num::u64::ANY,
+            support in proptest::collection::btree_map(0u64..1_000_000, 1i64..1000, 0..10),
+        ) {
+            let mut s = SparseRecovery::new(10, 8, &mut StdRng::seed_from_u64(seed));
+            for (&i, &v) in &support {
+                s.update(i, v);
+            }
+            if let Some(decoded) = s.decode() {
+                let expected: Vec<(u64, i64)> = support.into_iter().collect();
+                proptest::prop_assert_eq!(decoded, expected);
+            } else {
+                // Failure is allowed only with tiny probability; flag a
+                // deterministic failure pattern rather than flaking.
+                proptest::prop_assert!(false, "decode failed for ≤ 10-sparse input");
+            }
+        }
+
+        #[test]
+        fn prop_decode_never_wrong_even_when_dense(
+            seed in 0u64..64,
+            n in 11u64..200,
+        ) {
+            let mut s = SparseRecovery::new(4, 6, &mut StdRng::seed_from_u64(seed));
+            for i in 0..n {
+                s.update(i, 1);
+            }
+            // Denser than s: decode must refuse (fingerprint catches it).
+            proptest::prop_assert_eq!(s.decode(), None);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Stream orderings.
+//!
+//! Theorems 5/6 hold for **adversarial** orders; Theorem 9 needs a
+//! **uniformly random** order. The experiment suite exercises both,
+//! plus the structured adversarial orders that are hardest for each
+//! algorithm (e.g. the H-support arriving last starves early counters;
+//! arriving first inflates windows).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How to arrange the elements of an aggregate stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Leave the generator's order untouched.
+    AsIs,
+    /// Uniformly random permutation (the Theorem 9 model).
+    Random,
+    /// Ascending values: the large (H-support) values arrive last.
+    Ascending,
+    /// Descending values: the H-support arrives first.
+    Descending,
+    /// Values `≥ pivot` moved to the end (in original relative order) —
+    /// a targeted adversary that hides the H-support until the stream
+    /// tail.
+    BigLast {
+        /// Values at or above this pivot are deferred.
+        pivot: u64,
+    },
+    /// Values `≥ pivot` moved to the front.
+    BigFirst {
+        /// Values at or above this pivot are promoted.
+        pivot: u64,
+    },
+}
+
+impl StreamOrder {
+    /// Applies the ordering to a vector of aggregate values in place.
+    pub fn apply<R: Rng + ?Sized>(self, values: &mut Vec<u64>, rng: &mut R) {
+        match self {
+            StreamOrder::AsIs => {}
+            StreamOrder::Random => values.shuffle(rng),
+            StreamOrder::Ascending => values.sort_unstable(),
+            StreamOrder::Descending => values.sort_unstable_by(|a, b| b.cmp(a)),
+            StreamOrder::BigLast { pivot } => {
+                let (small, big): (Vec<u64>, Vec<u64>) =
+                    values.iter().partition(|&&v| v < pivot);
+                values.clear();
+                values.extend(small);
+                values.extend(big);
+            }
+            StreamOrder::BigFirst { pivot } => {
+                let (big, small): (Vec<u64>, Vec<u64>) =
+                    values.iter().partition(|&&v| v >= pivot);
+                values.clear();
+                values.extend(big);
+                values.extend(small);
+            }
+        }
+    }
+
+    /// Convenience: returns a reordered copy.
+    #[must_use]
+    pub fn applied<R: Rng + ?Sized>(self, values: &[u64], rng: &mut R) -> Vec<u64> {
+        let mut v = values.to_vec();
+        self.apply(&mut v, rng);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Vec<u64> {
+        vec![5, 1, 9, 3, 9, 0, 2, 7]
+    }
+
+    #[test]
+    fn as_is_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(StreamOrder::AsIs.applied(&sample(), &mut rng), sample());
+    }
+
+    #[test]
+    fn sorts_sort() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let asc = StreamOrder::Ascending.applied(&sample(), &mut rng);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let desc = StreamOrder::Descending.applied(&sample(), &mut rng);
+        assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn random_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shuffled = StreamOrder::Random.applied(&sample(), &mut rng);
+        let mut a = shuffled.clone();
+        let mut b = sample();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn big_last_defers_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = StreamOrder::BigLast { pivot: 5 }.applied(&sample(), &mut rng);
+        assert_eq!(v, vec![1, 3, 0, 2, 5, 9, 9, 7]);
+    }
+
+    #[test]
+    fn big_first_promotes_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = StreamOrder::BigFirst { pivot: 5 }.applied(&sample(), &mut rng);
+        assert_eq!(v, vec![5, 9, 9, 7, 1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn orderings_preserve_multiset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for order in [
+            StreamOrder::AsIs,
+            StreamOrder::Random,
+            StreamOrder::Ascending,
+            StreamOrder::Descending,
+            StreamOrder::BigLast { pivot: 4 },
+            StreamOrder::BigFirst { pivot: 4 },
+        ] {
+            let out = order.applied(&sample(), &mut rng);
+            let mut a = out.clone();
+            let mut b = sample();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{order:?}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_multiset_invariant(
+            values in proptest::collection::vec(0u64..100, 0..200),
+            pivot in 0u64..100,
+            seed in proptest::num::u64::ANY,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for order in [
+                StreamOrder::Random,
+                StreamOrder::Ascending,
+                StreamOrder::BigLast { pivot },
+                StreamOrder::BigFirst { pivot },
+            ] {
+                let out = order.applied(&values, &mut rng);
+                let mut a = out.clone();
+                let mut b = values.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                proptest::prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Corpus and stream persistence: a plain-text trace format.
+//!
+//! Experiments and the CLI exchange workloads as files; this module
+//! defines the (human-readable, diff-able) format and its round-trip
+//! parsers. No serialization crates — the format is three whitespace
+//! columns:
+//!
+//! ```text
+//! # hindex-corpus v1
+//! # paper  authors(comma-separated)  citations
+//! 0  17        42
+//! 1  17,23     7
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored on read.
+
+use crate::corpus::Corpus;
+use crate::model::Paper;
+use std::fmt::Write as FmtWrite;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// The header written at the top of every corpus trace.
+pub const HEADER: &str = "# hindex-corpus v1";
+
+/// Serializes a corpus to the trace format.
+#[must_use]
+pub fn corpus_to_string(corpus: &Corpus) -> String {
+    let mut out = String::with_capacity(corpus.len() * 16 + 64);
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "# paper authors citations");
+    for p in corpus.papers() {
+        let authors: Vec<String> = p.authors.iter().map(|a| a.0.to_string()).collect();
+        let _ = writeln!(out, "{} {} {}", p.id.0, authors.join(","), p.citations);
+    }
+    out
+}
+
+/// Writes a corpus trace to any sink.
+///
+/// # Errors
+///
+/// Propagates I/O errors as strings.
+pub fn write_corpus(corpus: &Corpus, sink: &mut dyn Write) -> Result<(), String> {
+    sink.write_all(corpus_to_string(corpus).as_bytes())
+        .map_err(|e| format!("write failed: {e}"))
+}
+
+/// Reads a corpus trace.
+///
+/// # Errors
+///
+/// Reports the offending line number for malformed records.
+pub fn read_corpus(source: &mut dyn Read) -> Result<Corpus, String> {
+    let mut corpus = Corpus::new();
+    for (no, line) in BufReader::new(source).lines().enumerate() {
+        let line = line.map_err(|e| format!("read failed on line {}: {e}", no + 1))?;
+        let meaningful = line.split('#').next().unwrap_or("").trim();
+        if meaningful.is_empty() {
+            continue;
+        }
+        let mut parts = meaningful.split_whitespace();
+        let bad = || format!("line {}: expected `paper authors citations`, got `{line}`", no + 1);
+        let paper: u64 = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        let authors_field = parts.next().ok_or_else(bad)?;
+        let citations: u64 = parts.next().and_then(|x| x.parse().ok()).ok_or_else(bad)?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", no + 1));
+        }
+        let authors: Result<Vec<u64>, String> = authors_field
+            .split(',')
+            .map(|a| {
+                a.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad author id `{a}`", no + 1))
+            })
+            .collect();
+        corpus.push(Paper::with_authors(paper, &authors?, citations));
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::planted_heavy_hitters;
+    use crate::model::AuthorId;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let corpus = planted_heavy_hitters(&[20, 10], 15, 3, 4, 7);
+        let text = corpus_to_string(&corpus);
+        let mut cursor = std::io::Cursor::new(text.into_bytes());
+        let back = read_corpus(&mut cursor).unwrap();
+        assert_eq!(corpus.papers(), back.papers());
+    }
+
+    #[test]
+    fn roundtrip_ground_truth_identical() {
+        let corpus = planted_heavy_hitters(&[30], 40, 4, 3, 9);
+        let mut cursor = std::io::Cursor::new(corpus_to_string(&corpus).into_bytes());
+        let back = read_corpus(&mut cursor).unwrap();
+        let (a, b) = (corpus.ground_truth(), back.ground_truth());
+        assert_eq!(a.per_author, b.per_author);
+        assert_eq!(a.combined_h, b.combined_h);
+        assert_eq!(a.total_citations, b.total_citations);
+    }
+
+    #[test]
+    fn multi_author_roundtrip() {
+        let mut corpus = Corpus::new();
+        corpus.push(Paper::with_authors(0, &[5, 9, 12], 77));
+        let mut cursor = std::io::Cursor::new(corpus_to_string(&corpus).into_bytes());
+        let back = read_corpus(&mut cursor).unwrap();
+        assert_eq!(
+            back.papers()[0].authors,
+            vec![AuthorId(5), AuthorId(9), AuthorId(12)]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\n0 1 5\n# mid\n1 1 3  # trailing\n";
+        let mut cursor = std::io::Cursor::new(text.as_bytes().to_vec());
+        let corpus = read_corpus(&mut cursor).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.papers()[1].citations, 3);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1 5\nbogus line here extra\n";
+        let mut cursor = std::io::Cursor::new(text.as_bytes().to_vec());
+        let err = read_corpus(&mut cursor).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_corpus_roundtrip() {
+        let mut cursor = std::io::Cursor::new(corpus_to_string(&Corpus::new()).into_bytes());
+        assert!(read_corpus(&mut cursor).unwrap().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_roundtrip(
+            papers in proptest::collection::vec(
+                (0u64..1_000_000, proptest::collection::vec(0u64..10_000, 1..4), 0u64..100_000),
+                0..50,
+            ),
+        ) {
+            let mut corpus = Corpus::new();
+            for (id, mut authors, c) in papers {
+                authors.sort_unstable();
+                authors.dedup();
+                corpus.push(Paper::with_authors(id, &authors, c));
+            }
+            let mut cursor = std::io::Cursor::new(corpus_to_string(&corpus).into_bytes());
+            let back = read_corpus(&mut cursor).unwrap();
+            proptest::prop_assert_eq!(corpus.papers(), back.papers());
+        }
+    }
+}

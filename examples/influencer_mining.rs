@@ -1,0 +1,94 @@
+//! Influencer-mining scenario: §4 of the paper.
+//!
+//! A platform streams papers/posts from *many* authors and wants the
+//! users whose H-index is an ε fraction of the total H-impact — without
+//! a per-author table. Algorithm 8 hashes authors into buckets, runs
+//! the 1-heavy-hitter detector (Algorithm 7) per bucket, and decodes.
+//!
+//! The example also shows why classical heavy hitters are not enough:
+//! ranking authors by *total citations* (CountMin) surfaces one-hit
+//! wonders, not high-H-index authors.
+//!
+//! ```sh
+//! cargo run --release --example influencer_mining
+//! ```
+
+use hindex::prelude::*;
+use hindex_baseline::AuthorTable;
+use hindex_common::SpaceUsage;
+use hindex_sketch::CountMin;
+use hindex_stream::generator::planted_heavy_hitters;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Three planted influencers (h = 70, 55, 45) in a sea of 100 light
+    // authors, plus one "one-hit wonder" author: a single paper with a
+    // giant citation count but h = 1.
+    let mut corpus = planted_heavy_hitters(&[70, 55, 45], 100, 5, 3, 2024);
+    let one_hit_author = 200u64;
+    let next_id = corpus.len() as u64;
+    corpus.push(hindex_stream::Paper::solo(next_id, one_hit_author, 1_000_000));
+
+    let truth = corpus.ground_truth();
+    let eps = 0.1;
+    println!(
+        "authors: {}, papers: {}, total H-impact: {}",
+        truth.per_author.len(),
+        corpus.len(),
+        truth.total_h_impact
+    );
+    println!("ground-truth ε-heavy authors (ε = {eps}):");
+    for (a, h) in truth.heavy_hitters(eps) {
+        println!("  {a}: h = {h}");
+    }
+
+    // --- The paper's sketch ---
+    let mut rng = StdRng::seed_from_u64(1);
+    let params = HeavyHittersParams::new(
+        Epsilon::new(eps).unwrap(),
+        Delta::new(0.05).unwrap(),
+    );
+    let mut hh = HeavyHitters::new(params, &mut rng);
+    for p in corpus.papers() {
+        hh.push(p);
+    }
+    println!("\nAlgorithm 8 candidates ({} words):", hh.space_words());
+    for c in hh.decode() {
+        println!(
+            "  {}: ĥ = {} (certified in {} rows)",
+            c.author, c.h_estimate, c.rows_found
+        );
+    }
+
+    // --- Exact baseline for comparison ---
+    let mut table = AuthorTable::new();
+    for p in corpus.papers() {
+        table.push(p);
+    }
+    println!(
+        "\nexact per-author table would use {} words for {} authors",
+        table.space_words(),
+        table.num_authors()
+    );
+
+    // --- Why citation-count heavy hitters are the wrong tool ---
+    let mut cm = CountMin::for_guarantee(0.01, 0.05, &mut rng);
+    for p in corpus.papers() {
+        for a in &p.authors {
+            cm.add(a.0, p.citations);
+        }
+    }
+    let mut by_volume: Vec<(u64, u64)> = truth
+        .per_author
+        .keys()
+        .map(|a| (a.0, cm.query(a.0)))
+        .collect();
+    by_volume.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+    println!("\ntop-3 authors by CountMin citation volume:");
+    for &(a, v) in by_volume.iter().take(3) {
+        let h = truth.per_author[&AuthorId(a)];
+        println!("  a{a}: ≈{v} citations, but h = {h}");
+    }
+    println!("→ the one-hit wonder tops the volume ranking; Algorithm 8 ignores it.");
+}

@@ -1,0 +1,93 @@
+//! Live-platform scenario: the extensions working together.
+//!
+//! A content platform wants, per creator and in real time:
+//!
+//! 1. *current* impact — the H-index of their most recent posts only
+//!    ([`SlidingHIndex`]), so stale hits age out;
+//! 2. impact under *retractions* — unlikes and deleted reactions
+//!    ([`TurnstileHIndex`]), where the estimate can go down;
+//! 3. a watchlist of named creators tracked cheaply over the shared
+//!    firehose ([`TrackedAuthorsAggregate`]).
+//!
+//! ```sh
+//! cargo run --release --example live_platform
+//! ```
+
+use hindex::prelude::*;
+use hindex_common::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // ---------- 1. Recency: sliding-window H-index ----------
+    println!("== sliding window: a creator whose hot streak ends ==");
+    let window = 500u64;
+    let mut sliding = SlidingHIndex::new(Epsilon::new(0.15).unwrap(), window, 0.05);
+    // 1 000 strong posts, then 1 000 duds.
+    for i in 0..2_000u64 {
+        let reactions = if i < 1_000 {
+            rng.random_range(100..2_000)
+        } else {
+            rng.random_range(0..5)
+        };
+        sliding.push(reactions);
+        if i % 400 == 399 {
+            println!(
+                "  after {:>4} posts: windowed h ≈ {:>3}  ({} words)",
+                i + 1,
+                sliding.estimate(),
+                sliding.space_words()
+            );
+        }
+    }
+    println!("  → the windowed index collapses once the streak leaves the last {window} posts\n");
+
+    // ---------- 2. Retractions: turnstile H-index ----------
+    println!("== turnstile: a scandal triggers mass unlikes ==");
+    let mut turnstile = TurnstileHIndex::new(
+        Epsilon::new(0.25).unwrap(),
+        Delta::new(0.1).unwrap(),
+        &mut rng,
+    );
+    for post in 0..60u64 {
+        turnstile.update(post, 80); // 60 posts × 80 reactions: h = 60
+    }
+    println!("  before: h ≈ {}", turnstile.estimate());
+    for post in 0..40u64 {
+        turnstile.update(post, -80); // 40 posts fully unliked
+    }
+    println!("  after mass retraction: h ≈ {} (truth: 20)", turnstile.estimate());
+    println!("  → no cash-register algorithm can report a decrease; the turnstile sketch does\n");
+
+    // ---------- 3. Watchlist: tracked authors ----------
+    println!("== watchlist: three named creators over the shared firehose ==");
+    let watch = [AuthorId(11), AuthorId(22), AuthorId(33)];
+    let mut tracked = TrackedAuthorsAggregate::new(&watch, Epsilon::new(0.1).unwrap());
+    // Firehose: 5 000 posts from 100 creators; the watched three have
+    // planted profiles.
+    let corpus = hindex_stream::generator::planted_heavy_hitters(&[45, 30, 15], 97, 5, 4, 9);
+    for p in corpus.papers() {
+        // Remap planted authors 0/1/2 onto the watchlist ids.
+        let mapped: Vec<u64> = p
+            .authors
+            .iter()
+            .map(|a| match a.0 {
+                0 => 11,
+                1 => 22,
+                2 => 33,
+                other => other + 100,
+            })
+            .collect();
+        tracked.push(&Paper::with_authors(p.id.0, &mapped, p.citations));
+    }
+    for (author, h) in tracked.leaderboard() {
+        println!("  {author}: h ≈ {h}");
+    }
+    println!(
+        "  → {} words total for the watchlist ({} per creator)",
+        tracked.space_words(),
+        tracked.space_words() / watch.len()
+    );
+}

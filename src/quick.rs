@@ -1,0 +1,128 @@
+//! One-call conveniences for the common cases.
+//!
+//! The full API (crate `hindex_core`) exposes every knob; these helpers
+//! cover the "just give me the number" path with sensible defaults and
+//! a single function call each.
+
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Result};
+use hindex_core::{
+    CashRegisterHIndex, CashRegisterParams, HeavyHitterCandidate, HeavyHitters,
+    HeavyHittersParams, ShiftingWindow,
+};
+use hindex_stream::Paper;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(1−ε)`-approximate H-index of an aggregate stream in
+/// `O(ε⁻¹ log ε⁻¹)` words (Algorithm 2 with defaults).
+///
+/// ```
+/// let counts = [10u64, 8, 5, 4, 3]; // true h = 4
+/// let h = hindex::quick::h_index_stream(counts, 0.1).unwrap();
+/// assert!(h == 3 || h == 4);
+/// ```
+///
+/// # Errors
+///
+/// Invalid `epsilon`.
+pub fn h_index_stream<I: IntoIterator<Item = u64>>(values: I, epsilon: f64) -> Result<u64> {
+    let mut est = ShiftingWindow::new(Epsilon::new(epsilon)?);
+    est.extend_from(values);
+    Ok(est.estimate())
+}
+
+/// H-index estimate from a cash-register update stream
+/// (`(paper, delta)` pairs), additive guarantee `±ε·D` with
+/// probability `1 − δ` (Algorithm 6 with defaults; deterministic given
+/// `seed`).
+///
+/// ```
+/// // 20 papers × 25 citations each, delivered as updates: h = 20.
+/// let updates: Vec<(u64, u64)> = (0..20u64).flat_map(|p| (0..5).map(move |_| (p, 5))).collect();
+/// let h = hindex::quick::h_index_updates(updates, 0.25, 0.1, 7).unwrap();
+/// assert!((14..=26).contains(&h));
+/// ```
+///
+/// # Errors
+///
+/// Invalid `epsilon` or `delta`.
+pub fn h_index_updates<I: IntoIterator<Item = (u64, u64)>>(
+    updates: I,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<u64> {
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(epsilon)?,
+        delta: Delta::new(delta)?,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut est = CashRegisterHIndex::new(params, &mut rng);
+    for (paper, d) in updates {
+        est.update(paper, d);
+    }
+    Ok(est.estimate())
+}
+
+/// The ε-heavy H-index authors of a paper stream (Algorithm 8 with
+/// defaults; deterministic given `seed`).
+///
+/// ```
+/// use hindex_stream::Paper;
+/// let mut papers: Vec<Paper> = (0..40).map(|i| Paper::solo(i, 7, 50)).collect();
+/// papers.extend((40..60).map(|i| Paper::solo(i, i, 1)));
+/// let heavy = hindex::quick::heavy_hitters(&papers, 0.25, 0.1, 3).unwrap();
+/// assert_eq!(heavy[0].author.0, 7);
+/// ```
+///
+/// # Errors
+///
+/// Invalid `epsilon` or `delta`.
+pub fn heavy_hitters(
+    papers: &[Paper],
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<Vec<HeavyHitterCandidate>> {
+    let params = HeavyHittersParams::new(Epsilon::new(epsilon)?, Delta::new(delta)?);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hh = HeavyHitters::new(params, &mut rng);
+    for p in papers {
+        hh.push(p);
+    }
+    Ok(hh.decode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hindex_common::h_index;
+
+    #[test]
+    fn stream_helper_respects_guarantee() {
+        let values: Vec<u64> = (1..=1000).collect();
+        let truth = h_index(&values);
+        let got = h_index_stream(values, 0.1).unwrap();
+        assert!(got <= truth && got as f64 >= 0.9 * truth as f64);
+    }
+
+    #[test]
+    fn stream_helper_rejects_bad_epsilon() {
+        assert!(h_index_stream([1u64, 2], 1.5).is_err());
+    }
+
+    #[test]
+    fn updates_helper_deterministic_by_seed() {
+        let updates: Vec<(u64, u64)> = (0..30u64).map(|p| (p, 40)).collect();
+        let a = h_index_updates(updates.clone(), 0.3, 0.2, 11).unwrap();
+        let b = h_index_updates(updates, 0.3, 0.2, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_hitters_helper_finds_planted() {
+        let corpus = hindex_stream::generator::planted_heavy_hitters(&[60], 30, 3, 2, 5);
+        let out = heavy_hitters(corpus.papers(), 0.2, 0.1, 1).unwrap();
+        assert!(out.iter().any(|c| c.author.0 == 0));
+    }
+}

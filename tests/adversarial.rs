@@ -1,0 +1,259 @@
+//! Adversarial and pathological inputs against every estimator.
+//!
+//! The deterministic algorithms must survive *any* input; the
+//! randomized ones must survive any input *distribution* (their
+//! randomness is internal). These tests throw the worst shapes we know
+//! at each.
+
+use hindex::prelude::*;
+use hindex_common::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eps(e: f64) -> Epsilon {
+    Epsilon::new(e).unwrap()
+}
+
+fn assert_sandwich(name: &str, values: &[u64], e: f64) {
+    let truth = h_index(values);
+    let mut hist = ExponentialHistogram::new(eps(e));
+    let mut win = ShiftingWindow::new(eps(e));
+    hist.extend_from(values.iter().copied());
+    win.extend_from(values.iter().copied());
+    for (alg, got) in [("hist", hist.estimate()), ("window", win.estimate())] {
+        assert!(got <= truth, "{name}/{alg}: over ({got} > {truth})");
+        assert!(
+            got as f64 >= (1.0 - e) * truth as f64,
+            "{name}/{alg}: under ({got} < (1-{e})·{truth})"
+        );
+    }
+}
+
+#[test]
+fn single_element_streams() {
+    for v in [0u64, 1, 2, u64::MAX] {
+        assert_sandwich("single", &[v], 0.1);
+    }
+}
+
+#[test]
+fn all_identical_values() {
+    for v in [1u64, 7, 1_000_000] {
+        for n in [1usize, 10, 1000] {
+            assert_sandwich("identical", &vec![v; n], 0.15);
+        }
+    }
+}
+
+#[test]
+fn extreme_values_mixed_with_zeros() {
+    let mut values = vec![u64::MAX; 100];
+    values.extend(vec![0u64; 10_000]);
+    assert_sandwich("max-and-zero", &values, 0.1);
+}
+
+#[test]
+fn sawtooth_and_alternating() {
+    let sawtooth: Vec<u64> = (0..5000u64).map(|i| i % 100).collect();
+    assert_sandwich("sawtooth", &sawtooth, 0.1);
+    let alternating: Vec<u64> = (0..5000u64).map(|i| if i % 2 == 0 { 1 } else { 1_000 }).collect();
+    assert_sandwich("alternating", &alternating, 0.1);
+}
+
+#[test]
+fn h_exactly_on_grid_boundaries() {
+    // Plant h* at integer grid thresholds of the ε = 0.25 grid (the
+    // exact values where ceil/level arithmetic is touchiest).
+    let e = 0.25;
+    let grid = hindex_common::ExpGrid::new(e);
+    for level in 3..20u32 {
+        let h = grid.int_threshold(level);
+        let corpus = hindex_stream::generator::planted_h_corpus(h, (3 * h) as usize, level as u64);
+        assert_sandwich("grid-boundary", &corpus.citation_counts(), e);
+    }
+}
+
+#[test]
+fn off_by_one_around_thresholds() {
+    // h*, h*±1 around a few grid points: the estimate must track within
+    // the band for each.
+    let e = 0.2;
+    for base in [47u64, 100, 333] {
+        for h in [base - 1, base, base + 1] {
+            let corpus = hindex_stream::generator::planted_h_corpus(h, (2 * h) as usize, h);
+            assert_sandwich("off-by-one", &corpus.citation_counts(), e);
+        }
+    }
+}
+
+#[test]
+fn shifting_window_survives_bursts_of_giants() {
+    // Giant values interleaved with dust — repeatedly forces the
+    // shifting cascade through many levels at once.
+    let mut values = Vec::new();
+    for round in 1..=50u64 {
+        values.extend(vec![round * 1_000_000; 20]);
+        values.extend(vec![1u64; 100]);
+    }
+    assert_sandwich("giant-bursts", &values, 0.1);
+}
+
+#[test]
+fn streaming_g_index_pathologies() {
+    use hindex_common::variants::g_index;
+    // One enormous value (g capped by n), then many tiny ones.
+    let mut values = vec![1_000_000u64];
+    values.extend(vec![1u64; 500]);
+    let truth = g_index(&values);
+    let mut est = StreamingGIndex::new(eps(0.1));
+    est.extend_from(values.iter().copied());
+    let got = est.estimate();
+    assert!(got <= truth);
+    assert!(got as f64 >= 0.7 * truth as f64, "got {got} truth {truth}");
+}
+
+#[test]
+fn cash_register_adversarial_update_orders() {
+    // The same multiset of updates in three hostile orders: per-paper
+    // contiguous, round-robin, and strictly interleaved by delta size.
+    let params = CashRegisterParams::Additive {
+        epsilon: eps(0.25),
+        delta: Delta::new(0.1).unwrap(),
+    };
+    let n_papers = 40u64;
+    let per_paper = 30u64; // h* = 30... all papers get 30 → h = 40? #≥40 = 0... h = 30.
+    let make_updates = |order: u8| -> Vec<(u64, u64)> {
+        let mut u = Vec::new();
+        match order {
+            0 => {
+                for p in 0..n_papers {
+                    for _ in 0..per_paper {
+                        u.push((p, 1));
+                    }
+                }
+            }
+            1 => {
+                for _ in 0..per_paper {
+                    for p in 0..n_papers {
+                        u.push((p, 1));
+                    }
+                }
+            }
+            _ => {
+                for p in 0..n_papers {
+                    u.push((p, per_paper)); // one burst each
+                }
+            }
+        }
+        u
+    };
+    let truth = {
+        let values = vec![per_paper; n_papers as usize];
+        h_index(&values)
+    };
+    for order in 0..3u8 {
+        let mut ok = 0;
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut est = CashRegisterHIndex::new(params, &mut rng);
+            for &(p, d) in &make_updates(order) {
+                est.update(p, d);
+            }
+            let got = est.estimate();
+            if (got as f64 - truth as f64).abs() <= 0.25 * n_papers as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 4, "order {order}: only {ok}/5 within bound");
+    }
+}
+
+#[test]
+fn heavy_hitters_with_zero_citation_flood() {
+    // An author publishing a flood of never-cited papers must not be
+    // reported, and must not crowd out the real heavy hitter.
+    let mut corpus = Corpus::new();
+    for i in 0..60u64 {
+        corpus.push(Paper::solo(i, 0, 80)); // the real one, h = 60
+    }
+    for i in 60..5060u64 {
+        corpus.push(Paper::solo(i, 1, 0)); // the flooder
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut hh = HeavyHitters::new(
+        HeavyHittersParams::new(eps(0.2), Delta::new(0.1).unwrap()),
+        &mut rng,
+    );
+    for p in corpus.papers() {
+        hh.push(p);
+    }
+    let out = hh.decode();
+    assert!(out.iter().any(|c| c.author == AuthorId(0)), "real HH missed");
+    assert!(
+        out.iter().all(|c| c.author != AuthorId(1)),
+        "zero-citation flooder reported"
+    );
+}
+
+#[test]
+fn sliding_window_adversarial_expiry_boundary() {
+    // Impact placed exactly at the expiry edge: estimates must fall
+    // once (and only once) the support leaves the window.
+    let w = 100u64;
+    let mut est = SlidingHIndex::new(eps(0.2), w, 0.05);
+    for _ in 0..100 {
+        est.push(500);
+    }
+    assert!(est.estimate() >= 70);
+    // 99 junk items: one support element still inside the window.
+    for _ in 0..99 {
+        est.push(0);
+    }
+    let nearly = est.estimate();
+    assert!(nearly <= 5, "stale impact lingers: {nearly}");
+    est.push(0);
+    assert_eq!(est.estimate(), 0);
+}
+
+#[test]
+fn estimators_never_panic_on_fuzzed_inputs() {
+    // Quick fuzz: byte-derived values through every aggregate estimator.
+    let mut rng = StdRng::seed_from_u64(4);
+    for case in 0..50u64 {
+        use rand::Rng as _;
+        let len = rng.random_range(0..300);
+        let values: Vec<u64> = (0..len)
+            .map(|_| {
+                let shape: u8 = rng.random_range(0..4);
+                match shape {
+                    0 => rng.random_range(0..10),
+                    1 => rng.random_range(0..1_000_000),
+                    2 => u64::from(u32::MAX),
+                    _ => 1 << rng.random_range(0..60),
+                }
+            })
+            .collect();
+        let mut hist = ExponentialHistogram::new(eps(0.3));
+        let mut win = ShiftingWindow::new(eps(0.3));
+        let mut g = StreamingGIndex::new(eps(0.3));
+        let mut a = StreamingAlphaIndex::new(eps(0.3), 2.5);
+        let mut s = SlidingHIndex::new(eps(0.3), 64, 0.1);
+        for &v in &values {
+            hist.push(v);
+            win.push(v);
+            g.push(v);
+            a.push(v);
+            s.push(v);
+        }
+        // Touch every estimate and space path.
+        let _ = (
+            hist.estimate(),
+            win.estimate(),
+            g.estimate(),
+            a.estimate(),
+            s.estimate(),
+            hist.space_words() + win.space_words() + s.space_words(),
+            case,
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the aggregate-model pipeline: corpus generation
+//! → stream ordering → every aggregate estimator → theorem guarantee
+//! checks against exact ground truth.
+
+use hindex::prelude::*;
+use hindex_baseline::FullStore;
+use hindex_common::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn zipf_corpus(n: u64, seed: u64) -> Vec<u64> {
+    CorpusGenerator {
+        n_authors: 1,
+        productivity: ProductivityDist::Constant(n),
+        citations: CitationDist::Zipf { exponent: 2.0, max: 1_000_000 },
+        max_coauthors: 1,
+        seed,
+    }
+    .generate()
+    .citation_counts()
+}
+
+#[test]
+fn deterministic_algorithms_hold_under_every_order() {
+    let base = zipf_corpus(20_000, 1);
+    let truth = h_index(&base);
+    let eps = 0.1;
+    let mut rng = StdRng::seed_from_u64(2);
+    let orders = [
+        StreamOrder::AsIs,
+        StreamOrder::Random,
+        StreamOrder::Ascending,
+        StreamOrder::Descending,
+        StreamOrder::BigLast { pivot: truth },
+        StreamOrder::BigFirst { pivot: truth },
+    ];
+    for order in orders {
+        let values = order.applied(&base, &mut rng);
+        let mut hist = ExponentialHistogram::new(Epsilon::new(eps).unwrap());
+        let mut window = ShiftingWindow::new(Epsilon::new(eps).unwrap());
+        hist.extend_from(values.iter().copied());
+        window.extend_from(values.iter().copied());
+        for (name, got) in [("hist", hist.estimate()), ("window", window.estimate())] {
+            assert!(got <= truth, "{name} over-estimated under {order:?}");
+            assert!(
+                got as f64 >= (1.0 - eps) * truth as f64,
+                "{name} under {order:?}: got {got}, truth {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_estimators_agree_with_full_store() {
+    let values = zipf_corpus(5_000, 3);
+    let mut full = FullStore::new();
+    full.extend_from(values.iter().copied());
+    let truth = full.estimate();
+    assert_eq!(truth, h_index(&values));
+
+    let mut heap = IncrementalHIndex::new();
+    for &v in &values {
+        heap.insert(v);
+    }
+    assert_eq!(heap.h_index(), truth);
+}
+
+#[test]
+fn random_order_estimator_on_generated_corpus() {
+    // Zipf citations give modest h*; the capped-window branch answers
+    // and must stay within ε.
+    let mut values = zipf_corpus(30_000, 4);
+    let truth = h_index(&values);
+    let eps = 0.2;
+    let mut rng = StdRng::seed_from_u64(5);
+    StreamOrder::Random.apply(&mut values, &mut rng);
+    let params = RandomOrderParams::new(
+        Epsilon::new(eps).unwrap(),
+        Delta::new(0.05).unwrap(),
+        values.len() as u64,
+    );
+    let mut est = RandomOrderEstimator::new(params);
+    est.extend_from(values.iter().copied());
+    let got = est.estimate();
+    assert!(got <= truth);
+    assert!(
+        got as f64 >= (1.0 - eps) * truth as f64,
+        "got {got}, truth {truth}"
+    );
+}
+
+#[test]
+fn space_ordering_matches_theory_at_scale() {
+    // For a large stream with large h*: store-everything ≫ heap ≫
+    // exp-histogram ≳ shifting-window (which is n-independent).
+    let corpus = hindex_stream::generator::planted_h_corpus(5_000, 50_000, 6);
+    let values = corpus.citation_counts();
+
+    let mut full = FullStore::new();
+    let mut heap = IncrementalHIndex::new();
+    let mut hist = ExponentialHistogram::new(Epsilon::new(0.1).unwrap());
+    let mut window = ShiftingWindow::new(Epsilon::new(0.1).unwrap());
+    for &v in &values {
+        full.push(v);
+        heap.insert(v);
+        hist.push(v);
+        window.push(v);
+    }
+    assert!(full.space_words() > heap.space_words());
+    assert!(heap.space_words() > hist.space_words());
+    assert!(heap.space_words() > window.space_words());
+}
+
+#[test]
+fn growing_stream_estimates_track_truth() {
+    // Interleaved prefix checks: after every chunk, both deterministic
+    // sketches stay within ε of the prefix truth.
+    let values = zipf_corpus(10_000, 7);
+    let eps = 0.15;
+    let mut hist = ExponentialHistogram::new(Epsilon::new(eps).unwrap());
+    let mut window = ShiftingWindow::new(Epsilon::new(eps).unwrap());
+    let mut seen: Vec<u64> = Vec::new();
+    for chunk in values.chunks(1000) {
+        for &v in chunk {
+            hist.push(v);
+            window.push(v);
+            seen.push(v);
+        }
+        let truth = h_index(&seen);
+        for got in [hist.estimate(), window.estimate()] {
+            assert!(got <= truth);
+            assert!(got as f64 >= (1.0 - eps) * truth as f64);
+        }
+    }
+}
+
+#[test]
+fn extensions_track_their_exact_variants() {
+    use hindex_common::variants::{alpha_index, g_index};
+    let values = zipf_corpus(3_000, 8);
+    let eps = 0.1;
+    let mut g = StreamingGIndex::new(Epsilon::new(eps).unwrap());
+    let mut a2 = StreamingAlphaIndex::new(Epsilon::new(eps).unwrap(), 2.0);
+    g.extend_from(values.iter().copied());
+    a2.extend_from(values.iter().copied());
+
+    let g_truth = g_index(&values);
+    let got = g.estimate();
+    assert!(got <= g_truth && got as f64 >= (1.0 - 2.5 * eps) * g_truth as f64);
+
+    let a_truth = alpha_index(&values, 2.0);
+    let got = a2.estimate();
+    assert!(got <= a_truth && got as f64 >= (1.0 - 1.5 * eps) * a_truth as f64 - 1.0);
+}

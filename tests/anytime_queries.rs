@@ -1,0 +1,148 @@
+//! Anytime-query semantics: every estimator must answer correctly at
+//! *any* prefix of the stream, not just at the end — streaming systems
+//! query continuously.
+
+use hindex::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn eps(e: f64) -> Epsilon {
+    Epsilon::new(e).unwrap()
+}
+
+#[test]
+fn deterministic_sketches_valid_at_every_prefix() {
+    let e = 0.2;
+    let mut rng = StdRng::seed_from_u64(1);
+    let values: Vec<u64> = (0..3_000).map(|_| rng.random_range(0..3_000)).collect();
+    let mut hist = ExponentialHistogram::new(eps(e));
+    let mut win = ShiftingWindow::new(eps(e));
+    let mut exact = IncrementalHIndex::new();
+    for &v in &values {
+        hist.push(v);
+        win.push(v);
+        exact.insert(v);
+        let truth = exact.h_index();
+        for (name, got) in [("hist", hist.estimate()), ("win", win.estimate())] {
+            assert!(got <= truth, "{name} over at prefix");
+            assert!(
+                got as f64 >= (1.0 - e) * truth as f64,
+                "{name} under at prefix: {got} vs {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimates_monotone_under_growth() {
+    // H-index is monotone under insertion; both deterministic sketches'
+    // estimates must be too (their counters only grow).
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut hist = ExponentialHistogram::new(eps(0.15));
+    let mut win = ShiftingWindow::new(eps(0.15));
+    let (mut ph, mut pw) = (0u64, 0u64);
+    for _ in 0..5_000 {
+        let v = rng.random_range(0..10_000u64);
+        hist.push(v);
+        win.push(v);
+        let (h, w) = (hist.estimate(), win.estimate());
+        assert!(h >= ph, "histogram estimate decreased");
+        assert!(w >= pw, "window estimate decreased");
+        ph = h;
+        pw = w;
+    }
+}
+
+#[test]
+fn cash_register_queries_mid_stream() {
+    // Query the sketch repeatedly while the stream is in flight; every
+    // answer must respect the additive bound against the prefix truth.
+    use hindex_baseline::CashTable;
+    use hindex_common::CashRegisterEstimator as _;
+    let params = CashRegisterParams::Additive {
+        epsilon: eps(0.25),
+        delta: Delta::new(0.1).unwrap(),
+    };
+    let mut ok_checks = 0;
+    let mut total_checks = 0;
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sketch = CashRegisterHIndex::new(params, &mut rng);
+        let mut exact = CashTable::new();
+        for step in 0..1_500u64 {
+            let paper = step % 60;
+            sketch.update(paper, 1);
+            exact.update(paper, 1);
+            if step % 300 == 299 {
+                total_checks += 1;
+                let truth = exact.estimate();
+                let d = exact.distinct();
+                if (sketch.estimate() as f64 - truth as f64).abs() <= 0.25 * d as f64 + 1.0 {
+                    ok_checks += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        ok_checks * 10 >= total_checks * 9,
+        "mid-stream bound held in only {ok_checks}/{total_checks} checks"
+    );
+}
+
+#[test]
+fn timeline_captures_the_trajectory() {
+    // Combine an estimator with the Timeline recorder and check the
+    // recorded curve against prefix ground truth.
+    let mut est = ShiftingWindow::new(eps(0.1));
+    let mut exact = IncrementalHIndex::new();
+    let mut timeline = Timeline::new(0.3);
+    let values: Vec<u64> = (1..=4_000).collect();
+    let mut truths = Vec::new();
+    for (step, &v) in values.iter().enumerate() {
+        est.push(v);
+        exact.insert(v);
+        timeline.observe(step as u64, est.estimate());
+        truths.push(exact.h_index());
+    }
+    // Spot-check: recorded value within (1+γ)(1−ε)⁻¹-ish of prefix truth.
+    for &step in &[100u64, 500, 1500, 3999] {
+        let recorded = timeline.value_at(step);
+        let truth = truths[step as usize];
+        assert!(recorded <= truth, "step {step}");
+        assert!(
+            (recorded as f64) * 1.3 / 0.9 >= truth as f64,
+            "step {step}: {recorded} vs {truth}"
+        );
+    }
+    use hindex_common::SpaceUsage;
+    assert!(timeline.space_words() < 80);
+}
+
+#[test]
+fn heavy_hitters_queryable_before_end() {
+    use hindex_stream::generator::planted_heavy_hitters;
+    let corpus = planted_heavy_hitters(&[80], 40, 3, 2, 7);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut hh = HeavyHitters::new(
+        HeavyHittersParams::new(eps(0.2), Delta::new(0.1).unwrap()),
+        &mut rng,
+    );
+    let papers = corpus.papers();
+    // Feed two thirds, query, feed the rest, query again.
+    let cut = papers.len() * 2 / 3;
+    for p in &papers[..cut] {
+        hh.push(p);
+    }
+    let early = hh.decode();
+    for p in &papers[cut..] {
+        hh.push(p);
+    }
+    let late = hh.decode();
+    // The planted author's papers are spread throughout; both queries
+    // should find author 0 (the early one against the prefix impact).
+    assert!(late.iter().any(|c| c.author == AuthorId(0)), "final decode missed");
+    assert!(
+        early.iter().any(|c| c.author == AuthorId(0)),
+        "mid-stream decode missed: {early:?}"
+    );
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests of the cash-register pipeline: corpus →
+//! unaggregated update stream → Algorithm 5/6 sketch vs the exact
+//! table baseline.
+
+use hindex::prelude::*;
+use hindex_baseline::CashTable;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_both(
+    corpus: &Corpus,
+    params: CashRegisterParams,
+    max_batch: u64,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sketch = CashRegisterHIndex::new(params, &mut rng);
+    let mut exact = CashTable::new();
+    let updates = Unaggregator { max_batch, shuffle: true }.stream(corpus, &mut rng);
+    for u in &updates {
+        sketch.update(u.paper.0, u.delta);
+        exact.update(u.paper.0, u.delta);
+    }
+    (sketch.estimate(), exact.estimate(), exact.distinct())
+}
+
+#[test]
+fn additive_guarantee_across_seeds() {
+    let corpus = hindex_stream::generator::planted_h_corpus(30, 120, 1);
+    let eps = 0.25;
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(eps).unwrap(),
+        delta: Delta::new(0.1).unwrap(),
+    };
+    let mut ok = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let (got, truth, distinct) = run_both(&corpus, params, 2, seed);
+        assert_eq!(truth, 30);
+        if (got as f64 - truth as f64).abs() <= eps * distinct as f64 {
+            ok += 1;
+        }
+    }
+    assert!(ok >= trials - 1, "additive bound held in only {ok}/{trials} runs");
+}
+
+#[test]
+fn exact_table_matches_aggregate_truth() {
+    // Whatever the batching, replaying the cash stream through the
+    // exact table must reproduce the corpus H-index.
+    let corpus = CorpusGenerator {
+        n_authors: 1,
+        productivity: ProductivityDist::Constant(500),
+        citations: CitationDist::Zipf { exponent: 2.0, max: 10_000 },
+        max_coauthors: 1,
+        seed: 2,
+    }
+    .generate();
+    let truth = h_index(&corpus.citation_counts());
+    for max_batch in [1u64, 3, 10] {
+        let mut rng = StdRng::seed_from_u64(max_batch);
+        let mut exact = CashTable::new();
+        for u in (Unaggregator { max_batch, shuffle: true }).stream(&corpus, &mut rng) {
+            exact.update(u.paper.0, u.delta);
+        }
+        assert_eq!(exact.estimate(), truth, "batch {max_batch}");
+    }
+}
+
+#[test]
+fn batching_does_not_change_the_sketch_answer_scale() {
+    // The sketch sees the same final vector whether citations arrive
+    // one at a time or in bursts; estimates from both runs must agree
+    // up to the guarantee.
+    let corpus = hindex_stream::generator::planted_h_corpus(25, 80, 3);
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.25).unwrap(),
+        delta: Delta::new(0.1).unwrap(),
+    };
+    let (unit, truth, d) = run_both(&corpus, params, 1, 10);
+    let (burst, _, _) = run_both(&corpus, params, 8, 10);
+    let slack = 2.0 * 0.25 * d as f64;
+    assert!(
+        (unit as f64 - burst as f64).abs() <= slack,
+        "unit {unit} vs burst {burst} (truth {truth})"
+    );
+}
+
+#[test]
+fn sampler_values_match_exact_counts() {
+    // Cross-validate the ℓ₀-sampler ensemble against the exact table:
+    // every sampled (paper, count) must be exactly right.
+    let corpus = hindex_stream::generator::planted_h_corpus(20, 60, 4);
+    let mut rng = StdRng::seed_from_u64(11);
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    let mut sketch = CashRegisterHIndex::new(params, &mut rng);
+    let mut exact = CashTable::new();
+    for u in Unaggregator::default().stream(&corpus, &mut rng) {
+        sketch.update(u.paper.0, u.delta);
+        exact.update(u.paper.0, u.delta);
+    }
+    let samples = sketch.draw_samples();
+    assert!(!samples.is_empty());
+    for (paper, count) in samples {
+        assert_eq!(count, exact.count(paper), "paper {paper}");
+    }
+}

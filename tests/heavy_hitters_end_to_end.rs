@@ -1,0 +1,130 @@
+//! End-to-end tests of the heavy-hitter pipeline (§4): planted
+//! corpora → Algorithm 8 → precision/recall against the exact
+//! per-author table.
+
+use hindex::prelude::*;
+use hindex_baseline::AuthorTable;
+use hindex_stream::generator::planted_heavy_hitters;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sketch_on(corpus: &Corpus, eps: f64, seed: u64) -> HeavyHitters {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = HeavyHittersParams::new(
+        Epsilon::new(eps).unwrap(),
+        Delta::new(0.05).unwrap(),
+    );
+    let mut hh = HeavyHitters::new(params, &mut rng);
+    for p in corpus.papers() {
+        hh.push(p);
+    }
+    hh
+}
+
+#[test]
+fn recall_of_ground_truth_heavy_set() {
+    let corpus = planted_heavy_hitters(&[80, 60], 60, 4, 2, 1);
+    let truth = corpus.ground_truth();
+    let eps = 0.2;
+    let expected = truth.heavy_hitters(eps);
+    assert!(!expected.is_empty());
+    let mut perfect = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let hh = sketch_on(&corpus, eps, seed);
+        let out = hh.decode();
+        if expected
+            .iter()
+            .all(|&(a, _)| out.iter().any(|c| c.author == a))
+        {
+            perfect += 1;
+        }
+    }
+    assert!(perfect >= trials - 1, "full recall in only {perfect}/{trials} runs");
+}
+
+#[test]
+fn estimates_within_eps_of_author_truth() {
+    let corpus = planted_heavy_hitters(&[100], 40, 3, 2, 2);
+    let truth = corpus.ground_truth();
+    let eps = 0.2;
+    for seed in 0..5 {
+        let hh = sketch_on(&corpus, eps, seed);
+        if let Some(c) = hh.decode().iter().find(|c| c.author == AuthorId(0)) {
+            let h = truth.per_author[&AuthorId(0)] as f64;
+            assert!(
+                (c.h_estimate as f64) >= (1.0 - 1.5 * eps) * h
+                    && (c.h_estimate as f64) <= (1.0 + 1.5 * eps) * h,
+                "seed {seed}: {} vs {h}",
+                c.h_estimate
+            );
+        } else {
+            panic!("seed {seed}: heavy author not found");
+        }
+    }
+}
+
+#[test]
+fn agrees_with_exact_author_table() {
+    let corpus = planted_heavy_hitters(&[70, 50], 80, 4, 3, 3);
+    let mut table = AuthorTable::new();
+    for p in corpus.papers() {
+        table.push(p);
+    }
+    let eps = 0.2;
+    let exact_heavy = table.heavy_hitters(eps);
+    let hh = sketch_on(&corpus, eps, 9);
+    let out = hh.decode();
+    // Every exact heavy hitter is found…
+    for &(a, _) in &exact_heavy {
+        assert!(out.iter().any(|c| c.author == a), "missed {a}");
+    }
+    // …and nothing wildly light is reported: every reported author's
+    // true H-index clears half the bar (the ε-slack of Theorem 18).
+    let bar = eps * table.total_impact() as f64;
+    for c in &out {
+        let h = table.h_index(c.author) as f64;
+        assert!(h >= bar / 2.0, "{}: true h {h} far below bar {bar}", c.author);
+    }
+}
+
+#[test]
+fn multi_author_papers_flow_through() {
+    // Co-authored papers: both heavy co-authors must be recoverable.
+    let mut corpus = Corpus::new();
+    for i in 0..60u64 {
+        corpus.push(Paper::with_authors(i, &[0, 1], 100));
+    }
+    for i in 60..100u64 {
+        corpus.push(Paper::solo(i, 2 + i, 1));
+    }
+    let hh = sketch_on(&corpus, 0.3, 4);
+    let out = hh.decode_with_threshold(20);
+    // Authors 0 and 1 have identical h = 60; they hash to different
+    // buckets whp and each dominates its own bucket.
+    for a in [0u64, 1] {
+        assert!(
+            out.iter().any(|c| c.author == AuthorId(a)),
+            "author {a} missing from {out:?}"
+        );
+    }
+}
+
+#[test]
+fn one_heavy_hitter_primitive_roundtrip() {
+    // Algorithm 7 standalone over a full corpus stream.
+    let corpus = planted_heavy_hitters(&[90], 10, 2, 2, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut det = OneHeavyHitter::new(Epsilon::new(0.2).unwrap(), 0.05, &mut rng);
+    for p in corpus.papers() {
+        det.push(p);
+    }
+    match det.decode() {
+        OneHeavyHitterOutcome::Author { author, h_estimate } => {
+            assert_eq!(author, AuthorId(0));
+            let h = corpus.ground_truth().per_author[&AuthorId(0)];
+            assert!(h_estimate <= h && h_estimate as f64 >= 0.7 * h as f64);
+        }
+        OneHeavyHitterOutcome::Fail => panic!("dominant author not detected"),
+    }
+}

@@ -1,0 +1,186 @@
+//! Merge semantics: every linear sketch must satisfy
+//! `merge(sketch(A), sketch(B)) ≡ sketch(A ++ B)` — the property that
+//! makes the paper's algorithms usable over sharded/distributed
+//! streams.
+
+use hindex::prelude::*;
+use hindex_sketch::distinct::DistinctCounter;
+use hindex_sketch::{Bjkst, CountMin, L0Sampler, OneSparseRecovery, SparseRecovery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn exponential_histogram_merge_equals_concat() {
+    let eps = Epsilon::new(0.15).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let a_vals: Vec<u64> = (0..5_000).map(|_| rng.random_range(0..10_000)).collect();
+    let b_vals: Vec<u64> = (0..3_000).map(|_| rng.random_range(0..500)).collect();
+
+    let mut a = ExponentialHistogram::new(eps);
+    let mut b = ExponentialHistogram::new(eps);
+    a.extend_from(a_vals.iter().copied());
+    b.extend_from(b_vals.iter().copied());
+    a.merge(&b);
+
+    let mut whole = ExponentialHistogram::new(eps);
+    whole.extend_from(a_vals.iter().copied().chain(b_vals.iter().copied()));
+
+    assert_eq!(a.estimate(), whole.estimate());
+    assert_eq!(a.counters(), whole.counters());
+}
+
+#[test]
+fn exponential_histogram_merge_asymmetric_levels() {
+    // One shard saw only tiny values, the other only huge ones: the
+    // merged level vector must cover the union.
+    let eps = Epsilon::new(0.3).unwrap();
+    let mut small = ExponentialHistogram::new(eps);
+    let mut big = ExponentialHistogram::new(eps);
+    small.extend_from([1u64, 2, 3]);
+    big.extend_from([1_000_000u64; 5]);
+    let mut merged_sb = small.clone();
+    merged_sb.merge(&big);
+    let mut merged_bs = big.clone();
+    merged_bs.merge(&small);
+    assert_eq!(merged_sb.counters(), merged_bs.counters());
+}
+
+#[test]
+fn bjkst_merge_equals_concat_estimate() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let proto = Bjkst::new(0.1, 0.01, &mut rng);
+
+    let mut a = proto.clone();
+    let mut b = proto.clone();
+    let mut whole = proto.clone();
+    for i in 0..30_000u64 {
+        let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        whole.observe(key);
+        if i % 2 == 0 {
+            a.observe(key);
+        } else {
+            b.observe(key);
+        }
+        // Overlap: both shards see some common keys.
+        if i % 10 == 0 {
+            a.observe(key);
+            b.observe(key);
+        }
+    }
+    a.merge(&b);
+    let (m, w) = (a.estimate() as f64, whole.estimate() as f64);
+    // Same randomness, same retained-set semantics: the merged estimate
+    // must be close to the single-stream estimate (levels can round
+    // differently, so allow the ε-band around truth for both).
+    assert!((m - 30_000.0).abs() <= 0.15 * 30_000.0, "merged {m}");
+    assert!((w - 30_000.0).abs() <= 0.15 * 30_000.0, "whole {w}");
+}
+
+#[test]
+fn countmin_merge_adds_counts() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let proto = CountMin::new(64, 4, &mut rng);
+    let mut a = proto.clone();
+    let mut b = proto.clone();
+    for k in 0..50u64 {
+        a.add(k, k + 1);
+        b.add(k, 2 * (k + 1));
+    }
+    a.merge(&b);
+    for k in 0..50u64 {
+        assert!(a.query(k) >= 3 * (k + 1), "key {k}");
+    }
+    assert_eq!(a.total(), 3 * (50 * 51 / 2));
+}
+
+#[test]
+#[should_panic(expected = "share randomness")]
+fn countmin_merge_rejects_foreign_sketch() {
+    let mut a = CountMin::new(64, 4, &mut StdRng::seed_from_u64(3));
+    let b = CountMin::new(64, 4, &mut StdRng::seed_from_u64(4));
+    a.merge(&b);
+}
+
+#[test]
+fn sparse_recovery_merge_with_cross_shard_cancellation() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let proto = SparseRecovery::new(6, 6, &mut rng);
+    let mut a = proto.clone();
+    let mut b = proto.clone();
+    a.update(10, 5);
+    a.update(20, 3);
+    b.update(10, -5); // deletion arrives on the other shard
+    b.update(30, 7);
+    a.merge(&b);
+    assert_eq!(a.decode(), Some(vec![(20, 3), (30, 7)]));
+}
+
+#[test]
+fn one_sparse_merge_linearity() {
+    let mut a = OneSparseRecovery::with_point(777);
+    let mut b = OneSparseRecovery::with_point(777);
+    for i in 0..10 {
+        a.update(42, i);
+        b.update(42, 10 - i);
+    }
+    a.merge(&b);
+    assert_eq!(
+        a.decode(),
+        hindex_sketch::Recovery::One { index: 42, value: 100 }
+    );
+}
+
+#[test]
+fn l0_sampler_merge_sees_both_shards() {
+    let mut found_a_side = false;
+    let mut found_b_side = false;
+    for trial in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(trial + 100);
+        let proto = L0Sampler::with_defaults(&mut rng);
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        for i in 0..20u64 {
+            a.update(i, 1);
+            b.update(1000 + i, 1);
+        }
+        a.merge(&b);
+        match a.sample() {
+            Some((i, 1)) if i < 20 => found_a_side = true,
+            Some((i, 1)) if i >= 1000 => found_b_side = true,
+            Some(other) => panic!("bad sample {other:?}"),
+            None => {}
+        }
+    }
+    assert!(found_a_side && found_b_side, "merge lost a shard");
+}
+
+#[test]
+fn cash_register_sharded_equals_single_stream() {
+    let corpus = hindex_stream::generator::planted_h_corpus(25, 80, 9);
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.25).unwrap(),
+        delta: Delta::new(0.1).unwrap(),
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let proto = CashRegisterHIndex::new(params, &mut rng);
+
+    let updates = Unaggregator::default().stream(&corpus, &mut rng);
+    // Single-stream reference.
+    let mut whole = proto.clone();
+    for u in &updates {
+        whole.update(u.paper.0, u.delta);
+    }
+    // Four shards, round-robin.
+    let mut shards: Vec<CashRegisterHIndex> = (0..4).map(|_| proto.clone()).collect();
+    for (i, u) in updates.iter().enumerate() {
+        shards[i % 4].update(u.paper.0, u.delta);
+    }
+    let mut merged = shards.remove(0);
+    for s in &shards {
+        merged.merge(s);
+    }
+    // Linear sketches: identical randomness + same total updates ⇒
+    // identical internal state ⇒ identical estimates and samples.
+    assert_eq!(merged.estimate(), whole.estimate());
+    assert_eq!(merged.draw_samples(), whole.draw_samples());
+}

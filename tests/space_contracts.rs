@@ -1,0 +1,159 @@
+//! Cross-crate checks that measured space (in words) respects each
+//! theorem's bound — the quantitative heart of the paper.
+
+use hindex::prelude::*;
+use hindex_common::SpaceUsage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 5: `≤ 2 ε⁻¹ ln n` words (values and count both ≤ n).
+#[test]
+fn theorem_5_space_bound() {
+    for (eps, n) in [(0.1, 10_000u64), (0.2, 100_000), (0.5, 1_000_000)] {
+        let mut est = ExponentialHistogram::new(Epsilon::new(eps).unwrap());
+        let mut rng = StdRng::seed_from_u64(n);
+        for _ in 0..n.min(200_000) {
+            est.push(rng.random_range(0..=n));
+        }
+        let bound = 2.0 / eps * (n as f64).ln() + 2.0;
+        assert!(
+            (est.space_words() as f64) <= bound,
+            "eps {eps} n {n}: {} > {bound}",
+            est.space_words()
+        );
+    }
+}
+
+/// Theorem 6: `O(ε⁻¹ log ε⁻¹)` words, *independent of n*.
+#[test]
+fn theorem_6_space_independent_of_n() {
+    for eps in [0.05, 0.1, 0.3] {
+        let words_of = |n: u64| {
+            let mut est = ShiftingWindow::new(Epsilon::new(eps).unwrap());
+            let mut rng = StdRng::seed_from_u64(n);
+            for _ in 0..n {
+                est.push(rng.random_range(0..u64::from(u32::MAX)));
+            }
+            est.space_words()
+        };
+        let small = words_of(1_000);
+        let big = words_of(100_000);
+        assert_eq!(small, big, "eps {eps}: window width changed with n");
+        let bound = 6.0 / eps * (3.0 / eps).log2() + 8.0;
+        assert!((big as f64) <= bound, "eps {eps}: {big} > {bound}");
+    }
+}
+
+/// Theorem 9: the large-regime branch is exactly six words; total space
+/// is six words plus a window whose counters are bounded by β.
+#[test]
+fn theorem_9_constant_space() {
+    let params = RandomOrderParams::new(
+        Epsilon::new(0.2).unwrap(),
+        Delta::new(0.05).unwrap(),
+        1_000_000_000,
+    );
+    let mut est = RandomOrderEstimator::new(params);
+    let before = est.space_words();
+    let mut rng = StdRng::seed_from_u64(0);
+    for _ in 0..100_000u64 {
+        est.push(rng.random_range(0..1_000_000));
+    }
+    // Space never grows with the stream.
+    assert_eq!(est.space_words(), before);
+}
+
+/// Theorem 14: sampler count (and hence space) is
+/// `poly(1/ε, log(1/δ))`, independent of the stream length.
+#[test]
+fn theorem_14_space_stream_independent() {
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.1).unwrap(),
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut est = CashRegisterHIndex::new(params, &mut rng);
+    let empty_words = est.space_words();
+    for i in 0..20_000u64 {
+        est.update(i % 500, 1);
+    }
+    let full_words = est.space_words();
+    // Linear sketches: size fixed at construction up to the BJKST
+    // buffers, which are capped by 1/ε² per copy.
+    assert!(
+        full_words <= empty_words + 100_000,
+        "cash sketch grew unboundedly: {empty_words} → {full_words}"
+    );
+
+    // Sampler count formula.
+    assert_eq!(
+        params.num_samplers(),
+        (3.0 / (0.3 * 0.3) * (2.0f64 / 0.1).ln()).ceil() as usize
+    );
+}
+
+/// Theorem 17: Algorithm 7 keeps `O(levels · s)` sampled author lists
+/// and one counter per level — logarithmic in the citation range.
+#[test]
+fn theorem_17_space_logarithmic() {
+    let corpus = hindex_stream::generator::planted_heavy_hitters(&[50], 50, 10, 9, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut det = OneHeavyHitter::new(Epsilon::new(0.2).unwrap(), 0.05, &mut rng);
+    for p in corpus.papers() {
+        det.push(p);
+    }
+    let s = det.sample_size();
+    // levels ≈ log_{1.2}(150) ≈ 28; each retained sample ≤ 2 words here.
+    let bound = 40 * (3 * s + 2) + 2;
+    assert!(det.space_words() <= bound, "{} > {bound}", det.space_words());
+}
+
+/// Theorem 18: geometry is `⌈log₂(1/(εδ))⌉ × ⌈2/ε²⌉` Algorithm-7
+/// instances. Space saturates at a bound set by that geometry (buckets
+/// × levels × reservoir capacity), independent of how many *more*
+/// authors arrive.
+#[test]
+fn theorem_18_geometry_author_independent() {
+    let params = HeavyHittersParams::new(
+        Epsilon::new(0.25).unwrap(),
+        Delta::new(0.05).unwrap(),
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut many = HeavyHitters::new(params, &mut rng);
+    for i in 0..2_000u64 {
+        many.push(&Paper::solo(i, i, (i % 40) + 1));
+    }
+    let words_2k = many.space_words();
+    // Ten times more (distinct) authors: the sketch must have already
+    // saturated — growth well below proportional.
+    for i in 2_000..20_000u64 {
+        many.push(&Paper::solo(i, i, (i % 40) + 1));
+    }
+    let words_20k = many.space_words();
+    assert!(
+        words_20k <= words_2k + words_2k / 5,
+        "no saturation: {words_2k} → {words_20k}"
+    );
+    // And the absolute bound from the geometry: rows × buckets ×
+    // (levels × (s·2 + 2) + slack).
+    let rows = params.rows();
+    let buckets = params.buckets();
+    let bound = rows * buckets * (20 * (40 * 2 + 2) + 25) + 100;
+    assert!(words_20k <= bound, "{words_20k} > geometry bound {bound}");
+}
+
+/// The exact baselines really do pay linear/Θ(h) space — the gap the
+/// paper's sketches close.
+#[test]
+fn baselines_pay_linear_space() {
+    use hindex_baseline::{CashTable, FullStore};
+    use hindex_common::{AggregateEstimator as _, CashRegisterEstimator as _};
+    let mut full = FullStore::new();
+    let mut table = CashTable::new();
+    for i in 0..10_000u64 {
+        full.push(i);
+        table.update(i, 1);
+    }
+    assert!(full.space_words() >= 10_000);
+    assert!(table.space_words() >= 10_000);
+}
