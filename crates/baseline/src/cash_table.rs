@@ -1,6 +1,6 @@
 //! Exact cash-register baseline.
 
-use hindex_common::{CashRegisterEstimator, SpaceUsage};
+use hindex_common::{CashRegisterEstimator, Mergeable, SpaceUsage};
 use std::collections::HashMap;
 
 /// Exact cash-register H-index via a full paper → count table.
@@ -82,6 +82,18 @@ impl CashRegisterEstimator for CashTable {
     }
 }
 
+/// Merging the exact baseline replays `other`'s per-paper totals as
+/// cash-register updates: the table is deterministic and
+/// order-insensitive, so the result is exactly the table of the
+/// concatenated streams. No shared randomness is required.
+impl Mergeable for CashTable {
+    fn merge(&mut self, other: &Self) {
+        for (&paper, &count) in &other.counts {
+            self.update(paper, count);
+        }
+    }
+}
+
 impl SpaceUsage for CashTable {
     fn space_words(&self) -> usize {
         2 * self.counts.len() + 2 * self.histogram.len() + 2
@@ -159,6 +171,25 @@ mod tests {
             t.update(i, 2);
         }
         assert!(t.space_words() >= 200);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let updates: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 23, 1 + k % 4)).collect();
+        let (whole, truth) = replay(&updates);
+        let mut a = CashTable::new();
+        let mut b = CashTable::new();
+        for (n, &(i, d)) in updates.iter().enumerate() {
+            if n % 2 == 0 {
+                a.update(i, d);
+            } else {
+                b.update(i, d);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), truth);
+        assert_eq!(a.estimate(), whole.estimate());
+        assert_eq!(a.distinct(), whole.distinct());
     }
 
     proptest::proptest! {

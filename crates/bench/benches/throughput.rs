@@ -1,4 +1,5 @@
-//! E10: throughput benchmarks (Criterion).
+//! E10: throughput benchmarks (self-harnessed; no external bench
+//! framework is available offline).
 //!
 //! One group per stream model, comparing each of the paper's algorithms
 //! against the exact baselines on identical workloads:
@@ -11,9 +12,22 @@
 //! * `heavy_hitters_push` — per-paper cost of Algorithm 8 vs the exact
 //!   author table (2k papers);
 //! * `substrates` — the primitives: field multiply, ℓ₀-sampler update,
-//!   BJKST observe.
+//!   BJKST observe;
+//! * `extensions` — sliding-window / g-index variants and their
+//!   primitives;
+//! * `engine_scaling` — the sharded ingestion engine at 1/2/4/8 shards
+//!   on the `cash_update` workload, reporting speedup over one shard;
+//! * `engine_overheads` — the engine's fixed per-run costs (clone,
+//!   merge fan-in, spawn + join) at 8 shards.
+//!
+//! Each benchmark runs a fixed number of timed repetitions after a
+//! warm-up pass and reports the *median* wall time, ns per element,
+//! and element throughput. Run with:
+//!
+//! ```sh
+//! cargo bench --offline
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use hindex_baseline::{AuthorTable, CashTable, FullStore};
 use hindex_bench::workloads::{hh_corpus, zipf_counts};
 use hindex_common::{
@@ -23,84 +37,116 @@ use hindex_core::{
     CashRegisterHIndex, CashRegisterParams, ExponentialHistogram, HeavyHitters,
     HeavyHittersParams, RandomOrderEstimator, RandomOrderParams, ShiftingWindow,
 };
+use hindex_engine::{EngineConfig, ShardedEngine};
 use hindex_sketch::distinct::DistinctCounter;
 use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 const N: u64 = 100_000;
 
-fn aggregate_push(c: &mut Criterion) {
+/// Times `f` (whose result is black-boxed) `runs` times after one
+/// warm-up pass and returns the median duration.
+fn measure<T>(mut f: impl FnMut() -> T, runs: usize) -> Duration {
+    black_box(f());
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs one named benchmark over `elems` stream elements, prints a
+/// throughput line, and returns the median duration for
+/// cross-benchmark ratios.
+fn bench<T>(group: &str, name: &str, elems: u64, runs: usize, f: impl FnMut() -> T) -> Duration {
+    let med = measure(f, runs);
+    report(group, name, elems, med);
+    med
+}
+
+/// Like [`bench`] but with untimed per-run setup, mirroring Criterion's
+/// `iter_batched`: construction cost stays out of the measurement.
+fn bench_with_setup<S, T>(
+    group: &str,
+    name: &str,
+    elems: u64,
+    runs: usize,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) -> Duration {
+    black_box(routine(setup()));
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let state = setup();
+            let start = Instant::now();
+            black_box(routine(state));
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let med = times[times.len() / 2];
+    report(group, name, elems, med);
+    med
+}
+
+fn report(group: &str, name: &str, elems: u64, med: Duration) {
+    let secs = med.as_secs_f64();
+    let ns_per = med.as_nanos() as f64 / elems as f64;
+    let rate = elems as f64 / secs;
+    println!(
+        "{group:<18} {name:<24} {:>12.2?}  {ns_per:>9.1} ns/elem  {:>9.2} Melem/s",
+        med,
+        rate / 1e6,
+    );
+}
+
+fn aggregate_push() {
     let values = zipf_counts(N, 2.0, 1);
     let eps = Epsilon::new(0.1).unwrap();
     let delta = Delta::new(0.05).unwrap();
-    let mut g = c.benchmark_group("aggregate_push");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("alg1_exp_histogram", |b| {
-        b.iter_batched(
-            || ExponentialHistogram::new(eps),
-            |mut est| {
-                for &v in &values {
-                    est.push(v);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("aggregate_push", "alg1_exp_histogram", N, 11, || {
+        let mut est = ExponentialHistogram::new(eps);
+        est.push_batch(&values);
+        est.estimate()
     });
-    g.bench_function("alg2_shifting_window", |b| {
-        b.iter_batched(
-            || ShiftingWindow::new(eps),
-            |mut est| {
-                for &v in &values {
-                    est.push(v);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("aggregate_push", "alg2_shifting_window", N, 11, || {
+        let mut est = ShiftingWindow::new(eps);
+        for &v in &values {
+            est.push(v);
+        }
+        est.estimate()
     });
-    g.bench_function("alg3_random_order", |b| {
-        b.iter_batched(
-            || RandomOrderEstimator::new(RandomOrderParams::new(eps, delta, N)),
-            |mut est| {
-                for &v in &values {
-                    est.push(v);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("aggregate_push", "alg3_random_order", N, 5, || {
+        let mut est = RandomOrderEstimator::new(RandomOrderParams::new(eps, delta, N));
+        for &v in &values {
+            est.push(v);
+        }
+        est.estimate()
     });
-    g.bench_function("exact_heap", |b| {
-        b.iter_batched(
-            IncrementalHIndex::new,
-            |mut est| {
-                for &v in &values {
-                    est.insert(v);
-                }
-                black_box(est.h_index())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("aggregate_push", "exact_heap", N, 11, || {
+        let mut est = IncrementalHIndex::new();
+        for &v in &values {
+            est.insert(v);
+        }
+        est.h_index()
     });
-    g.bench_function("full_store", |b| {
-        b.iter_batched(
-            FullStore::new,
-            |mut est| {
-                for &v in &values {
-                    est.push(v);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("aggregate_push", "full_store", N, 11, || {
+        let mut est = FullStore::new();
+        for &v in &values {
+            est.push(v);
+        }
+        est.estimate()
     });
-    g.finish();
 }
 
-fn aggregate_query(c: &mut Criterion) {
+fn aggregate_query() {
     let values = zipf_counts(N, 2.0, 2);
     let eps = Epsilon::new(0.1).unwrap();
     let mut hist = ExponentialHistogram::new(eps);
@@ -109,187 +155,223 @@ fn aggregate_query(c: &mut Criterion) {
         hist.push(v);
         win.push(v);
     }
-    let mut g = c.benchmark_group("aggregate_query");
-    g.bench_function("alg1_estimate", |b| b.iter(|| black_box(hist.estimate())));
-    g.bench_function("alg2_estimate", |b| b.iter(|| black_box(win.estimate())));
-    g.finish();
+    bench("aggregate_query", "alg1_estimate", 1, 101, || hist.estimate());
+    bench("aggregate_query", "alg2_estimate", 1, 101, || win.estimate());
 }
 
-fn cash_update(c: &mut Criterion) {
-    let updates: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i % 700, 1)).collect();
-    let mut g = c.benchmark_group("cash_update");
-    g.throughput(Throughput::Elements(updates.len() as u64));
-    g.sample_size(10);
+/// The cash-register workload shared with `engine_scaling`: 10k unit
+/// increments cycling over 700 papers.
+fn cash_updates() -> Vec<(u64, u64)> {
+    (0..10_000u64).map(|i| (i % 700, 1)).collect()
+}
+
+fn cash_update() {
+    let updates = cash_updates();
+    let n = updates.len() as u64;
     let params = CashRegisterParams::Additive {
         epsilon: Epsilon::new(0.3).unwrap(),
         delta: Delta::new(0.2).unwrap(),
     };
-    g.bench_function("alg6_l0_bank_x77", |b| {
-        b.iter_batched(
-            || CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3)),
-            |mut est| {
-                for &(i, d) in &updates {
-                    est.update(i, d);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("cash_update", "alg6_l0_bank_x77", n, 5, || {
+        let mut est = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3));
+        for &(i, d) in &updates {
+            est.update(i, d);
+        }
+        est.estimate()
     });
-    g.bench_function("exact_table", |b| {
-        b.iter_batched(
-            CashTable::new,
-            |mut est| {
-                for &(i, d) in &updates {
-                    est.update(i, d);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("cash_update", "exact_table", n, 11, || {
+        let mut est = CashTable::new();
+        for &(i, d) in &updates {
+            est.update(i, d);
+        }
+        est.estimate()
     });
-    g.finish();
 }
 
-fn heavy_hitters_push(c: &mut Criterion) {
+fn heavy_hitters_push() {
     let corpus = hh_corpus(&[60, 40], 500, 4);
     let papers = corpus.papers();
-    let mut g = c.benchmark_group("heavy_hitters_push");
-    g.throughput(Throughput::Elements(papers.len() as u64));
-    g.sample_size(10);
-    g.bench_function("alg8_sketch", |b| {
-        b.iter_batched(
-            || {
-                HeavyHitters::new(
-                    HeavyHittersParams::new(
-                        Epsilon::new(0.2).unwrap(),
-                        Delta::new(0.1).unwrap(),
-                    ),
-                    &mut StdRng::seed_from_u64(5),
-                )
-            },
-            |mut hh| {
-                for p in papers {
-                    hh.push(p);
-                }
-                black_box(hh.decode().len())
-            },
-            BatchSize::SmallInput,
+    let n = papers.len() as u64;
+    bench("heavy_hitters", "alg8_sketch", n, 5, || {
+        let mut hh = HeavyHitters::new(
+            HeavyHittersParams::new(Epsilon::new(0.2).unwrap(), Delta::new(0.1).unwrap()),
+            &mut StdRng::seed_from_u64(5),
         );
+        for p in papers {
+            hh.push(p);
+        }
+        hh.decode().len()
     });
-    g.bench_function("exact_author_table", |b| {
-        b.iter_batched(
-            AuthorTable::new,
-            |mut t| {
-                for p in papers {
-                    t.push(p);
-                }
-                black_box(t.heavy_hitters(0.2).len())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("heavy_hitters", "exact_author_table", n, 11, || {
+        let mut t = AuthorTable::new();
+        for p in papers {
+            t.push(p);
+        }
+        t.heavy_hitters(0.2).len()
     });
-    g.finish();
 }
 
-fn substrates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates");
-    g.bench_function("mersenne_mul", |b| {
+fn substrates() {
+    const REPS: u64 = 1_000_000;
+    bench("substrates", "mersenne_mul", REPS, 5, || {
         let (x, y) = (123_456_789_012_345u64, 987_654_321_098_765u64);
-        b.iter(|| black_box(hindex_hashing::mersenne_mul(black_box(x), black_box(y))));
+        let mut acc = 0u64;
+        for i in 0..REPS {
+            acc ^= hindex_hashing::mersenne_mul(black_box(x ^ i), black_box(y));
+        }
+        acc
     });
-    g.bench_function("l0_sampler_update", |b| {
+    bench("substrates", "l0_sampler_update", REPS, 3, || {
         let mut s = L0Sampler::new(L0SamplerParams::default(), &mut StdRng::seed_from_u64(6));
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 100_000;
-            s.update(black_box(i), 1);
-        });
+        for i in 0..REPS {
+            s.update(black_box(i % 100_000), 1);
+        }
+        s.sample()
     });
-    g.bench_function("bjkst_observe", |b| {
+    bench("substrates", "bjkst_observe", REPS, 3, || {
         let mut d = Bjkst::new(0.1, 0.05, &mut StdRng::seed_from_u64(7));
         let mut i = 0u64;
-        b.iter(|| {
+        for _ in 0..REPS {
             i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
             d.observe(black_box(i));
-        });
+        }
+        d.estimate()
     });
-    g.finish();
 }
 
-fn extensions(c: &mut Criterion) {
+fn extensions() {
     use hindex_core::{SlidingHIndex, StreamingGIndex, TurnstileHIndex};
     use hindex_sketch::{Dgim, HyperLogLog};
     let values = zipf_counts(50_000, 2.0, 9);
+    let n = values.len() as u64;
     let eps = Epsilon::new(0.15).unwrap();
-    let mut g = c.benchmark_group("extensions");
-    g.throughput(Throughput::Elements(values.len() as u64));
-    g.bench_function("sliding_window_push", |b| {
-        b.iter_batched(
-            || SlidingHIndex::new(eps, 4096, 0.1),
-            |mut est| {
-                for &v in &values {
-                    est.push(v);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("extensions", "sliding_window_push", n, 5, || {
+        let mut est = SlidingHIndex::new(eps, 4096, 0.1);
+        for &v in &values {
+            est.push(v);
+        }
+        est.estimate()
     });
-    g.bench_function("g_index_push", |b| {
-        b.iter_batched(
-            || StreamingGIndex::new(eps),
-            |mut est| {
-                for &v in &values {
-                    est.push(v);
-                }
-                black_box(est.estimate())
-            },
-            BatchSize::SmallInput,
-        );
+    bench("extensions", "g_index_push", n, 5, || {
+        let mut est = StreamingGIndex::new(eps);
+        for &v in &values {
+            est.push(v);
+        }
+        est.estimate()
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("extension_primitives");
-    g.bench_function("dgim_push", |b| {
+    const REPS: u64 = 500_000;
+    bench("ext_primitives", "dgim_push", REPS, 5, || {
         let mut d = Dgim::new(1 << 16, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
+        for i in 0..REPS {
             d.push(black_box(i.is_multiple_of(3)));
-        });
+        }
+        d.count()
     });
-    g.bench_function("hyperloglog_observe", |b| {
+    bench("ext_primitives", "hyperloglog_observe", REPS, 5, || {
         let mut h = HyperLogLog::new(12, &mut StdRng::seed_from_u64(1));
         let mut i = 0u64;
-        b.iter(|| {
+        for _ in 0..REPS {
             i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
             h.observe(black_box(i));
-        });
+        }
+        h.estimate()
     });
-    g.bench_function("turnstile_update_x27", |b| {
+    bench("ext_primitives", "turnstile_update_x27", 50_000, 3, || {
         let mut est = TurnstileHIndex::with_sampler_count(
             Epsilon::new(0.4).unwrap(),
             Delta::new(0.3).unwrap(),
             27,
             &mut StdRng::seed_from_u64(2),
         );
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 500;
-            est.update(black_box(i), 1);
-        });
+        for i in 0..50_000u64 {
+            est.update(black_box(i % 500), 1);
+        }
+        est.estimate()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    aggregate_push,
-    aggregate_query,
-    cash_update,
-    heavy_hitters_push,
-    substrates,
-    extensions
-);
-criterion_main!(benches);
+/// Sharded-engine scaling on the `cash_update` workload. Shard-by-paper
+/// routing concentrates each paper's updates on one worker, so
+/// per-batch coalescing collapses more duplicate keys per shard; the
+/// speedup comes from that reduced sampler work plus whatever thread
+/// parallelism the host offers.
+fn engine_scaling() {
+    let updates = cash_updates();
+    let n = updates.len() as u64;
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3));
+    let mut baseline: Option<Duration> = None;
+    let mut reference: Option<u64> = None;
+    for shards in [1usize, 2, 4, 8] {
+        // Setup (estimator clones + worker spawn) is untimed, as with
+        // the other groups; the measurement covers push + drain +
+        // merge. The query is a constant post-ingest cost shared by
+        // every shard count.
+        let setup = || ShardedEngine::new(EngineConfig::with_shards(shards), prototype.clone());
+        let ingest = |mut engine: ShardedEngine<CashRegisterHIndex, (u64, u64)>| {
+            engine.push_slice(&updates);
+            engine.finish()
+        };
+        // Shared prototype + linear sketches: every shard count must
+        // report the identical estimate.
+        let estimate = ingest(setup()).estimate();
+        match reference {
+            None => reference = Some(estimate),
+            Some(r) => assert_eq!(r, estimate, "shards {shards} diverged"),
+        }
+        let med =
+            bench_with_setup("engine_scaling", &format!("alg6_shards_{shards}"), n, 5, setup, ingest);
+        match baseline {
+            None => baseline = Some(med),
+            Some(one) => {
+                let speedup = one.as_secs_f64() / med.as_secs_f64();
+                println!("{:<18} {:<24} {speedup:>11.2}x vs 1 shard", "", "");
+            }
+        }
+    }
+}
+
+/// Fixed per-run engine overheads at 8 shards, for interpreting the
+/// scaling numbers: estimator cloning, the merge fan-in, and worker
+/// spawn + join with an empty stream.
+fn engine_overheads() {
+    use hindex_common::Mergeable;
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3));
+    bench("engine_overheads", "clone_x8", 1, 5, || {
+        (0..8).map(|_| prototype.clone()).collect::<Vec<_>>()
+    });
+    bench("engine_overheads", "merge_x7", 1, 5, || {
+        let mut acc = prototype.clone();
+        for _ in 0..7 {
+            acc.merge(&prototype);
+        }
+        acc
+    });
+    bench("engine_overheads", "spawn_join_empty_8", 1, 5, || {
+        let engine = ShardedEngine::new(EngineConfig::with_shards(8), prototype.clone());
+        engine.finish()
+    });
+}
+
+fn main() {
+    println!(
+        "{:<18} {:<24} {:>13}  {:>17}  {:>15}",
+        "group", "benchmark", "median", "per element", "throughput"
+    );
+    aggregate_push();
+    aggregate_query();
+    cash_update();
+    heavy_hitters_push();
+    substrates();
+    extensions();
+    engine_scaling();
+    engine_overheads();
+}

@@ -11,7 +11,7 @@
 
 use crate::table::{f3, Table};
 use hindex_common::{
-    h_index, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, SpaceUsage,
+    h_index, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Mergeable, SpaceUsage,
 };
 use hindex_core::{CashRegisterHIndex, CashRegisterParams, ExponentialHistogram, ShiftingWindow};
 use hindex_stream::CareerModel;

@@ -1,0 +1,155 @@
+//! `hindex engine`: sharded parallel ingestion of a cash-register
+//! stream.
+
+use crate::args::Parsed;
+use crate::io::read_updates;
+use hindex_baseline::CashTable;
+use hindex_common::{CashRegisterEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_core::{CashRegisterHIndex, CashRegisterParams};
+use hindex_engine::{EngineConfig, ShardedEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Read;
+use std::time::Instant;
+
+/// Runs the `engine` subcommand: partitions the update stream across
+/// worker shards, then answers from the merged shard states.
+///
+/// # Errors
+///
+/// Bad flags, malformed input, or negative deltas (the engine ingests
+/// cash-register streams; use `hindex cash` for turnstile data).
+pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
+    let eps = Epsilon::new(parsed.f64_or("eps", 0.2)?).map_err(|e| e.to_string())?;
+    let delta = Delta::new(parsed.f64_or("delta", 0.1)?).map_err(|e| e.to_string())?;
+    let algorithm = parsed.str_or("algorithm", "sketch");
+    let seed = parsed.u64_or("seed", 0)?;
+    let shards = parsed.u64_or("shards", 4)? as usize;
+    let batch = parsed.u64_or("batch", 1024)? as usize;
+    if shards == 0 || batch == 0 {
+        return Err("--shards and --batch must be at least 1".into());
+    }
+    let raw = read_updates(input)?;
+    if raw.iter().any(|&(_, d)| d < 0) {
+        return Err("engine ingests cash-register streams only (no negative deltas); \
+                    use `hindex cash` for turnstile data"
+            .into());
+    }
+    let updates: Vec<(u64, u64)> = raw.iter().map(|&(p, d)| (p, d as u64)).collect();
+    let config = EngineConfig {
+        shards,
+        batch_size: batch,
+        ..EngineConfig::default()
+    };
+
+    let (name, estimate, words, elapsed) = match algorithm {
+        "sketch" => {
+            let params = CashRegisterParams::Additive { epsilon: eps, delta };
+            let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
+            let mut engine = ShardedEngine::new(config, prototype);
+            let start = Instant::now();
+            engine.push_slice(&updates);
+            let merged = engine.finish();
+            let elapsed = start.elapsed();
+            (
+                format!("sharded ℓ₀-sampling sketch (Alg 6, x = {})", merged.num_samplers()),
+                merged.estimate(),
+                merged.space_words(),
+                elapsed,
+            )
+        }
+        "exact" => {
+            let mut engine = ShardedEngine::new(config, CashTable::new());
+            let start = Instant::now();
+            engine.push_slice(&updates);
+            let merged = engine.finish();
+            let elapsed = start.elapsed();
+            ("sharded exact table".into(), merged.estimate(), merged.space_words(), elapsed)
+        }
+        other => return Err(format!("unknown --algorithm `{other}` (sketch|exact)")),
+    };
+
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        format!("{:.0}", updates.len() as f64 / secs)
+    } else {
+        "inf".into()
+    };
+    Ok(format!(
+        "algorithm : {name}\nupdates   : {}\nshards    : {shards} (batch {batch})\n\
+         h-index   : {estimate}\nspace     : {words} words (merged estimator)\n\
+         ingest    : {rate} updates/s\n",
+        updates.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_str;
+
+    #[test]
+    fn exact_engine_matches_serial_answer() {
+        // Papers 1..=5 with counts 5,4,3,2,1 → h = 3, on any shard count.
+        let stream = "1 5\n2 4\n3 3\n4 2\n5 1\n";
+        for shards in ["1", "2", "8"] {
+            let out = run_str(
+                &["engine", "--algorithm", "exact", "--shards", shards],
+                stream,
+            )
+            .unwrap();
+            assert!(out.contains("h-index   : 3"), "shards {shards}: {out}");
+        }
+    }
+
+    #[test]
+    fn sketch_engine_runs() {
+        let stream: String = (0..30).map(|p| format!("{p} 30\n")).collect();
+        let out = run_str(
+            &["engine", "--eps", "0.3", "--delta", "0.2", "--shards", "2", "--batch", "8"],
+            &stream,
+        )
+        .unwrap();
+        assert!(out.contains("Alg 6"), "{out}");
+        assert!(out.contains("shards    : 2"), "{out}");
+        let h: u64 = out
+            .lines()
+            .find(|l| l.starts_with("h-index"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        assert!((20..=40).contains(&h), "estimate {h}");
+    }
+
+    #[test]
+    fn sharded_sketch_equals_unsharded_cash() {
+        // Same seed, same stream: the engine's merged estimate must be
+        // identical to `hindex cash`'s single-estimator answer.
+        let stream: String = (0..200u64).map(|k| format!("{} 1\n", k % 40)).collect();
+        let single = run_str(
+            &["cash", "--eps", "0.3", "--delta", "0.2", "--seed", "7"],
+            &stream,
+        )
+        .unwrap();
+        let sharded = run_str(
+            &["engine", "--eps", "0.3", "--delta", "0.2", "--seed", "7", "--shards", "4"],
+            &stream,
+        )
+        .unwrap();
+        let h = |out: &str| -> String {
+            out.lines().find(|l| l.starts_with("h-index")).unwrap().to_string()
+        };
+        assert_eq!(h(&single), h(&sharded), "single:\n{single}\nsharded:\n{sharded}");
+    }
+
+    #[test]
+    fn negative_deltas_rejected() {
+        let err = run_str(&["engine"], "1 5\n1 -2\n").unwrap_err();
+        assert!(err.contains("cash-register"), "{err}");
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let err = run_str(&["engine", "--shards", "0"], "1 1\n").unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+}

@@ -2,5 +2,6 @@
 
 pub mod agg;
 pub mod cash;
+pub mod engine;
 pub mod generate;
 pub mod hh;

@@ -3,6 +3,7 @@
 //! ```text
 //! hindex agg   [--eps 0.1] [--algorithm window|histogram|random|heap|store] [--n N] < counts.txt
 //! hindex cash  [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
+//! hindex engine [--shards 4] [--batch 1024] [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
 //! hindex hh    [--eps 0.2] [--delta 0.1] [--seed S] [--threshold T] < papers.txt
 //! hindex gen   --kind zipf|planted|heavy [--n N] [--h H] [--exponent A] [--seed S]
 //! ```
@@ -39,6 +40,7 @@ pub fn run(argv: &[String], input: &mut dyn Read) -> Result<String, String> {
     match parsed.command.as_str() {
         "agg" => commands::agg::run(&parsed, input),
         "cash" => commands::cash::run(&parsed, input),
+        "engine" => commands::engine::run(&parsed, input),
         "hh" => commands::hh::run(&parsed, input),
         "gen" => commands::generate::run(&parsed),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
@@ -56,6 +58,9 @@ pub fn usage() -> &'static str {
               --n N (for random)  --alpha A (for alpha)  --window W (for sliding)\n\
        cash   estimate from a cash-register update stream (`paper delta` lines)\n\
               --eps E (0.2)  --delta D (0.1)  --algorithm sketch|exact (sketch)  --seed S (0)\n\
+       engine sharded parallel ingestion of a cash-register stream\n\
+              --shards S (4)  --batch B (1024)  --eps E (0.2)  --delta D (0.1)\n\
+              --algorithm sketch|exact (sketch)  --seed S (0)\n\
        hh     find heavy hitters in H-index (`paper authors citations` lines)\n\
               --eps E (0.2)  --delta D (0.1)  --seed S (0)  --threshold T (auto)\n\
        gen    generate synthetic streams\n\

@@ -34,4 +34,6 @@ pub use error::{Error, Result};
 pub use grid::ExpGrid;
 pub use hindex::{h_index, h_index_sorted_desc, h_support, IncrementalHIndex};
 pub use params::{Delta, Epsilon};
-pub use traits::{AggregateEstimator, CashRegisterEstimator, SpaceUsage};
+pub use traits::{
+    AggregateEstimator, CashRegisterEstimator, EstimatorParams, Mergeable, SpaceUsage,
+};

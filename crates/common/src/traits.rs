@@ -12,6 +12,26 @@
 //! [`SpaceUsage`] reports space in the paper's unit — machine *words* —
 //! so experiments can compare measured space against the theorem bounds
 //! directly rather than against allocator noise.
+//!
+//! Two additions support the sharded ingestion engine
+//! (`hindex-engine`):
+//!
+//! * batched ingestion ([`AggregateEstimator::push_batch`],
+//!   [`CashRegisterEstimator::update_batch`]) — default implementations
+//!   loop over the single-item methods, and estimators override them
+//!   where a batch admits a faster path (e.g. coalescing duplicate
+//!   indices before touching every sampler);
+//! * [`Mergeable`], the contract that two independently-fed estimators
+//!   built from **identical randomness** can be combined into the
+//!   estimator of the concatenated stream. Every linear sketch in the
+//!   workspace satisfies it; the engine relies on it to answer anytime
+//!   queries across shards.
+//!
+//! [`EstimatorParams`] unifies construction: a parameter struct knows
+//! how to `build` its estimator from a caller-supplied RNG, which is
+//! what lets the engine clone one seeded prototype per shard.
+
+use rand::Rng;
 
 /// Streaming estimator over the aggregate model: one finished total per
 /// publication.
@@ -22,6 +42,15 @@ pub trait AggregateEstimator {
 
     /// Current estimate of the H-index of everything pushed so far.
     fn estimate(&self) -> u64;
+
+    /// Feeds a batch of aggregate values. Semantically identical to
+    /// pushing each value in order; implementations may override for a
+    /// faster batch path.
+    fn push_batch(&mut self, values: &[u64]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
 
     /// Convenience: consume an iterator of values.
     fn extend_from<I: IntoIterator<Item = u64>>(&mut self, values: I)
@@ -42,6 +71,54 @@ pub trait CashRegisterEstimator {
 
     /// Current estimate of `h*(V)`.
     fn estimate(&self) -> u64;
+
+    /// Applies a batch of updates. Semantically identical to applying
+    /// each update in order; implementations may override for a faster
+    /// batch path (cash-register state is order-insensitive, so
+    /// overrides are free to coalesce duplicate indices).
+    fn update_batch(&mut self, updates: &[(u64, u64)]) {
+        for &(i, z) in updates {
+            self.update(i, z);
+        }
+    }
+}
+
+/// Estimators whose states combine: after `a.merge(&b)`, `a` is exactly
+/// (or distributionally, see below) the estimator that saw `a`'s stream
+/// followed by `b`'s stream.
+///
+/// Both operands must have been built with the **same parameters and
+/// the same randomness** (same hash functions, same grid) — in
+/// practice, by cloning one seeded prototype. For linear sketches
+/// (sparse recovery, ℓ₀-samplers, BJKST, count-min, exponential
+/// histograms) the merged state is *bit-identical* to single-stream
+/// ingestion. Sampling-based structures (reservoirs inside the heavy
+/// hitters machinery) merge to the correct *distribution* rather than a
+/// bit-identical state, which is documented on the implementation.
+pub trait Mergeable {
+    /// Folds `other`'s state into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the operands' parameters are
+    /// incompatible (different grid, different width), since silently
+    /// combining them would corrupt estimates.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Unified construction: a parameter object that builds its estimator
+/// from a caller-supplied RNG.
+///
+/// This is the seam the sharded engine builds on: construct one
+/// prototype with a seeded RNG, clone it per shard, and the shards
+/// share randomness — the precondition of [`Mergeable`].
+pub trait EstimatorParams {
+    /// The estimator this parameter set configures.
+    type Output;
+
+    /// Draws whatever randomness the estimator needs from `rng` and
+    /// returns the configured estimator.
+    fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Output;
 }
 
 /// Space accounting in machine words, the unit the paper's theorems are
@@ -80,5 +157,42 @@ mod tests {
         let mut c = CountAtLeast { bar: 3, count: 0 };
         c.extend_from([1u64, 3, 5, 2, 9]);
         assert_eq!(c.estimate(), 3);
+    }
+
+    #[test]
+    fn push_batch_default_matches_push_loop() {
+        let mut batched = CountAtLeast { bar: 3, count: 0 };
+        let mut looped = CountAtLeast { bar: 3, count: 0 };
+        let values = [1u64, 3, 5, 2, 9, 3];
+        batched.push_batch(&values);
+        for &v in &values {
+            looped.push(v);
+        }
+        assert_eq!(batched.estimate(), looped.estimate());
+    }
+
+    struct SumRegister {
+        total: u64,
+    }
+
+    impl CashRegisterEstimator for SumRegister {
+        fn update(&mut self, _index: u64, delta: u64) {
+            self.total += delta;
+        }
+        fn estimate(&self) -> u64 {
+            self.total
+        }
+    }
+
+    #[test]
+    fn update_batch_default_matches_update_loop() {
+        let mut batched = SumRegister { total: 0 };
+        let mut looped = SumRegister { total: 0 };
+        let updates = [(1u64, 2u64), (7, 1), (1, 3)];
+        batched.update_batch(&updates);
+        for &(i, z) in &updates {
+            looped.update(i, z);
+        }
+        assert_eq!(batched.estimate(), looped.estimate());
     }
 }

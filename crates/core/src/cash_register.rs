@@ -26,7 +26,9 @@
 //!   an upper bound `D ≤ D_max`, `x = ⌈3ε⁻² ln(2/δ) · D_max/β⌉` makes
 //!   the per-level Chernoff argument relative.
 
-use hindex_common::{CashRegisterEstimator, Delta, Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{
+    CashRegisterEstimator, Delta, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage,
+};
 use hindex_sketch::distinct::DistinctCounter;
 use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
 use rand::Rng;
@@ -155,28 +157,6 @@ impl CashRegisterHIndex {
         self.params
     }
 
-    /// Merges another estimator that shares this one's randomness (a
-    /// pre-update `clone` — the sketches are linear, so the merge
-    /// equals processing the concatenated update streams). This is the
-    /// sharded-firehose ingestion pattern: clone one estimator per
-    /// shard, merge at query time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the estimators were built independently.
-    pub fn merge(&mut self, other: &Self) {
-        assert_eq!(
-            self.samplers.len(),
-            other.samplers.len(),
-            "estimators must share configuration"
-        );
-        for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
-            a.merge(b);
-        }
-        self.distinct.merge(&other.distinct);
-        self.max_seen = self.max_seen.max(other.max_seen);
-    }
-
     /// Number of ℓ₀-sampler instances in use.
     #[must_use]
     pub fn num_samplers(&self) -> usize {
@@ -196,6 +176,34 @@ impl CashRegisterHIndex {
     }
 }
 
+/// Merges another estimator that shares this one's randomness (a
+/// pre-update `clone` — the sketches are linear, so the merge equals
+/// processing the concatenated update streams). This is the
+/// sharded-firehose ingestion pattern `hindex-engine` builds on: clone
+/// one estimator per shard, merge at query time.
+impl Mergeable for CashRegisterHIndex {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.samplers.len(),
+            other.samplers.len(),
+            "estimators must share configuration"
+        );
+        for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
+            a.merge(b);
+        }
+        self.distinct.merge(&other.distinct);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+impl EstimatorParams for CashRegisterParams {
+    type Output = CashRegisterHIndex;
+
+    fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> CashRegisterHIndex {
+        CashRegisterHIndex::new(*self, rng)
+    }
+}
+
 impl CashRegisterEstimator for CashRegisterHIndex {
     fn update(&mut self, index: u64, delta: u64) {
         if delta == 0 {
@@ -206,6 +214,41 @@ impl CashRegisterEstimator for CashRegisterHIndex {
         }
         self.distinct.observe(index);
         self.max_seen = self.max_seen.max(delta);
+    }
+
+    /// Batch fast path: coalesces duplicate indices before touching the
+    /// sampler bank.
+    ///
+    /// Every structure inside is either linear in the deltas (the
+    /// sparse-recovery counters behind each ℓ₀-sampler) or idempotent
+    /// per index (BJKST's `observe`), so `V[i] += z₁; V[i] += z₂` is
+    /// state-identical to `V[i] += z₁+z₂`. Real citation batches repeat
+    /// hot papers heavily; collapsing them means each of the `x`
+    /// samplers is touched once per *distinct* index instead of once
+    /// per update.
+    fn update_batch(&mut self, updates: &[(u64, u64)]) {
+        // `max_seen` tracks the largest *single-update* delta, so take
+        // it from the raw deltas before coalescing sums them.
+        for &(_, z) in updates {
+            self.max_seen = self.max_seen.max(z);
+        }
+        let mut coalesced: Vec<(u64, u64)> =
+            updates.iter().copied().filter(|&(_, z)| z != 0).collect();
+        coalesced.sort_unstable_by_key(|&(i, _)| i);
+        coalesced.dedup_by(|cur, prev| {
+            if cur.0 == prev.0 {
+                prev.1 += cur.1;
+                true
+            } else {
+                false
+            }
+        });
+        for &(i, z) in &coalesced {
+            for s in &mut self.samplers {
+                s.update(i, z as i64);
+            }
+            self.distinct.observe(i);
+        }
     }
 
     fn estimate(&self) -> u64 {
@@ -386,6 +429,30 @@ mod tests {
         for (paper, value) in est.draw_samples() {
             assert_eq!(value, paper + 1, "paper {paper} recovered wrong total");
         }
+    }
+
+    #[test]
+    fn update_batch_coalescing_matches_loop() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let proto = CashRegisterHIndex::new(additive(0.3, 0.2), &mut rng);
+        let mut batched = proto.clone();
+        let mut looped = proto;
+        let updates: Vec<(u64, u64)> = (0..5_000u64).map(|k| (k % 70, 1 + k % 3)).collect();
+        batched.update_batch(&updates);
+        for &(i, z) in &updates {
+            looped.update(i, z);
+        }
+        assert_eq!(batched.estimate(), looped.estimate());
+        assert_eq!(batched.draw_samples(), looped.draw_samples());
+    }
+
+    #[test]
+    fn params_build_matches_new() {
+        let params = additive(0.3, 0.2);
+        let via_trait = params.build(&mut StdRng::seed_from_u64(9));
+        let via_new = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(9));
+        assert_eq!(via_trait.num_samplers(), via_new.num_samplers());
+        assert_eq!(via_trait.space_words(), via_new.space_words());
     }
 
     #[test]

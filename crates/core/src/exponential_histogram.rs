@@ -17,7 +17,26 @@
 //!   maximum level appears. This removes the pseudocode's need to know
 //!   `n` in advance while counting exactly the same quantities.
 
-use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{AggregateEstimator, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage};
+use rand::Rng;
+
+/// Parameters for [`ExponentialHistogram`], usable with
+/// [`EstimatorParams::build`]. The algorithm is deterministic, so
+/// `build` ignores the RNG — the impl exists so Algorithm 1 plugs into
+/// the same construction seam as the randomized estimators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialHistogramParams {
+    /// Accuracy `ε`.
+    pub epsilon: Epsilon,
+}
+
+impl EstimatorParams for ExponentialHistogramParams {
+    type Output = ExponentialHistogram;
+
+    fn build<R: Rng + ?Sized>(&self, _rng: &mut R) -> ExponentialHistogram {
+        ExponentialHistogram::new(self.epsilon)
+    }
+}
 
 /// Deterministic `(1−ε)`-approximate streaming H-index over aggregate
 /// streams (Algorithm 1).
@@ -57,24 +76,6 @@ impl ExponentialHistogram {
         self.grid
     }
 
-    /// Merges another histogram built with the same ε: bucket counts
-    /// add levelwise, so the merged estimate equals the estimate over
-    /// the concatenated streams. This makes Algorithm 1 embarrassingly
-    /// parallel over stream shards.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grids differ.
-    pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.grid, other.grid, "histograms must share epsilon");
-        if other.buckets.len() > self.buckets.len() {
-            self.buckets.resize(other.buckets.len(), 0);
-        }
-        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-    }
-
     /// The paper's counter `c_i` (number of elements `≥ (1+ε)ⁱ`) for
     /// each level, highest level last.
     #[must_use]
@@ -91,6 +92,23 @@ impl ExponentialHistogram {
             .collect();
         c.reverse();
         c
+    }
+}
+
+/// Merges another histogram built with the same ε: bucket counts add
+/// levelwise, so the merged estimate equals the estimate over the
+/// concatenated streams. This makes Algorithm 1 embarrassingly
+/// parallel over stream shards. Unlike the randomized estimators, no
+/// shared randomness is needed — only a shared grid.
+impl Mergeable for ExponentialHistogram {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.grid, other.grid, "histograms must share epsilon");
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
     }
 }
 

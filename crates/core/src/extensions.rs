@@ -14,7 +14,7 @@
 //!   responses each": Algorithm 1 with the thresholds scaled by α
 //!   (`α = 1` recovers the H-index exactly).
 
-use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, Mergeable, SpaceUsage};
 
 /// Streaming `(1−O(ε))` g-index estimator over aggregate streams.
 #[derive(Debug, Clone)]
@@ -84,6 +84,26 @@ impl StreamingGIndex {
         };
         let fill = u128::from(k.saturating_sub(above_c));
         above_s + fill * u128::from(self.grid.int_threshold(m as u32))
+    }
+}
+
+/// Merges another g-index sketch built with the same ε: level counts,
+/// level sums and the element tally all add, so the merged estimate
+/// equals the estimate over the concatenated streams, deterministically.
+impl Mergeable for StreamingGIndex {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.grid, other.grid, "sketches must share epsilon");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+            self.sums.resize(other.sums.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, &b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.n_seen += other.n_seen;
     }
 }
 

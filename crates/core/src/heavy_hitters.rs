@@ -25,7 +25,7 @@
 //! an explicit-threshold variant for experiments.
 
 use crate::one_heavy_hitter::OneHeavyHitter;
-use hindex_common::{Delta, Epsilon, SpaceUsage};
+use hindex_common::{Delta, Epsilon, EstimatorParams, Mergeable, SpaceUsage};
 use hindex_hashing::{Hasher64, PairwiseHash};
 use hindex_stream::{AuthorId, Paper};
 use rand::Rng;
@@ -113,7 +113,7 @@ pub struct HeavyHitterCandidate {
 /// let out = hh.decode();
 /// assert_eq!(out[0].author, AuthorId(7));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HeavyHitters {
     params: HeavyHittersParams,
     hashes: Vec<PairwiseHash>,
@@ -270,6 +270,37 @@ impl HeavyHitters {
         let cap = (1.0 / self.params.epsilon.get()).ceil() as usize;
         out.truncate(cap.max(1));
         out
+    }
+}
+
+impl EstimatorParams for HeavyHittersParams {
+    type Output = HeavyHitters;
+
+    fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> HeavyHitters {
+        HeavyHitters::new(*self, rng)
+    }
+}
+
+/// Merges a sketch fed a disjoint shard of the paper stream. Both
+/// operands must come from the same seeded prototype (same hash
+/// functions — asserted), so a paper routes to the same `(row, bucket)`
+/// cell on either side and cells merge pairwise via
+/// [`OneHeavyHitter`]'s merge. The embedded histograms combine
+/// exactly; the reservoir samples combine distributionally (see
+/// [`Reservoir::merge_with`](hindex_sketch::Reservoir::merge_with)),
+/// so decode output matches single-stream ingestion in distribution.
+impl Mergeable for HeavyHitters {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.hashes, other.hashes,
+            "sketches must share hash randomness (clone one prototype)"
+        );
+        assert_eq!(self.detectors.len(), other.detectors.len(), "geometry mismatch");
+        for (a, b) in self.detectors.iter_mut().zip(&other.detectors) {
+            a.merge(b);
+        }
+        self.total_responses += other.total_responses;
+        self.papers_seen += other.papers_seen;
     }
 }
 

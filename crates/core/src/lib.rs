@@ -34,7 +34,7 @@ pub mod tracked_authors;
 pub mod turnstile;
 
 pub use cash_register::{CashRegisterHIndex, CashRegisterParams};
-pub use exponential_histogram::ExponentialHistogram;
+pub use exponential_histogram::{ExponentialHistogram, ExponentialHistogramParams};
 pub use extensions::{StreamingAlphaIndex, StreamingGIndex};
 pub use heavy_hitters::{HeavyHitterCandidate, HeavyHitters, HeavyHittersParams};
 pub use one_heavy_hitter::{OneHeavyHitter, OneHeavyHitterOutcome};
@@ -43,12 +43,12 @@ pub use shifting_window::ShiftingWindow;
 pub use sliding_window::SlidingHIndex;
 pub use timeline::Timeline;
 pub use tracked_authors::{TrackedAuthorsAggregate, TrackedAuthorsCash};
-pub use turnstile::TurnstileHIndex;
+pub use turnstile::{TurnstileHIndex, TurnstileParams};
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::cash_register::{CashRegisterHIndex, CashRegisterParams};
-    pub use crate::exponential_histogram::ExponentialHistogram;
+    pub use crate::exponential_histogram::{ExponentialHistogram, ExponentialHistogramParams};
     pub use crate::extensions::{StreamingAlphaIndex, StreamingGIndex};
     pub use crate::heavy_hitters::{HeavyHitterCandidate, HeavyHitters, HeavyHittersParams};
     pub use crate::one_heavy_hitter::{OneHeavyHitter, OneHeavyHitterOutcome};
@@ -57,5 +57,5 @@ pub mod prelude {
     pub use crate::sliding_window::SlidingHIndex;
     pub use crate::timeline::Timeline;
     pub use crate::tracked_authors::{TrackedAuthorsAggregate, TrackedAuthorsCash};
-    pub use crate::turnstile::TurnstileHIndex;
+    pub use crate::turnstile::{TurnstileHIndex, TurnstileParams};
 }

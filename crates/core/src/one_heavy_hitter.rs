@@ -25,7 +25,7 @@
 //! plurality author when it covers at least `(1 − ε − slack)` of the
 //! sample, `slack = ε/2`.
 
-use hindex_common::{Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{Epsilon, ExpGrid, Mergeable, SpaceUsage};
 use hindex_sketch::Reservoir;
 use hindex_stream::{AuthorId, Paper};
 use rand::rngs::StdRng;
@@ -181,6 +181,35 @@ impl OneHeavyHitter {
             Some((author, h_estimate)) => OneHeavyHitterOutcome::Author { author, h_estimate },
             None => OneHeavyHitterOutcome::Fail,
         }
+    }
+}
+
+/// Merges a same-parameters detector fed a disjoint shard of the
+/// stream. The embedded exponential histogram merges exactly (bucket
+/// counts add levelwise); the per-level reservoirs merge via
+/// [`Reservoir::merge_with`], so the merged sample is *distributionally*
+/// a uniform sample of the union — decode outcomes match single-stream
+/// ingestion in distribution, not bit-for-bit. Randomness for the
+/// reservoir merge is drawn from `self`'s internal RNG.
+impl Mergeable for OneHeavyHitter {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.grid, other.grid, "detectors must share epsilon");
+        assert_eq!(
+            self.sample_size, other.sample_size,
+            "detectors must share sample size"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+            self.reservoirs
+                .resize_with(other.reservoirs.len(), || Reservoir::new(self.sample_size));
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        for (r, o) in self.reservoirs.iter_mut().zip(&other.reservoirs) {
+            r.merge_with(o, &mut self.rng);
+        }
+        self.papers_seen += other.papers_seen;
     }
 }
 

@@ -18,9 +18,40 @@
 //! nothing, and the estimate can *decrease* over time, which no
 //! cash-register algorithm allows.
 
-use hindex_common::{Delta, Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{Delta, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage};
 use hindex_sketch::{L0Norm, L0Sampler, L0SamplerParams};
 use rand::Rng;
+
+/// Parameters for [`TurnstileHIndex`], usable with
+/// [`EstimatorParams::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurnstileParams {
+    /// Accuracy `ε`.
+    pub epsilon: Epsilon,
+    /// Failure probability `δ`.
+    pub delta: Delta,
+    /// Overrides the Theorem 14 sampler count when set.
+    pub samplers_override: Option<usize>,
+}
+
+impl TurnstileParams {
+    /// Parameters with the Theorem 14 additive-mode sampler count.
+    #[must_use]
+    pub fn new(epsilon: Epsilon, delta: Delta) -> Self {
+        Self { epsilon, delta, samplers_override: None }
+    }
+}
+
+impl EstimatorParams for TurnstileParams {
+    type Output = TurnstileHIndex;
+
+    fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> TurnstileHIndex {
+        match self.samplers_override {
+            Some(x) => TurnstileHIndex::with_sampler_count(self.epsilon, self.delta, x, rng),
+            None => TurnstileHIndex::new(self.epsilon, self.delta, rng),
+        }
+    }
+}
 
 /// Streaming H-index estimator under turnstile updates
 /// (`V[p] += δ`, `δ` possibly negative).
@@ -72,15 +103,6 @@ impl TurnstileHIndex {
         self.norm.update(index, delta);
     }
 
-    /// Merges a same-randomness clone (sharded ingestion).
-    pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.samplers.len(), other.samplers.len(), "config mismatch");
-        for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
-            a.merge(b);
-        }
-        self.norm.merge(&other.norm);
-    }
-
     /// Number of ℓ₀-samplers in the bank.
     #[must_use]
     pub fn num_samplers(&self) -> usize {
@@ -119,6 +141,20 @@ impl TurnstileHIndex {
             level += 1;
         }
         best
+    }
+}
+
+/// Merges a same-randomness clone (sharded ingestion). Both the
+/// sampler bank and the ℓ₀-norm sketch are linear, so the merged state
+/// is bit-identical to ingesting the concatenated update streams —
+/// including interleaved retractions landing on different shards.
+impl Mergeable for TurnstileHIndex {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.samplers.len(), other.samplers.len(), "config mismatch");
+        for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
+            a.merge(b);
+        }
+        self.norm.merge(&other.norm);
     }
 }
 

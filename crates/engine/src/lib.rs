@@ -1,0 +1,478 @@
+//! Sharded, batched, multi-threaded ingestion engine.
+//!
+//! The paper's estimators are small — a few kilowords — but the streams
+//! they are meant for (every citation event of a corpus) are firehoses.
+//! This crate turns any [`Mergeable`] estimator into a parallel
+//! ingestion pipeline:
+//!
+//! ```text
+//!             ┌────────────┐   bounded    ┌──────────┐
+//!  updates →  │ router     │── channel ──▶│ shard 0  │ estimator clone
+//!             │ (batches,  │── channel ──▶│ shard 1  │ estimator clone
+//!             │  by author)│── channel ──▶│   ...    │
+//!             └────────────┘              └──────────┘
+//!                                   query: snapshot + merge
+//! ```
+//!
+//! * The caller owns a [`ShardedEngine`] and feeds items one at a time
+//!   ([`ShardedEngine::push`]) or in slices
+//!   ([`ShardedEngine::push_slice`]). Items accumulate in per-shard
+//!   batches and are handed to worker threads over bounded channels,
+//!   so a slow shard exerts backpressure instead of ballooning memory.
+//! * Cash-register updates route by a hash of the paper index, so all
+//!   updates to one paper land on one shard; aggregate values route
+//!   round-robin. Routing is the [`Routable`] trait — any partition is
+//!   correct for a [`Mergeable`] estimator, these defaults just keep
+//!   related work together.
+//! * Each worker owns a **clone of one seeded prototype** estimator.
+//!   Cloning (rather than building per shard) is what satisfies
+//!   [`Mergeable`]'s shared-randomness precondition: the linear
+//!   sketches inside then merge to exactly the single-stream state.
+//! * Queries are *anytime*: [`ShardedEngine::query`] flushes pending
+//!   batches, snapshots every shard in place, and merges the snapshots
+//!   into one estimator without stopping ingestion.
+//!   [`ShardedEngine::finish`] retires the workers and returns the
+//!   final merged estimator.
+//!
+//! Estimators plug in through [`BatchIngest`], which is implemented
+//! automatically for every
+//! [`CashRegisterEstimator`](hindex_common::CashRegisterEstimator)
+//! (over `(index, delta)` items) and every
+//! [`AggregateEstimator`](hindex_common::AggregateEstimator) (over
+//! `u64` items) — including their batch fast paths
+//! (`update_batch`/`push_batch`), which is where the engine's
+//! throughput comes from on key-skewed streams.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Mergeable, SpaceUsage};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+/// Batched ingestion of stream items of type `T`.
+///
+/// Blanket-implemented for the workspace's estimator traits; implement
+/// it directly only for custom item types.
+pub trait BatchIngest<T> {
+    /// Ingests one batch, semantically equivalent to ingesting each
+    /// item in order.
+    fn ingest(&mut self, batch: &[T]);
+}
+
+impl<E: CashRegisterEstimator> BatchIngest<(u64, u64)> for E {
+    fn ingest(&mut self, batch: &[(u64, u64)]) {
+        self.update_batch(batch);
+    }
+}
+
+impl<E: AggregateEstimator> BatchIngest<u64> for E {
+    fn ingest(&mut self, batch: &[u64]) {
+        self.push_batch(batch);
+    }
+}
+
+/// How a stream item picks its shard.
+pub trait Routable {
+    /// Shard for this item. `shards ≥ 1`; `tick` is a monotone
+    /// per-engine counter usable for round-robin routing.
+    fn route(&self, shards: usize, tick: u64) -> usize;
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive paper ids so shards
+/// stay balanced even on sequential-id streams. Exposed so callers can
+/// predict (or replicate) the engine's key→shard assignment.
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Cash-register updates route by paper index: every update to a paper
+/// lands on the same shard.
+impl Routable for (u64, u64) {
+    fn route(&self, shards: usize, _tick: u64) -> usize {
+        (mix64(self.0) % shards as u64) as usize
+    }
+}
+
+/// Aggregate values are independent; round-robin keeps shards balanced.
+impl Routable for u64 {
+    fn route(&self, shards: usize, tick: u64) -> usize {
+        (tick % shards as u64) as usize
+    }
+}
+
+/// Engine geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker shards (threads). Must be ≥ 1.
+    pub shards: usize,
+    /// Items per batch handed to a worker. Must be ≥ 1.
+    pub batch_size: usize,
+    /// Batches in flight per shard before `push` blocks
+    /// (backpressure). Must be ≥ 1.
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            batch_size: 1024,
+            queue_depth: 4,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with `shards` workers and default batching.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+enum Command<E, T> {
+    Batch(Vec<T>),
+    Snapshot(Sender<E>),
+}
+
+/// A multi-threaded sharded ingestion pipeline around a [`Mergeable`]
+/// estimator.
+///
+/// ```
+/// use hindex_common::{CashRegisterEstimator, SpaceUsage};
+/// use hindex_baseline::CashTable;
+/// use hindex_engine::{EngineConfig, ShardedEngine};
+///
+/// let mut engine = ShardedEngine::new(EngineConfig::with_shards(4), CashTable::new());
+/// for k in 0..10_000u64 {
+///     engine.push((k % 300, 1));
+/// }
+/// let snapshot = engine.query(); // anytime: ingestion keeps running
+/// assert!(snapshot.estimate() > 0);
+/// let exact = engine.finish();
+/// assert_eq!(exact.estimate(), 34); // 100 papers at 34, 200 at 33
+/// ```
+pub struct ShardedEngine<E, T> {
+    config: EngineConfig,
+    senders: Vec<SyncSender<Command<E, T>>>,
+    handles: Vec<JoinHandle<E>>,
+    /// Per-shard pending (unsent) batch.
+    buffers: Vec<Vec<T>>,
+    tick: u64,
+}
+
+impl<E, T> ShardedEngine<E, T>
+where
+    E: BatchIngest<T> + Mergeable + Clone + Send + 'static,
+    T: Routable + Send + 'static,
+{
+    /// Spawns the worker shards, each owning a clone of `prototype`.
+    ///
+    /// The prototype carries the randomness every shard shares — build
+    /// it once from a seeded RNG (e.g. via
+    /// [`EstimatorParams::build`](hindex_common::EstimatorParams::build))
+    /// and hand it over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`EngineConfig`] field is zero.
+    #[must_use]
+    pub fn new(config: EngineConfig, prototype: E) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.batch_size >= 1, "batch_size must be positive");
+        assert!(config.queue_depth >= 1, "queue_depth must be positive");
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = sync_channel::<Command<E, T>>(config.queue_depth);
+            let estimator = prototype.clone();
+            handles.push(std::thread::spawn(move || worker(estimator, &rx)));
+            senders.push(tx);
+        }
+        Self {
+            config,
+            senders,
+            handles,
+            buffers: (0..config.shards).map(|_| Vec::new()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// The geometry in effect.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Routes one item to its shard; hands the shard's batch to the
+    /// worker when it reaches `batch_size` (blocking if that shard's
+    /// queue is full).
+    pub fn push(&mut self, item: T) {
+        let shard = item.route(self.config.shards, self.tick);
+        self.tick += 1;
+        let buf = &mut self.buffers[shard];
+        buf.push(item);
+        if buf.len() >= self.config.batch_size {
+            let batch = std::mem::replace(buf, Vec::with_capacity(self.config.batch_size));
+            self.send(shard, batch);
+        }
+    }
+
+    /// Pushes every item of a slice.
+    pub fn push_slice(&mut self, items: &[T])
+    where
+        T: Copy,
+    {
+        for &item in items {
+            self.push(item);
+        }
+    }
+
+    /// Sends all pending partial batches to their shards.
+    pub fn flush(&mut self) {
+        for shard in 0..self.config.shards {
+            if !self.buffers[shard].is_empty() {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                self.send(shard, batch);
+            }
+        }
+    }
+
+    /// Anytime query: flushes, snapshots every shard *in place* (the
+    /// workers keep running), and merges the snapshots into a single
+    /// estimator equivalent to one that ingested everything pushed so
+    /// far.
+    pub fn query(&mut self) -> E {
+        self.flush();
+        self.merged_snapshot()
+    }
+
+    /// Retires the engine: flushes, joins all workers, and returns the
+    /// merged final estimator.
+    pub fn finish(mut self) -> E {
+        self.flush();
+        self.senders.clear(); // workers see channel close and return
+        let mut merged: Option<E> = None;
+        for handle in self.handles.drain(..) {
+            let state = handle.join().expect("shard worker panicked");
+            match merged.as_mut() {
+                None => merged = Some(state),
+                Some(m) => m.merge(&state),
+            }
+        }
+        merged.expect("at least one shard")
+    }
+
+    /// Items buffered locally, not yet handed to any worker.
+    #[must_use]
+    pub fn buffered_items(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    fn send(&self, shard: usize, batch: Vec<T>) {
+        self.senders[shard]
+            .send(Command::Batch(batch))
+            .expect("shard worker exited early");
+    }
+
+    fn merged_snapshot(&self) -> E {
+        let mut replies = Vec::with_capacity(self.config.shards);
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            tx.send(Command::Snapshot(reply_tx))
+                .expect("shard worker exited early");
+            replies.push(reply_rx);
+        }
+        let mut merged: Option<E> = None;
+        for rx in replies {
+            let state = rx.recv().expect("shard worker exited early");
+            match merged.as_mut() {
+                None => merged = Some(state),
+                Some(m) => m.merge(&state),
+            }
+        }
+        merged.expect("at least one shard")
+    }
+}
+
+/// Space of the whole pipeline: the sum of the shard estimators' space
+/// (obtained by snapshot) plus the bounded channel capacity and the
+/// router's local buffers, one word per item slot.
+impl<E, T> SpaceUsage for ShardedEngine<E, T>
+where
+    E: BatchIngest<T> + Mergeable + Clone + Send + SpaceUsage + 'static,
+    T: Routable + Send + 'static,
+{
+    fn space_words(&self) -> usize {
+        let mut replies = Vec::with_capacity(self.config.shards);
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            tx.send(Command::Snapshot(reply_tx))
+                .expect("shard worker exited early");
+            replies.push(reply_rx);
+        }
+        let shard_words: usize = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker exited early").space_words())
+            .sum();
+        let item_words = std::mem::size_of::<T>().div_ceil(std::mem::size_of::<u64>());
+        let channel_words =
+            self.config.shards * self.config.queue_depth * self.config.batch_size * item_words;
+        shard_words + channel_words + self.buffered_items() * item_words
+    }
+}
+
+impl<E, T> Drop for ShardedEngine<E, T> {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker<E, T>(mut estimator: E, rx: &Receiver<Command<E, T>>) -> E
+where
+    E: BatchIngest<T> + Clone,
+{
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Batch(batch) => estimator.ingest(&batch),
+            Command::Snapshot(reply) => {
+                // The query side may have given up (dropped receiver);
+                // ingestion must not die with it.
+                let _ = reply.send(estimator.clone());
+            }
+        }
+    }
+    estimator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hindex_baseline::CashTable;
+    use hindex_common::Epsilon;
+    use hindex_core::ExponentialHistogram;
+
+    fn staircase_updates(papers: u64, rounds: u64) -> Vec<(u64, u64)> {
+        // Interleaved unit updates: paper p ends with `rounds` total.
+        (0..rounds)
+            .flat_map(|_| (0..papers).map(|p| (p, 1)))
+            .collect()
+    }
+
+    #[test]
+    fn cash_engine_matches_serial_exactly() {
+        let updates = staircase_updates(50, 40); // h* = 40
+        let mut serial = CashTable::new();
+        for &(i, z) in &updates {
+            serial.update(i, z);
+        }
+        for shards in [1usize, 2, 3, 8] {
+            let config = EngineConfig {
+                shards,
+                batch_size: 64,
+                queue_depth: 2,
+            };
+            let mut engine = ShardedEngine::new(config, CashTable::new());
+            engine.push_slice(&updates);
+            let merged = engine.finish();
+            assert_eq!(merged.estimate(), serial.estimate(), "{shards} shards");
+            assert_eq!(merged.distinct(), serial.distinct(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn aggregate_engine_matches_serial() {
+        let values: Vec<u64> = (0..500u64).map(|k| k % 97).collect();
+        let mut serial = ExponentialHistogram::new(Epsilon::new(0.2).unwrap());
+        serial.push_batch(&values);
+        let mut engine = ShardedEngine::new(
+            EngineConfig::with_shards(4),
+            ExponentialHistogram::new(Epsilon::new(0.2).unwrap()),
+        );
+        engine.push_slice(&values);
+        let merged = engine.finish();
+        assert_eq!(merged.estimate(), serial.estimate());
+        assert_eq!(merged.counters(), serial.counters());
+    }
+
+    #[test]
+    fn anytime_query_sees_everything_pushed() {
+        let mut engine = ShardedEngine::new(EngineConfig::with_shards(2), CashTable::new());
+        for k in 0..990u64 {
+            engine.push((k % 30, 1));
+        }
+        let early = engine.query();
+        // 30 papers × 33 citations: h = 30.
+        assert_eq!(early.estimate(), 30);
+        // Engine still ingests after a query.
+        for k in 0..2_000u64 {
+            engine.push((1_000 + k % 40, 1));
+        }
+        let done = engine.finish();
+        assert_eq!(done.estimate(), 40); // 40 papers @ 50 + 30 @ 33 → h = 40
+    }
+
+    #[test]
+    fn same_paper_always_same_shard() {
+        for paper in 0..100u64 {
+            let a = (paper, 1u64).route(8, 0);
+            let b = (paper, 5u64).route(8, 123);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn routing_is_balanced() {
+        let shards = 8usize;
+        let mut counts = vec![0usize; shards];
+        for paper in 0..8_000u64 {
+            counts[(paper, 1u64).route(shards, 0)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 700 && c < 1_300,
+                "shard {s} got {c} of 8000 sequential papers"
+            );
+        }
+    }
+
+    #[test]
+    fn space_accounts_for_shards_and_buffers() {
+        let config = EngineConfig {
+            shards: 2,
+            batch_size: 8,
+            queue_depth: 2,
+        };
+        let mut engine = ShardedEngine::new(config, CashTable::new());
+        for k in 0..100u64 {
+            engine.push((k, 1));
+        }
+        let words = engine.space_words();
+        let merged = engine.finish();
+        // Engine space at least covers the merged estimator's state
+        // (shard duplication and channel capacity only add).
+        assert!(words >= merged.space_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::<CashTable, (u64, u64)>::new(
+            EngineConfig {
+                shards: 0,
+                batch_size: 1,
+                queue_depth: 1,
+            },
+            CashTable::new(),
+        );
+    }
+}

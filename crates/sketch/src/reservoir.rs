@@ -60,6 +60,57 @@ impl<T> Reservoir<T> {
         }
     }
 
+    /// Merges `other` into `self`: afterwards `self` is a uniform
+    /// sample of the *union* of both streams, as if every item had been
+    /// offered to one reservoir.
+    ///
+    /// Exactness: the number of survivors drawn from each side follows
+    /// the hypergeometric law of a uniform `k`-subset of the combined
+    /// stream (simulated by sequential weighted draws), and each side's
+    /// contribution is a uniform without-replacement pick from its
+    /// sample — which is itself uniform over that side's stream. Unlike
+    /// the linear sketches, the merged state is *distributionally*
+    /// correct, not bit-identical to single-stream ingestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn merge_with<R: Rng + ?Sized>(&mut self, other: &Self, rng: &mut R)
+    where
+        T: Clone,
+    {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        if other.seen == 0 {
+            return;
+        }
+        let total = self.seen + other.seen;
+        let k = (self.capacity as u64).min(total) as usize;
+        let (mut rem_a, mut rem_b) = (self.seen, other.seen);
+        let (mut take_a, mut take_b) = (0usize, 0usize);
+        for _ in 0..k {
+            if rng.random_range(0..rem_a + rem_b) < rem_a {
+                take_a += 1;
+                rem_a -= 1;
+            } else {
+                take_b += 1;
+                rem_b -= 1;
+            }
+        }
+        let mut a = std::mem::take(&mut self.items);
+        let mut b = other.items.clone();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..take_a {
+            let i = rng.random_range(0..a.len() as u64) as usize;
+            out.push(a.swap_remove(i));
+        }
+        for _ in 0..take_b {
+            let i = rng.random_range(0..b.len() as u64) as usize;
+            out.push(b.swap_remove(i));
+        }
+        self.items = out;
+        self.seen = total;
+    }
+
     /// The current sample (uniform over everything offered).
     #[must_use]
     pub fn items(&self) -> &[T] {
@@ -155,6 +206,74 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = Reservoir::<u64>::new(0);
+    }
+
+    #[test]
+    fn merge_counts_and_provenance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = Reservoir::new(8);
+        let mut b = Reservoir::new(8);
+        for i in 0..100u64 {
+            a.offer(i, &mut rng);
+        }
+        for i in 100..130u64 {
+            b.offer(i, &mut rng);
+        }
+        a.merge_with(&b, &mut rng);
+        assert_eq!(a.seen(), 130);
+        assert_eq!(a.items().len(), 8);
+        assert!(a.items().iter().all(|&i| i < 130));
+    }
+
+    #[test]
+    fn merge_of_small_sides_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = Reservoir::new(10);
+        let mut b = Reservoir::new(10);
+        for i in 0..3u64 {
+            a.offer(i, &mut rng);
+        }
+        for i in 3..7u64 {
+            b.offer(i, &mut rng);
+        }
+        a.merge_with(&b, &mut rng);
+        let mut kept: Vec<u64> = a.items().to_vec();
+        kept.sort_unstable();
+        assert_eq!(kept, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_inclusion_probability_uniform() {
+        // 60 items split unevenly across two reservoirs of capacity 10:
+        // after merging, every item should survive with probability
+        // 10/60 regardless of which side it came from.
+        let n = 60u64;
+        let split = 45u64;
+        let cap = 10usize;
+        let trials = 3000u64;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(t);
+            let mut a = Reservoir::new(cap);
+            let mut b = Reservoir::new(cap);
+            for i in 0..split {
+                a.offer(i, &mut rng);
+            }
+            for i in split..n {
+                b.offer(i, &mut rng);
+            }
+            a.merge_with(&b, &mut rng);
+            for &i in a.items() {
+                counts[i as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * cap as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.75 && (c as f64) < expected * 1.25,
+                "item {i}: {c} vs {expected}"
+            );
+        }
     }
 
     proptest::proptest! {

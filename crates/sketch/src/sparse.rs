@@ -24,6 +24,14 @@ use rand::Rng;
 /// Linear sketch recovering vectors with up to `s` non-zero
 /// coordinates.
 ///
+/// The cell grid is materialised lazily on the first update: all
+/// randomness (hashes, fingerprint point) is drawn eagerly in
+/// [`SparseRecovery::new`], so clones taken before or after the grid
+/// exists stay merge-compatible, but an untouched sketch costs only a
+/// few words to hold, clone, or merge. The ℓ₀-sampler allocates dozens
+/// of geometric levels of which a stream touches a handful; laziness
+/// keeps the resident footprint proportional to the touched levels.
+///
 /// ```
 /// use hindex_sketch::SparseRecovery;
 /// use rand::{rngs::StdRng, SeedableRng};
@@ -38,7 +46,8 @@ pub struct SparseRecovery {
     s: usize,
     cols: usize,
     hashes: Vec<PairwiseHash>,
-    /// `cells[row * cols + col]`.
+    /// `cells[row * cols + col]`; empty until the first update
+    /// (an empty grid sketches the zero vector).
     cells: Vec<OneSparseRecovery>,
     /// Whole-vector fingerprint for decode verification.
     checksum: OneSparseRecovery,
@@ -58,13 +67,22 @@ impl SparseRecovery {
         let cols = 2 * s;
         let point = rng.random_range(1..MERSENNE_P);
         let hashes = (0..rows).map(|_| PairwiseHash::new(rng)).collect();
-        let cells = vec![OneSparseRecovery::with_point(point); rows * cols];
         Self {
             s,
             cols,
             hashes,
-            cells,
+            cells: Vec::new(),
             checksum: OneSparseRecovery::with_point(point),
+        }
+    }
+
+    /// Materialises the zero grid (all randomness was drawn in `new`,
+    /// so this is deterministic and clone/merge-compatible).
+    fn ensure_cells(&mut self) {
+        if self.cells.is_empty() {
+            let point = self.checksum.point();
+            self.cells =
+                vec![OneSparseRecovery::with_point(point); self.hashes.len() * self.cols];
         }
     }
 
@@ -76,6 +94,7 @@ impl SparseRecovery {
 
     /// Applies the update `V[index] += delta`.
     pub fn update(&mut self, index: u64, delta: i64) {
+        self.ensure_cells();
         // One exponentiation, shared across every touched cell.
         let r_pow = mersenne_pow(self.checksum.point(), index);
         self.checksum.update_with_power(index, delta, r_pow);
@@ -95,8 +114,13 @@ impl SparseRecovery {
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.s, other.s, "sparsity mismatch");
         assert_eq!(self.hashes.len(), other.hashes.len(), "row mismatch");
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.merge(b);
+        // An unmaterialised side sketches the zero vector: adding it is
+        // a no-op, and adding *into* it just needs the grid first.
+        if !other.cells.is_empty() {
+            self.ensure_cells();
+            for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+                a.merge(b);
+            }
         }
         self.checksum.merge(&other.checksum);
     }
@@ -117,6 +141,11 @@ impl SparseRecovery {
     /// Returned pairs are sorted by index with exact values.
     #[must_use]
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        if self.cells.is_empty() {
+            // Never updated (laziness invariant): the zero vector.
+            debug_assert!(matches!(self.checksum.decode(), Recovery::Zero));
+            return Some(Vec::new());
+        }
         let mut cells = self.cells.clone();
         let mut checksum = self.checksum.clone();
         let mut found: Vec<(u64, i64)> = Vec::with_capacity(self.s);
@@ -170,7 +199,9 @@ impl SparseRecovery {
 
 impl SpaceUsage for SparseRecovery {
     fn space_words(&self) -> usize {
-        let cell_words: usize = self.cells.iter().map(SpaceUsage::space_words).sum();
+        // Report the full-grid capacity whether or not the lazy grid is
+        // materialised yet: space bounds quote the worst case.
+        let cell_words = self.hashes.len() * self.cols * self.checksum.space_words();
         // Two words per pairwise hash (a, b) plus the checksum cell.
         cell_words + 2 * self.hashes.len() + self.checksum.space_words()
     }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: offline build, tests, lints, benches compile.
+# Mirrors what CI would run; everything works with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, offline)"
+cargo build --release --offline --workspace
+
+echo "==> tests"
+cargo test -q --offline --workspace
+
+echo "==> clippy"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> benches compile"
+cargo bench -p hindex-bench --offline --no-run
+
+echo "All checks passed."

@@ -12,7 +12,9 @@
 //!   synthetic corpus generators;
 //! * [`hindex_baseline`] ([`baseline`]) — exact streaming baselines;
 //! * [`hindex_core`] ([`core`]) — the paper's algorithms (Algorithms
-//!   1–8 of PODS'17).
+//!   1–8 of PODS'17);
+//! * [`hindex_engine`] ([`engine`]) — sharded, batched, multi-threaded
+//!   ingestion over any mergeable estimator.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub mod quick;
 pub use hindex_baseline as baseline;
 pub use hindex_common as common;
 pub use hindex_core as core;
+pub use hindex_engine as engine;
 pub use hindex_hashing as hashing;
 pub use hindex_sketch as sketch;
 pub use hindex_stream as stream;
@@ -46,8 +49,9 @@ pub use hindex_stream as stream;
 pub mod prelude {
     pub use hindex_common::{
         h_index, h_support, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon,
-        IncrementalHIndex, SpaceUsage,
+        EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage,
     };
     pub use hindex_core::prelude::*;
+    pub use hindex_engine::{BatchIngest, EngineConfig, Routable, ShardedEngine};
     pub use hindex_stream::prelude::*;
 }

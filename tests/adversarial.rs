@@ -229,7 +229,7 @@ fn estimators_never_panic_on_fuzzed_inputs() {
                     0 => rng.random_range(0..10),
                     1 => rng.random_range(0..1_000_000),
                     2 => u64::from(u32::MAX),
-                    _ => 1 << rng.random_range(0..60),
+                    _ => 1u64 << rng.random_range(0..60),
                 }
             })
             .collect();

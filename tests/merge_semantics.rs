@@ -154,6 +154,107 @@ fn l0_sampler_merge_sees_both_shards() {
     assert!(found_a_side && found_b_side, "merge lost a shard");
 }
 
+/// Folds shard states left-to-right through the [`Mergeable`] trait —
+/// the same code path the engine uses, usable here for any estimator.
+fn merge_shards<E: Mergeable>(mut shards: Vec<E>) -> E {
+    let mut acc = shards.remove(0);
+    for s in &shards {
+        acc.merge(s);
+    }
+    acc
+}
+
+#[test]
+fn turnstile_sharded_equals_single_stream_with_deletions() {
+    // Deletions land on a *different* shard than the insertions they
+    // cancel; linearity still makes the merged state identical to the
+    // single-stream state.
+    let mut rng = StdRng::seed_from_u64(21);
+    let proto = TurnstileHIndex::with_sampler_count(
+        Epsilon::new(0.4).unwrap(),
+        Delta::new(0.3).unwrap(),
+        27,
+        &mut rng,
+    );
+    let mut updates: Vec<(u64, i64)> = (0..2_000u64).map(|i| (i % 120, 3)).collect();
+    updates.extend((0..60u64).map(|p| (p, -3))); // retractions
+    let mut whole = proto.clone();
+    let mut shards: Vec<TurnstileHIndex> = (0..3).map(|_| proto.clone()).collect();
+    for (k, &(i, d)) in updates.iter().enumerate() {
+        whole.update(i, d);
+        shards[k % 3].update(i, d);
+    }
+    let merged = merge_shards(shards);
+    assert_eq!(merged.estimate(), whole.estimate());
+}
+
+#[test]
+#[should_panic(expected = "config mismatch")]
+fn turnstile_merge_rejects_mismatched_geometry() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let eps = Epsilon::new(0.4).unwrap();
+    let delta = Delta::new(0.3).unwrap();
+    let mut a = TurnstileHIndex::with_sampler_count(eps, delta, 9, &mut rng);
+    let b = TurnstileHIndex::with_sampler_count(eps, delta, 11, &mut rng);
+    a.merge(&b);
+}
+
+#[test]
+fn heavy_hitters_sharded_decode_finds_planted_authors() {
+    // Algorithm 8 is built from linear counters plus per-level author
+    // reservoirs, so merged shards answer like one detector: the
+    // planted heavy authors must survive a 2-way shard split.
+    let corpus = hindex_stream::generator::planted_heavy_hitters(&[80, 60], 60, 4, 2, 1);
+    let truth = corpus.ground_truth();
+    let expected = truth.heavy_hitters(0.2);
+    assert!(!expected.is_empty());
+    let mut found = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let params = HeavyHittersParams::new(
+            Epsilon::new(0.2).unwrap(),
+            Delta::new(0.05).unwrap(),
+        );
+        let proto = HeavyHitters::new(params, &mut StdRng::seed_from_u64(seed));
+        let mut shards = vec![proto.clone(), proto];
+        for (k, p) in corpus.papers().iter().enumerate() {
+            shards[k % 2].push(p);
+        }
+        let merged = merge_shards(shards);
+        let out = merged.decode();
+        if expected.iter().all(|&(a, _)| out.iter().any(|c| c.author == a)) {
+            found += 1;
+        }
+    }
+    assert!(found >= trials - 2, "full recall in only {found}/{trials} merged runs");
+}
+
+#[test]
+#[should_panic(expected = "hash randomness")]
+fn heavy_hitters_merge_rejects_foreign_randomness() {
+    let params = HeavyHittersParams::new(
+        Epsilon::new(0.25).unwrap(),
+        Delta::new(0.1).unwrap(),
+    );
+    let mut a = HeavyHitters::new(params, &mut StdRng::seed_from_u64(1));
+    let b = HeavyHitters::new(params, &mut StdRng::seed_from_u64(2));
+    a.merge(&b);
+}
+
+#[test]
+fn g_index_sharded_equals_single_stream() {
+    let eps = Epsilon::new(0.2).unwrap();
+    let values: Vec<u64> = (0..4_000u64).map(|i| (i * 13) % 900 + 1).collect();
+    let mut whole = StreamingGIndex::new(eps);
+    let mut shards: Vec<StreamingGIndex> = (0..4).map(|_| StreamingGIndex::new(eps)).collect();
+    for (k, &v) in values.iter().enumerate() {
+        whole.push(v);
+        shards[k % 4].push(v);
+    }
+    let merged = merge_shards(shards);
+    assert_eq!(merged.estimate(), whole.estimate());
+}
+
 #[test]
 fn cash_register_sharded_equals_single_stream() {
     let corpus = hindex_stream::generator::planted_h_corpus(25, 80, 9);

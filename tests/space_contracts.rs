@@ -142,6 +142,71 @@ fn theorem_18_geometry_author_independent() {
     assert!(words_20k <= bound, "{words_20k} > geometry bound {bound}");
 }
 
+/// The sharded engine's space is the sum of its parts: every shard's
+/// estimator plus the bounded channel capacity and the router's local
+/// buffers. No hidden state.
+#[test]
+fn engine_space_accounts_shards_and_channels() {
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(8));
+    let proto_words = prototype.space_words();
+    let config = hindex_engine::EngineConfig {
+        shards: 3,
+        batch_size: 64,
+        queue_depth: 2,
+    };
+    let mut engine = ShardedEngine::new(config, prototype);
+    for i in 0..5_000u64 {
+        engine.push((i % 200, 1));
+    }
+    // (u64, u64) items occupy two words per slot.
+    let channel_words = 3 * 2 * 64 * 2;
+    let buffered_words = engine.buffered_items() * 2;
+    let words = engine.space_words();
+    assert!(
+        words >= 3 * proto_words + channel_words + buffered_words,
+        "{words} < parts"
+    );
+    // Upper bound: shard sketches only grow by their capped BJKST
+    // buffers (Theorem 14's stream-independence, per shard).
+    assert!(
+        words <= 3 * (proto_words + 100_000) + channel_words + buffered_words,
+        "engine space unbounded: {words}"
+    );
+    engine.finish();
+}
+
+/// The exact engine splits the key space: the shards' tables together
+/// store each distinct paper exactly once, so sharding adds only the
+/// fixed channel capacity.
+#[test]
+fn exact_engine_space_partitions_keys() {
+    use hindex_baseline::CashTable;
+    use hindex_common::CashRegisterEstimator as _;
+    let mut single = CashTable::new();
+    let config = hindex_engine::EngineConfig {
+        shards: 4,
+        batch_size: 32,
+        queue_depth: 2,
+    };
+    let mut engine = ShardedEngine::new(config, CashTable::new());
+    for i in 0..3_000u64 {
+        single.update(i % 500, 2);
+        engine.push((i % 500, 2));
+    }
+    engine.flush();
+    let channel_words = 4 * 2 * 32 * 2;
+    let words = engine.space_words();
+    assert!(
+        words <= single.space_words() + channel_words + 64,
+        "sharded exact tables duplicate keys: {words}"
+    );
+    engine.finish();
+}
+
 /// The exact baselines really do pay linear/Θ(h) space — the gap the
 /// paper's sketches close.
 #[test]
