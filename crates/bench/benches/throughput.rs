@@ -15,6 +15,12 @@
 //!   BJKST observe;
 //! * `extensions` — sliding-window / g-index variants and their
 //!   primitives;
+//! * `kernels` — the hot-path field-arithmetic kernels, scalar vs
+//!   kernel on identical workloads: fixed-base exponentiation
+//!   (`mersenne_pow` vs the windowed [`PowerLadder`]), Horner hashing
+//!   (per-key vs batched), 1-sparse/s-sparse/ℓ₀ update paths, the
+//!   turnstile batch path, and the turnstile sharded engine at
+//!   1/2/4/8 shards;
 //! * `engine_scaling` — the sharded ingestion engine at 1/2/4/8 shards
 //!   on the `cash_update` workload, reporting speedup over one shard;
 //! * `engine_overheads` — the engine's fixed per-run costs (clone,
@@ -25,8 +31,14 @@
 //! and element throughput. Run with:
 //!
 //! ```sh
-//! cargo bench --offline
+//! cargo bench --offline --bench throughput
 //! ```
+//!
+//! Flags (after `--`): `--quick` runs a reduced `kernels`-only smoke
+//! pass (CI); `--json PATH` writes every recorded measurement plus
+//! derived shard-scaling ratios as JSON (schema documented in
+//! `scripts/bench.sh`). Unrecognized flags (e.g. the `--bench` cargo
+//! injects) are ignored.
 
 use hindex_baseline::{AuthorTable, CashTable, FullStore};
 use hindex_bench::workloads::{hh_corpus, zipf_counts};
@@ -43,9 +55,20 @@ use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const N: u64 = 100_000;
+
+/// Every [`report`]ed measurement, for `--json` output.
+struct Entry {
+    group: String,
+    name: String,
+    elems: u64,
+    median_ns: u128,
+}
+
+static RECORD: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
 
 /// Times `f` (whose result is black-boxed) `runs` times after one
 /// warm-up pass and returns the median duration.
@@ -105,6 +128,71 @@ fn report(group: &str, name: &str, elems: u64, med: Duration) {
         med,
         rate / 1e6,
     );
+    RECORD.lock().unwrap().push(Entry {
+        group: group.to_string(),
+        name: name.to_string(),
+        elems,
+        median_ns: med.as_nanos(),
+    });
+}
+
+/// Writes the recorded measurements as JSON (schema: see the header of
+/// `scripts/bench.sh`). Hand-rolled — no serde offline — which is fine
+/// because every field is a number or a `[A-Za-z0-9_/]` identifier.
+fn write_json(path: &str) {
+    let record = RECORD.lock().unwrap();
+    let mut out = String::from("{\n  \"schema\": \"hindex-bench/v1\",\n  \"entries\": [\n");
+    for (k, e) in record.iter().enumerate() {
+        let secs = e.median_ns as f64 / 1e9;
+        let ns_per = e.median_ns as f64 / e.elems as f64;
+        let rate = e.elems as f64 / secs;
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"elems\": {}, \
+             \"median_ns\": {}, \"ns_per_elem\": {:.3}, \"items_per_sec\": {:.1}}}{}\n",
+            e.group,
+            e.name,
+            e.elems,
+            e.median_ns,
+            ns_per,
+            rate,
+            if k + 1 < record.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"shard_scaling\": [\n");
+    // Derived ratios: for every `<base>_shards_<k>` family, speedup of
+    // each shard count over its own 1-shard run.
+    let mut families: Vec<(String, String)> = Vec::new();
+    for e in record.iter() {
+        if let Some((base, _)) = e.name.rsplit_once("_shards_") {
+            let fam = (e.group.clone(), base.to_string());
+            if !families.contains(&fam) {
+                families.push(fam);
+            }
+        }
+    }
+    let mut lines: Vec<String> = Vec::new();
+    for (group, base) in &families {
+        let one = record.iter().find(|e| {
+            &e.group == group && e.name == format!("{base}_shards_1")
+        });
+        let Some(one) = one else { continue };
+        for e in record.iter() {
+            let prefix = format!("{base}_shards_");
+            if &e.group == group {
+                if let Some(k) = e.name.strip_prefix(&prefix) {
+                    let speedup = one.median_ns as f64 / e.median_ns as f64;
+                    lines.push(format!(
+                        "    {{\"group\": \"{group}\", \"base\": \"{base}\", \
+                         \"shards\": {k}, \"speedup_vs_1shard\": {speedup:.3}}}",
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {path}");
 }
 
 fn aggregate_push() {
@@ -291,6 +379,157 @@ fn extensions() {
     });
 }
 
+/// The hot-path kernels, each against the scalar path it replaces, on
+/// identical inputs. `quick` shrinks sizes ~10× and drops to one timed
+/// run for CI smoke passes.
+fn kernels(quick: bool) {
+    use hindex_common::TurnstileEstimator;
+    use hindex_core::TurnstileHIndex;
+    use hindex_hashing::{mersenne_pow, Hasher64, PolynomialHash, PowerLadder};
+    use hindex_sketch::{OneSparseRecovery, SparseRecovery};
+
+    let scale: u64 = if quick { 10 } else { 1 };
+    let runs = if quick { 1 } else { 5 };
+
+    // Fixed-base exponentiation: the square-and-multiply chain vs the
+    // windowed table. Same base, same exponent stream.
+    let reps = 1_000_000 / scale;
+    let base = 123_456_789_012_345u64;
+    bench("kernels", "pow_scalar", reps, runs, || {
+        let mut acc = 0u64;
+        for i in 0..reps {
+            acc ^= mersenne_pow(base, black_box(i));
+        }
+        acc
+    });
+    let ladder = PowerLadder::new(base);
+    bench("kernels", "pow_ladder", reps, runs, || {
+        let mut acc = 0u64;
+        for i in 0..reps {
+            acc ^= ladder.pow(black_box(i));
+        }
+        acc
+    });
+
+    // Horner hashing: per-key vs the 4-way unrolled batch kernel.
+    let keys: Vec<u64> = (0..reps).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let poly = PolynomialHash::new(12, &mut StdRng::seed_from_u64(8));
+    bench("kernels", "horner_scalar", reps, runs, || {
+        let mut acc = 0u64;
+        for &k in &keys {
+            acc ^= poly.hash(black_box(k));
+        }
+        acc
+    });
+    let mut hash_out = Vec::new();
+    bench("kernels", "horner_batch", reps, runs, || {
+        poly.hash_batch(black_box(&keys), &mut hash_out);
+        hash_out.iter().fold(0u64, |a, &h| a ^ h)
+    });
+
+    // 1-sparse cell: `update` recomputes rⁱ by square-and-multiply
+    // every call; `update_with_power` takes it from a ladder.
+    let one_reps = 200_000 / scale;
+    bench("kernels", "one_sparse_scalar", one_reps, runs, || {
+        let mut s = OneSparseRecovery::with_point(base);
+        for i in 0..one_reps {
+            s.update(black_box(i % 50_000), 1);
+        }
+        s.decode()
+    });
+    bench("kernels", "one_sparse_ladder", one_reps, runs, || {
+        let mut s = OneSparseRecovery::with_point(base);
+        for i in 0..one_reps {
+            let idx = black_box(i % 50_000);
+            s.update_with_power(idx, 1, ladder.pow(idx));
+        }
+        s.decode()
+    });
+
+    // s-sparse recovery: scalar updates vs the batched column-hash
+    // path, identical update stream.
+    let sr_reps = 200_000 / scale;
+    let sr_updates: Vec<(u64, i64)> =
+        (0..sr_reps).map(|i| (i % 50_000, 1)).collect();
+    let sparse_proto = SparseRecovery::new(8, 6, &mut StdRng::seed_from_u64(9));
+    bench("kernels", "s_sparse_scalar", sr_reps, runs, || {
+        let mut s = sparse_proto.clone();
+        for &(i, d) in &sr_updates {
+            s.update(black_box(i), d);
+        }
+        s
+    });
+    bench("kernels", "s_sparse_batch", sr_reps, runs, || {
+        let mut s = sparse_proto.clone();
+        s.update_batch(black_box(&sr_updates));
+        s
+    });
+
+    // ℓ₀-sampler: the scalar path (now one shared ladder pow per
+    // update) vs the batched path.
+    let l0_reps = 500_000 / scale;
+    let l0_updates: Vec<(u64, i64)> =
+        (0..l0_reps).map(|i| (i % 100_000, 1)).collect();
+    let l0_proto = L0Sampler::new(L0SamplerParams::default(), &mut StdRng::seed_from_u64(6));
+    bench("kernels", "l0_update_scalar", l0_reps, runs.min(3), || {
+        let mut s = l0_proto.clone();
+        for &(i, d) in &l0_updates {
+            s.update(black_box(i), d);
+        }
+        s.sample()
+    });
+    bench("kernels", "l0_update_batch", l0_reps, runs.min(3), || {
+        let mut s = l0_proto.clone();
+        s.update_batch(black_box(&l0_updates));
+        s.sample()
+    });
+
+    // Turnstile estimator, 27-sampler bank (mirrors the
+    // `ext_primitives` workload): scalar vs coalescing batch path.
+    let tn_reps = 50_000 / scale;
+    let tn_updates: Vec<(u64, i64)> = (0..tn_reps).map(|i| (i % 500, 1)).collect();
+    let tn_proto = TurnstileHIndex::with_sampler_count(
+        Epsilon::new(0.4).unwrap(),
+        Delta::new(0.3).unwrap(),
+        27,
+        &mut StdRng::seed_from_u64(2),
+    );
+    bench("kernels", "turnstile_scalar_x27", tn_reps, runs.min(3), || {
+        let mut est = tn_proto.clone();
+        for &(i, d) in &tn_updates {
+            TurnstileEstimator::update(&mut est, black_box(i), d);
+        }
+        est.estimate()
+    });
+    bench("kernels", "turnstile_batch_x27", tn_reps, runs.min(3), || {
+        let mut est = tn_proto.clone();
+        est.update_batch(black_box(&tn_updates));
+        est.estimate()
+    });
+
+    // Turnstile sharded engine: per-shard batch coalescing + whatever
+    // thread parallelism the host offers, 1/2/4/8 shards.
+    for shards in [1usize, 2, 4, 8] {
+        let setup = || {
+            ShardedEngine::new(
+                EngineConfig { shards, batch_size: 1024, queue_depth: 4 },
+                tn_proto.clone(),
+            )
+        };
+        bench_with_setup(
+            "kernels",
+            &format!("turnstile_shards_{shards}"),
+            tn_reps,
+            runs.min(3),
+            setup,
+            |mut engine: ShardedEngine<TurnstileHIndex, (u64, i64)>| {
+                engine.push_slice(&tn_updates);
+                engine.finish().estimate()
+            },
+        );
+    }
+}
+
 /// Sharded-engine scaling on the `cash_update` workload. Shard-by-paper
 /// routing concentrates each paper's updates on one worker, so
 /// per-batch coalescing collapses more duplicate keys per shard; the
@@ -362,16 +601,32 @@ fn engine_overheads() {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     println!(
         "{:<18} {:<24} {:>13}  {:>17}  {:>15}",
         "group", "benchmark", "median", "per element", "throughput"
     );
-    aggregate_push();
-    aggregate_query();
-    cash_update();
-    heavy_hitters_push();
-    substrates();
-    extensions();
-    engine_scaling();
-    engine_overheads();
+    if quick {
+        // CI smoke: the kernel comparisons only, at ~10× reduced sizes.
+        kernels(true);
+    } else {
+        aggregate_push();
+        aggregate_query();
+        cash_update();
+        heavy_hitters_push();
+        substrates();
+        extensions();
+        kernels(false);
+        engine_scaling();
+        engine_overheads();
+    }
+    if let Some(path) = json {
+        write_json(&path);
+    }
 }

@@ -36,4 +36,5 @@ pub use hindex::{h_index, h_index_sorted_desc, h_support, IncrementalHIndex};
 pub use params::{Delta, Epsilon};
 pub use traits::{
     AggregateEstimator, CashRegisterEstimator, EstimatorParams, Mergeable, SpaceUsage,
+    TurnstileEstimator,
 };

@@ -83,6 +83,32 @@ pub trait CashRegisterEstimator {
     }
 }
 
+/// Streaming estimator over the turnstile model: signed updates
+/// `(index, delta)` with `delta` possibly negative (retractions).
+///
+/// Strictly more general than [`CashRegisterEstimator`]; it gets its
+/// own trait (rather than a widening of that one) because the paper's
+/// cash-register algorithms are *not* deletion-tolerant — the type
+/// system should refuse to route a stream with retractions into them.
+pub trait TurnstileEstimator {
+    /// Applies the update `V[index] += delta` (`delta` may be
+    /// negative).
+    fn update(&mut self, index: u64, delta: i64);
+
+    /// Current estimate.
+    fn estimate(&self) -> u64;
+
+    /// Applies a batch of updates. Semantically identical to applying
+    /// each update in order; linear-sketch implementations override
+    /// with coalescing/batched-kernel paths that stay state-identical
+    /// (exact cancellation makes the state order-insensitive).
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        for &(i, d) in updates {
+            self.update(i, d);
+        }
+    }
+}
+
 /// Estimators whose states combine: after `a.merge(&b)`, `a` is exactly
 /// (or distributionally, see below) the estimator that saw `a`'s stream
 /// followed by `b`'s stream.
@@ -129,6 +155,20 @@ pub trait SpaceUsage {
     /// (ε, thresholds derivable from ε) are excluded, matching how the
     /// paper counts.
     fn space_words(&self) -> usize;
+
+    /// Words of **derived scratch**: lookup tables and working buffers
+    /// that are recomputable from the randomness already counted in
+    /// [`SpaceUsage::space_words`] (windowed power ladders, decode
+    /// scratch). These trade memory for cycles without adding
+    /// information, so the paper's random-words bounds — and every
+    /// space-contract test — are stated over `space_words` alone;
+    /// scratch is reported on this separate channel so deployments can
+    /// still see the true resident footprint
+    /// (`space_words() + scratch_words()`). Policy:
+    /// `docs/ALGORITHMS.md`, "Space accounting for derived scratch".
+    fn scratch_words(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -243,10 +243,18 @@ impl CashRegisterEstimator for CashRegisterHIndex {
                 false
             }
         });
-        for &(i, z) in &coalesced {
-            for s in &mut self.samplers {
-                s.update(i, z as i64);
-            }
+        if coalesced.is_empty() {
+            return;
+        }
+        // The sampler bank takes the coalesced batch through the
+        // batched kernel path (one level-hash Horner sweep, one ladder
+        // pow per distinct index per sampler); BJKST stays per-index.
+        let signed: Vec<(u64, i64)> =
+            coalesced.iter().map(|&(i, z)| (i, z as i64)).collect();
+        for s in &mut self.samplers {
+            s.update_batch(&signed);
+        }
+        for &(i, _) in &coalesced {
             self.distinct.observe(i);
         }
     }
@@ -284,6 +292,10 @@ impl SpaceUsage for CashRegisterHIndex {
     fn space_words(&self) -> usize {
         let sampler_words: usize = self.samplers.iter().map(SpaceUsage::space_words).sum();
         sampler_words + self.distinct.space_words() + 1
+    }
+
+    fn scratch_words(&self) -> usize {
+        self.samplers.iter().map(SpaceUsage::scratch_words).sum()
     }
 }
 

@@ -37,7 +37,9 @@
 //! Estimators plug in through [`BatchIngest`], which is implemented
 //! automatically for every
 //! [`CashRegisterEstimator`](hindex_common::CashRegisterEstimator)
-//! (over `(index, delta)` items) and every
+//! (over `(u64, u64)` items), every
+//! [`TurnstileEstimator`](hindex_common::TurnstileEstimator) (over
+//! signed `(u64, i64)` items — retraction streams), and every
 //! [`AggregateEstimator`](hindex_common::AggregateEstimator) (over
 //! `u64` items) — including their batch fast paths
 //! (`update_batch`/`push_batch`), which is where the engine's
@@ -46,7 +48,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use hindex_common::{AggregateEstimator, CashRegisterEstimator, Mergeable, SpaceUsage};
+use hindex_common::{
+    AggregateEstimator, CashRegisterEstimator, Mergeable, SpaceUsage, TurnstileEstimator,
+};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
 
@@ -72,6 +76,12 @@ impl<E: AggregateEstimator> BatchIngest<u64> for E {
     }
 }
 
+impl<E: TurnstileEstimator> BatchIngest<(u64, i64)> for E {
+    fn ingest(&mut self, batch: &[(u64, i64)]) {
+        self.update_batch(batch);
+    }
+}
+
 /// How a stream item picks its shard.
 pub trait Routable {
     /// Shard for this item. `shards ≥ 1`; `tick` is a monotone
@@ -91,6 +101,17 @@ pub fn mix64(mut x: u64) -> u64 {
 /// Cash-register updates route by paper index: every update to a paper
 /// lands on the same shard.
 impl Routable for (u64, u64) {
+    fn route(&self, shards: usize, _tick: u64) -> usize {
+        (mix64(self.0) % shards as u64) as usize
+    }
+}
+
+/// Turnstile updates route by paper index too: an insert and its later
+/// retraction must meet on the same shard for per-shard coalescing to
+/// cancel them (any partition would still *merge* correctly — linear
+/// sketches cancel across shards — but keeping a paper's history
+/// together is what lets the batch path collapse it early).
+impl Routable for (u64, i64) {
     fn route(&self, shards: usize, _tick: u64) -> usize {
         (mix64(self.0) % shards as u64) as usize
     }
@@ -419,6 +440,38 @@ mod tests {
         }
         let done = engine.finish();
         assert_eq!(done.estimate(), 40); // 40 papers @ 50 + 30 @ 33 → h = 40
+    }
+
+    #[test]
+    fn turnstile_engine_matches_serial_exactly() {
+        use hindex_common::{Delta, Epsilon, TurnstileEstimator};
+        use hindex_core::TurnstileHIndex;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let proto = TurnstileHIndex::with_sampler_count(
+            Epsilon::new(0.3).unwrap(),
+            Delta::new(0.2).unwrap(),
+            9,
+            &mut StdRng::seed_from_u64(77),
+        );
+        // 30 papers at 20 citations, then 10 fully retracted — the
+        // retraction may land on a different batch than the inserts.
+        let mut updates: Vec<(u64, i64)> = (0..30u64).map(|p| (p, 20)).collect();
+        updates.extend((0..10u64).map(|p| (p, -20)));
+        let mut serial = proto.clone();
+        for &(i, d) in &updates {
+            TurnstileEstimator::update(&mut serial, i, d);
+        }
+        for shards in [1usize, 2, 4] {
+            let config = EngineConfig { shards, batch_size: 16, queue_depth: 2 };
+            let mut engine = ShardedEngine::new(config, proto.clone());
+            engine.push_slice(&updates);
+            let merged = engine.finish();
+            // Linear sketches: merged state is bit-identical to the
+            // serial stream, so estimates agree exactly.
+            assert_eq!(merged.estimate(), serial.estimate(), "{shards} shards");
+        }
     }
 
     #[test]

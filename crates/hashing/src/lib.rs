@@ -16,17 +16,27 @@
 //!
 //! All families are constructed from an explicit RNG so every run in the
 //! workspace is reproducible from a seed.
+//!
+//! On top of the families sits the **hot-path kernel layer**: windowed
+//! power ladders ([`PowerLadder`]) that turn per-update fixed-base
+//! exponentiation into a handful of table lookups, and batched Horner
+//! evaluation ([`PolynomialHash::hash_batch`],
+//! [`PairwiseHash::hash_to_range_batch`]) that keeps the reduction
+//! pipeline full across a slice of keys. Every kernel is bit-identical
+//! to its scalar counterpart — they change cycle counts, never states.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod field;
 pub mod kwise;
+pub mod ladder;
 pub mod pairwise;
 pub mod tabulation;
 
 pub use field::{mersenne_mul, mersenne_pow, mersenne_reduce, MERSENNE_P};
 pub use kwise::PolynomialHash;
+pub use ladder::PowerLadder;
 pub use pairwise::PairwiseHash;
 pub use tabulation::TabulationHash;
 
@@ -47,7 +57,13 @@ pub trait Hasher64 {
     /// keep `m` below 2³².
     fn hash_to_range(&self, key: u64, m: u64) -> u64 {
         assert!(m > 0, "range must be non-empty");
-        self.hash(key) % m
+        if m.is_power_of_two() {
+            // Same value as `% m`, without the hardware divide — the
+            // sketches' column counts (2s) are usually powers of two.
+            self.hash(key) & (m - 1)
+        } else {
+            self.hash(key) % m
+        }
     }
 
     /// Hashes to the unit interval `[0, 1)`.

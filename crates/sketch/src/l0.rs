@@ -14,10 +14,12 @@
 //! hash value is the sample. Uniformity follows because the level hash
 //! is independent of the values.
 
-use crate::sparse::SparseRecovery;
+use crate::sparse::{DecodeScratch, SparseRecovery};
 use hindex_common::SpaceUsage;
-use hindex_hashing::{Hasher64, PolynomialHash};
+use hindex_hashing::field::MERSENNE_P;
+use hindex_hashing::{mersenne_mul, Hasher64, PolynomialHash, PowerLadder};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Configuration for [`L0Sampler`].
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +83,12 @@ impl L0SamplerParams {
 pub struct L0Sampler {
     level_hash: PolynomialHash,
     levels: Vec<SparseRecovery>,
+    /// One fingerprint point — and one windowed power ladder — shared
+    /// by every geometric level: each level sketches a sub-vector of
+    /// the same coordinate space, so the per-level Schwartz–Zippel
+    /// argument holds unchanged at a shared point, and one `rⁱ`
+    /// computation per update serves all ~40 levels.
+    ladder: Arc<PowerLadder>,
 }
 
 impl L0Sampler {
@@ -89,10 +97,19 @@ impl L0Sampler {
     pub fn new<R: Rng + ?Sized>(params: L0SamplerParams, rng: &mut R) -> Self {
         assert!(params.levels >= 1 && params.levels <= 64, "levels in 1..=64");
         let level_hash = PolynomialHash::new(params.hash_independence.max(2), rng);
+        let point = rng.random_range(1..MERSENNE_P);
+        let ladder = Arc::new(PowerLadder::new(point));
         let levels = (0..params.levels)
-            .map(|_| SparseRecovery::new(params.sparsity.max(1), params.rows.max(1), rng))
+            .map(|_| {
+                SparseRecovery::with_shared_ladder(
+                    params.sparsity.max(1),
+                    params.rows.max(1),
+                    Arc::clone(&ladder),
+                    rng,
+                )
+            })
             .collect();
-        Self { level_hash, levels }
+        Self { level_hash, levels, ladder }
     }
 
     /// Creates a sampler with default parameters.
@@ -103,19 +120,59 @@ impl L0Sampler {
 
     /// The geometric level of an index: `Pr[level ≥ j] = 2⁻ʲ`.
     fn level_of(&self, index: u64) -> usize {
-        let u = self.level_hash.hash_to_unit(index);
-        if u <= 0.0 {
+        self.level_from_hash(self.level_hash.hash(index))
+    }
+
+    /// Level from an already-computed level-hash value — the shared
+    /// tail of the scalar and batched update paths, so mixing them
+    /// leaves states bit-identical.
+    ///
+    /// Computes `⌊−log₂(h / domain)⌋` in integer arithmetic: for
+    /// positive integers, `⌊log₂(domain / h)⌋ = ⌊log₂⌊domain / h⌋⌋`,
+    /// so one hardware divide and a leading-zero count replace the f64
+    /// divide + libm `log2` on the per-update hot path. `Pr[level ≥ j]
+    /// = 2⁻ʲ` exactly as before.
+    fn level_from_hash(&self, h: u64) -> usize {
+        if h == 0 {
             return self.levels.len() - 1;
         }
-        let lvl = (-u.log2()).floor();
-        (lvl.max(0.0) as usize).min(self.levels.len() - 1)
+        let lvl = (self.level_hash.domain() / h).ilog2() as usize;
+        lvl.min(self.levels.len() - 1)
     }
 
     /// Applies the update `x[index] += delta`.
     pub fn update(&mut self, index: u64, delta: i64) {
         let top = self.level_of(index);
+        // All levels share one fingerprint point: one ladder pow
+        // (≤ 7 multiplies) and one fingerprint-increment multiply
+        // serve the whole level stack.
+        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
+        let term = mersenne_mul(delta_mod, self.ladder.pow(index));
         for level in &mut self.levels[..=top] {
-            level.update(index, delta);
+            level.update_with_term(index, delta, term);
+        }
+    }
+
+    /// Applies a batch of updates; state-identical to looping
+    /// [`Self::update`] (same operations in the same order), but the
+    /// level hash — the 12-wise Horner polynomial that dominates the
+    /// scalar path — runs through the batched kernel
+    /// [`PolynomialHash::hash_batch`], which keeps four reduction
+    /// chains in flight instead of one.
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        let raw_indices: Vec<u64> = updates.iter().map(|&(i, _)| i).collect();
+        let mut hashes = Vec::with_capacity(raw_indices.len());
+        self.level_hash.hash_batch(&raw_indices, &mut hashes);
+        for (&(index, delta), &h) in updates.iter().zip(&hashes) {
+            let top = self.level_from_hash(h);
+            let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
+            let term = mersenne_mul(delta_mod, self.ladder.pow(index));
+            for level in &mut self.levels[..=top] {
+                level.update_with_term(index, delta, term);
+            }
         }
     }
 
@@ -134,8 +191,11 @@ impl L0Sampler {
     /// construction).
     #[must_use]
     pub fn sample(&self) -> Option<(u64, i64)> {
+        // One scratch serves every level probed: the level search
+        // allocates for the first decode and reuses from then on.
+        let mut scratch = DecodeScratch::default();
         for level in &self.levels {
-            if let Some(support) = level.decode() {
+            if let Some(support) = level.decode_with(&mut scratch) {
                 if support.is_empty() {
                     // This level's sub-vector is empty; deeper levels are
                     // subsets and therefore empty too.
@@ -143,7 +203,8 @@ impl L0Sampler {
                 }
                 // Min-hash survivor: uniform among the level's support.
                 return support
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .min_by(|&(i, _), &(j, _)| {
                         self.level_hash
                             .hash(i)
@@ -168,8 +229,9 @@ impl L0Sampler {
     /// on total decode failure.
     #[must_use]
     pub fn l0_estimate(&self) -> Option<u64> {
+        let mut scratch = DecodeScratch::default();
         for (j, level) in self.levels.iter().enumerate() {
-            if let Some(support) = level.decode() {
+            if let Some(support) = level.decode_with(&mut scratch) {
                 return Some((support.len() as u64) << j);
             }
         }
@@ -219,6 +281,14 @@ impl L0Norm {
         }
     }
 
+    /// Applies a batch of updates through every core's batched kernel
+    /// path; state-identical to looping [`Self::update`].
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        for c in &mut self.cores {
+            c.update_batch(updates);
+        }
+    }
+
     /// Merges a same-randomness clone (linear sketch).
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.cores.len(), other.cores.len(), "core count mismatch");
@@ -249,12 +319,22 @@ impl SpaceUsage for L0Norm {
     fn space_words(&self) -> usize {
         self.cores.iter().map(SpaceUsage::space_words).sum()
     }
+
+    fn scratch_words(&self) -> usize {
+        self.cores.iter().map(SpaceUsage::scratch_words).sum()
+    }
 }
 
 impl SpaceUsage for L0Sampler {
     fn space_words(&self) -> usize {
         let level_words: usize = self.levels.iter().map(SpaceUsage::space_words).sum();
         level_words + self.level_hash.independence()
+    }
+
+    fn scratch_words(&self) -> usize {
+        // Every level shares one ladder (`Arc`): count it once, not
+        // once per level as summing the levels' own reports would.
+        self.ladder.table_words()
     }
 }
 
@@ -437,6 +517,32 @@ mod tests {
         c.update(4, 4);
         a.merge(&b);
         assert_eq!(a.sample(), c.sample());
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_updates() {
+        let proto = sampler(77);
+        let mut scalar = proto.clone();
+        let mut batched = proto.clone();
+        let updates: Vec<(u64, i64)> = (0..300u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100_000, (i % 7) as i64 - 3))
+            .filter(|&(_, d)| d != 0)
+            .collect();
+        for &(i, d) in &updates {
+            scalar.update(i, d);
+        }
+        batched.update_batch(&updates);
+        assert_eq!(scalar.sample(), batched.sample());
+        assert_eq!(scalar.l0_estimate(), batched.l0_estimate());
+    }
+
+    #[test]
+    fn scratch_words_counts_shared_ladder_once() {
+        let s = sampler(11);
+        // The ladder is shared by every level; the sampler must not
+        // report it once per level.
+        assert!(s.scratch_words() < 2 * 2049, "{}", s.scratch_words());
+        assert!(s.scratch_words() > 0);
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub use l0::{L0Norm, L0Sampler, L0SamplerParams};
 pub use misra_gries::MisraGries;
 pub use one_sparse::{OneSparseRecovery, Recovery};
 pub use reservoir::Reservoir;
-pub use sparse::SparseRecovery;
+pub use sparse::{DecodeScratch, SparseRecovery};

@@ -43,7 +43,11 @@ pub enum Recovery {
 
 /// Linear sketch recovering a 1-sparse vector exactly; three words plus
 /// the random evaluation point.
-#[derive(Debug, Clone)]
+///
+/// `Copy`: the state is four machine words, which lets
+/// [`super::sparse::DecodeScratch`] refresh its working grid with a
+/// plain memcpy instead of a clone loop.
+#[derive(Debug, Clone, Copy)]
 pub struct OneSparseRecovery {
     ell: i128,
     z: i128,
@@ -96,12 +100,33 @@ impl OneSparseRecovery {
     /// Panics if `index > MAX_INDEX` or `r_pow_index` is inconsistent in
     /// debug builds.
     pub fn update_with_power(&mut self, index: u64, delta: i64, r_pow_index: u64) {
-        assert!(index <= MAX_INDEX, "index {index} outside the field domain");
         debug_assert_eq!(r_pow_index, mersenne_pow(self.r, index));
+        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
+        self.update_with_term(index, delta, mersenne_mul(delta_mod, r_pow_index));
+    }
+
+    /// Like [`Self::update_with_power`] but with the whole fingerprint
+    /// increment `term = (δ mod p)·rⁱ mod p` supplied. The term depends
+    /// only on `(index, delta, r)`, so a structure fanning one update
+    /// out to many same-point cells (an s-sparse grid, an ℓ₀ level
+    /// stack) computes it **once** and every cell update reduces to
+    /// three additions — no multiply, no reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > MAX_INDEX`; debug builds also verify `term`
+    /// against the fingerprint point.
+    pub fn update_with_term(&mut self, index: u64, delta: i64, term: u64) {
+        assert!(index <= MAX_INDEX, "index {index} outside the field domain");
+        debug_assert_eq!(
+            term,
+            mersenne_mul(
+                delta.rem_euclid(MERSENNE_P as i64) as u64,
+                mersenne_pow(self.r, index)
+            )
+        );
         self.ell += i128::from(delta);
         self.z += i128::from(delta) * i128::from(index);
-        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
-        let term = mersenne_mul(delta_mod, r_pow_index);
         self.fingerprint = add_mod(self.fingerprint, term);
     }
 

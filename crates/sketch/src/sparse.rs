@@ -18,8 +18,10 @@
 use crate::one_sparse::{OneSparseRecovery, Recovery};
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
-use hindex_hashing::{mersenne_pow, Hasher64, PairwiseHash};
+use hindex_hashing::{mersenne_mul, Hasher64, PairwiseHash, PowerLadder};
 use rand::Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Linear sketch recovering vectors with up to `s` non-zero
 /// coordinates.
@@ -51,6 +53,12 @@ pub struct SparseRecovery {
     cells: Vec<OneSparseRecovery>,
     /// Whole-vector fingerprint for decode verification.
     checksum: OneSparseRecovery,
+    /// Windowed power table for the fingerprint point — pure derived
+    /// scratch (recomputable from `checksum.point()`), shared across
+    /// clones and, via [`SparseRecovery::with_shared_ladder`], across
+    /// all levels of an ℓ₀-sampler. Never part of the sketch state:
+    /// merge compatibility and decode results are independent of it.
+    ladder: Arc<PowerLadder>,
 }
 
 impl SparseRecovery {
@@ -62,17 +70,39 @@ impl SparseRecovery {
     /// Panics if `s == 0` or `rows == 0`.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(s: usize, rows: usize, rng: &mut R) -> Self {
+        let point = rng.random_range(1..MERSENNE_P);
+        Self::with_shared_ladder(s, rows, Arc::new(PowerLadder::new(point)), rng)
+    }
+
+    /// Creates a sketch whose fingerprint point (and power ladder) is
+    /// supplied by the caller instead of drawn from `rng`; only the row
+    /// hashes are drawn. This is how [`crate::L0Sampler`] shares one
+    /// 16 KiB ladder across all of its geometric levels instead of
+    /// paying for one per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`, `rows == 0`, or the ladder base is outside
+    /// `[1, p)`.
+    #[must_use]
+    pub fn with_shared_ladder<R: Rng + ?Sized>(
+        s: usize,
+        rows: usize,
+        ladder: Arc<PowerLadder>,
+        rng: &mut R,
+    ) -> Self {
         assert!(s >= 1, "sparsity must be at least 1");
         assert!(rows >= 1, "need at least one row");
         let cols = 2 * s;
-        let point = rng.random_range(1..MERSENNE_P);
         let hashes = (0..rows).map(|_| PairwiseHash::new(rng)).collect();
+        let checksum = OneSparseRecovery::with_point(ladder.base());
         Self {
             s,
             cols,
             hashes,
             cells: Vec::new(),
-            checksum: OneSparseRecovery::with_point(point),
+            checksum,
+            ladder,
         }
     }
 
@@ -94,14 +124,129 @@ impl SparseRecovery {
 
     /// Applies the update `V[index] += delta`.
     pub fn update(&mut self, index: u64, delta: i64) {
+        // One ladder exponentiation (≤ 7 multiplies), shared across
+        // every touched cell and the checksum.
+        let r_pow = self.ladder.pow(index);
+        self.update_with_power(index, delta, r_pow);
+    }
+
+    /// Like [`Self::update`] but with `rⁱ` supplied by the caller, so a
+    /// structure that fans one update out to many same-point sketches
+    /// (the ℓ₀-sampler's level stack) pays for the exponentiation once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the field domain; debug builds also
+    /// verify `r_pow` against the fingerprint point.
+    pub fn update_with_power(&mut self, index: u64, delta: i64, r_pow: u64) {
+        // The fingerprint increment (δ mod p)·rⁱ is the same for the
+        // checksum and every touched cell: one multiply serves all of
+        // them, and each cell update is then three additions.
+        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
+        self.update_with_term(index, delta, mersenne_mul(delta_mod, r_pow));
+    }
+
+    /// Like [`Self::update_with_power`] but with the shared fingerprint
+    /// increment `term = (δ mod p)·rⁱ mod p` supplied, so the
+    /// ℓ₀-sampler's level stack pays for it once across all levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the field domain; debug builds also
+    /// verify `term` against the fingerprint point.
+    pub fn update_with_term(&mut self, index: u64, delta: i64, term: u64) {
         self.ensure_cells();
-        // One exponentiation, shared across every touched cell.
-        let r_pow = mersenne_pow(self.checksum.point(), index);
-        self.checksum.update_with_power(index, delta, r_pow);
+        self.checksum.update_with_term(index, delta, term);
         for (row, h) in self.hashes.iter().enumerate() {
             let col = h.hash_to_range(index, self.cols as u64) as usize;
-            self.cells[row * self.cols + col].update_with_power(index, delta, r_pow);
+            self.cells[row * self.cols + col].update_with_term(index, delta, term);
         }
+    }
+
+    /// Applies a batch of updates; state-identical to applying them in
+    /// a loop (field addition is exact and commutative), but the row
+    /// hashes are evaluated with the batched kernel and the fingerprint
+    /// powers come from the shared ladder.
+    pub fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        let indices: Vec<u64> = updates.iter().map(|&(i, _)| i).collect();
+        let deltas: Vec<i64> = updates.iter().map(|&(_, d)| d).collect();
+        let terms: Vec<u64> = updates
+            .iter()
+            .map(|&(i, d)| {
+                let delta_mod = d.rem_euclid(MERSENNE_P as i64) as u64;
+                mersenne_mul(delta_mod, self.ladder.pow(i))
+            })
+            .collect();
+        let mut cols = Vec::new();
+        self.update_batch_with_terms(&indices, &deltas, &terms, &mut cols);
+    }
+
+    /// The batch kernel behind [`Self::update_batch`]: parallel slices
+    /// of indices, deltas, and caller-computed fingerprint increments
+    /// (`terms[k] = (δₖ mod p)·r^{iₖ} mod p`), plus a reusable column
+    /// scratch buffer. Exposed so the ℓ₀-sampler can drive all its
+    /// levels from one exponentiation *and one multiply* per index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ or an index is outside the
+    /// field domain.
+    pub fn update_batch_with_terms(
+        &mut self,
+        indices: &[u64],
+        deltas: &[i64],
+        terms: &[u64],
+        col_scratch: &mut Vec<u64>,
+    ) {
+        assert_eq!(indices.len(), deltas.len(), "index/delta length mismatch");
+        assert_eq!(indices.len(), terms.len(), "index/term length mismatch");
+        if indices.is_empty() {
+            return;
+        }
+        self.ensure_cells();
+        // Tile, then transpose: per tile, the batched hash kernel
+        // fills a flat rows×tile column buffer (all L1-resident), and
+        // a single pass over the tile's updates keeps each
+        // `(index, delta, term)` in registers while it fans out to the
+        // checksum and one cell per row — the same access pattern as
+        // the scalar path, minus the per-key hash calls. Only
+        // commutative exact additions are reordered: states stay
+        // bit-identical to the scalar path.
+        const TILE: usize = 256;
+        let rows = self.hashes.len();
+        let mut start = 0;
+        while start < indices.len() {
+            let end = (start + TILE).min(indices.len());
+            let tile = end - start;
+            let (idx, del, trm) =
+                (&indices[start..end], &deltas[start..end], &terms[start..end]);
+            col_scratch.clear();
+            col_scratch.resize(rows * tile, 0);
+            for (row, h) in self.hashes.iter().enumerate() {
+                h.hash_to_range_batch_into(
+                    idx,
+                    self.cols as u64,
+                    &mut col_scratch[row * tile..(row + 1) * tile],
+                );
+            }
+            for (k, ((&i, &d), &t)) in idx.iter().zip(del).zip(trm).enumerate() {
+                self.checksum.update_with_term(i, d, t);
+                for row in 0..rows {
+                    let col = col_scratch[row * tile + k] as usize;
+                    self.cells[row * self.cols + col].update_with_term(i, d, t);
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// The shared power ladder for this sketch's fingerprint point.
+    #[must_use]
+    pub fn ladder(&self) -> &Arc<PowerLadder> {
+        &self.ladder
     }
 
     /// Merges another sketch with identical configuration and
@@ -139,26 +284,50 @@ impl SparseRecovery {
     /// failure on a sparse input).
     ///
     /// Returned pairs are sorted by index with exact values.
+    ///
+    /// Convenience wrapper over [`Self::decode_with`] using a one-shot
+    /// scratch; callers that decode repeatedly (the ℓ₀-sampler's level
+    /// search) should hold a [`DecodeScratch`] and call
+    /// [`Self::decode_with`] to keep the hot loop allocation-free.
     #[must_use]
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        let mut scratch = DecodeScratch::default();
+        self.decode_with(&mut scratch).map(<[(u64, i64)]>::to_vec)
+    }
+
+    /// [`Self::decode`] into caller-owned scratch: the working copy of
+    /// the cell grid, the per-round candidate list, the seen-index set,
+    /// and the result buffer all live in `scratch` and are reused
+    /// across calls, so a warm scratch makes decoding allocation-free.
+    /// The returned slice (sorted by index, exact values) borrows from
+    /// `scratch` and is valid until its next use.
+    #[must_use]
+    pub fn decode_with<'a>(&self, scratch: &'a mut DecodeScratch) -> Option<&'a [(u64, i64)]> {
+        scratch.found.clear();
         if self.cells.is_empty() {
             // Never updated (laziness invariant): the zero vector.
             debug_assert!(matches!(self.checksum.decode(), Recovery::Zero));
-            return Some(Vec::new());
+            return Some(&scratch.found);
         }
-        let mut cells = self.cells.clone();
-        let mut checksum = self.checksum.clone();
-        let mut found: Vec<(u64, i64)> = Vec::with_capacity(self.s);
+        let cells = &mut scratch.cells;
+        cells.clear();
+        cells.extend_from_slice(&self.cells); // memcpy: cells are Copy
+        let mut checksum = self.checksum;
+        let found = &mut scratch.found;
+        let seen = &mut scratch.seen;
+        seen.clear();
         // Peeling can legitimately recover somewhat more than s items;
         // cap the work so dense inputs terminate quickly.
         let cap = 2 * self.s + 2;
         loop {
-            let mut newly: Vec<(u64, i64)> = Vec::new();
-            for cell in &cells {
+            let newly = &mut scratch.newly;
+            newly.clear();
+            for cell in cells.iter() {
                 if let Recovery::One { index, value } = cell.decode() {
-                    if found.iter().all(|&(i, _)| i != index)
-                        && newly.iter().all(|&(i, _)| i != index)
-                    {
+                    // `seen` holds every index in `found` or `newly`,
+                    // so the duplicate check is O(1) instead of the old
+                    // O(|found| + |newly|) scan per candidate.
+                    if seen.insert(index) {
                         newly.push((index, value));
                     }
                 }
@@ -167,7 +336,7 @@ impl SparseRecovery {
                 // Last resort: a 1-sparse residual is readable from the
                 // checksum itself.
                 if let Recovery::One { index, value } = checksum.decode() {
-                    if found.iter().all(|&(i, _)| i != index) {
+                    if seen.insert(index) {
                         newly.push((index, value));
                     }
                 }
@@ -175,8 +344,8 @@ impl SparseRecovery {
             if newly.is_empty() || found.len() + newly.len() > cap {
                 break;
             }
-            for &(index, value) in &newly {
-                let r_pow = mersenne_pow(checksum.point(), index);
+            for &(index, value) in newly.iter() {
+                let r_pow = self.ladder.pow(index);
                 checksum.update_with_power(index, -value, r_pow);
                 for (row, h) in self.hashes.iter().enumerate() {
                     let col = h.hash_to_range(index, self.cols as u64) as usize;
@@ -197,13 +366,36 @@ impl SparseRecovery {
     }
 }
 
+/// Reusable working memory for [`SparseRecovery::decode_with`].
+///
+/// Holds the peeling loop's working grid, candidate list, seen-index
+/// set, and result buffer. After the first decode warms the buffers,
+/// subsequent decodes of same-or-smaller sketches allocate nothing.
+/// Purely scratch: carries no sketch state between calls.
+#[derive(Debug, Default, Clone)]
+pub struct DecodeScratch {
+    cells: Vec<OneSparseRecovery>,
+    newly: Vec<(u64, i64)>,
+    seen: HashSet<u64>,
+    found: Vec<(u64, i64)>,
+}
+
 impl SpaceUsage for SparseRecovery {
     fn space_words(&self) -> usize {
         // Report the full-grid capacity whether or not the lazy grid is
         // materialised yet: space bounds quote the worst case.
         let cell_words = self.hashes.len() * self.cols * self.checksum.space_words();
         // Two words per pairwise hash (a, b) plus the checksum cell.
+        // The power ladder is deliberately NOT counted here — it is
+        // derived scratch (see `scratch_words`).
         cell_words + 2 * self.hashes.len() + self.checksum.space_words()
+    }
+
+    fn scratch_words(&self) -> usize {
+        // A sketch holding the only reference owns its ladder; clones
+        // and samplers sharing one ladder report it at the sharing
+        // level instead (see `L0Sampler::scratch_words`).
+        self.ladder.table_words()
     }
 }
 

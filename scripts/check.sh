@@ -16,4 +16,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> benches compile"
 cargo bench -p hindex-bench --offline --no-run
 
+echo "==> bench smoke (kernels group, reduced scale)"
+scripts/bench.sh /tmp/bench_smoke.json --quick
+
 echo "All checks passed."

@@ -49,7 +49,7 @@ pub use hindex_stream as stream;
 pub mod prelude {
     pub use hindex_common::{
         h_index, h_support, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon,
-        EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage,
+        EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage, TurnstileEstimator,
     };
     pub use hindex_core::prelude::*;
     pub use hindex_engine::{BatchIngest, EngineConfig, Routable, ShardedEngine};

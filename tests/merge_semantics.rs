@@ -285,3 +285,71 @@ fn cash_register_sharded_equals_single_stream() {
     assert_eq!(merged.estimate(), whole.estimate());
     assert_eq!(merged.draw_samples(), whole.draw_samples());
 }
+
+/// The hot-path kernels (windowed power ladders, term-sharing, batched
+/// hashing) promise **bit-identical** states to the legacy
+/// square-and-multiply path: same seeds in, same field elements out.
+/// Drive one sketch through the ladder-backed scalar path, one through
+/// the batched path, and one through per-update `mersenne_pow` (the
+/// pre-kernel computation), then compare full states, decodes, and
+/// cross-path merges.
+#[test]
+fn kernel_paths_bit_identical_to_legacy_square_and_multiply() {
+    use hindex_hashing::mersenne_pow;
+
+    let proto = SparseRecovery::new(6, 6, &mut StdRng::seed_from_u64(4242));
+    let point = proto.ladder().base();
+    // ≤ 6 distinct coordinates (decodable at s = 6), hit repeatedly
+    // with mixed-sign deltas so fingerprints see real cancellation.
+    let updates: Vec<(u64, i64)> = (0..64u64)
+        .map(|k| ((k % 6) * 977 + 3, (k % 11) as i64 - 5))
+        .filter(|&(_, d)| d != 0)
+        .collect();
+
+    let mut ladder = proto.clone();
+    let mut batched = proto.clone();
+    let mut legacy = proto.clone();
+    for &(i, d) in &updates {
+        ladder.update(i, d);
+        legacy.update_with_power(i, d, mersenne_pow(point, i));
+    }
+    batched.update_batch(&updates);
+
+    // Full-state equality (grid cells, checksum, fingerprints): the
+    // Debug rendering exposes every field element.
+    let legacy_state = format!("{legacy:?}");
+    assert_eq!(format!("{ladder:?}"), legacy_state);
+    assert_eq!(format!("{batched:?}"), legacy_state);
+
+    // Merging across paths is exact: each side carried the same state,
+    // so any pairing doubles every coordinate identically.
+    let mut ladder_merged = ladder.clone();
+    ladder_merged.merge(&legacy);
+    let mut legacy_merged = legacy.clone();
+    legacy_merged.merge(&batched);
+    assert_eq!(format!("{ladder_merged:?}"), format!("{legacy_merged:?}"));
+
+    // And the decodes agree (merge-doubled values included).
+    assert_eq!(ladder.decode(), legacy.decode());
+    assert_eq!(ladder_merged.decode(), legacy_merged.decode());
+    assert!(legacy.decode().is_some(), "decode failed on ≤ 6-sparse input");
+}
+
+/// Same contract one level down: a 1-sparse cell updated via a shared
+/// ladder's powers matches one recomputing `rⁱ` per update.
+#[test]
+fn one_sparse_ladder_updates_match_internal_pow() {
+    use hindex_hashing::PowerLadder;
+
+    let point = 987_654_321u64;
+    let ladder = PowerLadder::new(point);
+    let mut via_ladder = OneSparseRecovery::with_point(point);
+    let mut via_pow = OneSparseRecovery::with_point(point);
+    for i in 0..200u64 {
+        let (idx, d) = (i * 31 % 1000, (i % 5) as i64 - 2);
+        via_ladder.update_with_power(idx, d, ladder.pow(idx));
+        via_pow.update(idx, d);
+    }
+    assert_eq!(format!("{via_ladder:?}"), format!("{via_pow:?}"));
+    assert_eq!(via_ladder.decode(), via_pow.decode());
+}

@@ -222,3 +222,70 @@ fn baselines_pay_linear_space() {
     assert!(full.space_words() >= 10_000);
     assert!(table.space_words() >= 10_000);
 }
+
+/// Kernel-layer accounting policy (`docs/ALGORITHMS.md`, "Space
+/// accounting for derived scratch"): windowed power ladders are
+/// recomputable from randomness the sketch already counts, so the
+/// paper-facing `space_words` must exclude them — exactly the grid +
+/// row hashes + checksum it reported before the kernel layer existed —
+/// while `scratch_words` carries the tables on a separate channel.
+#[test]
+fn derived_scratch_excluded_from_paper_space() {
+    use hindex_hashing::PowerLadder;
+    use hindex_sketch::SparseRecovery;
+    use std::sync::Arc;
+
+    let (s, rows) = (4usize, 6usize);
+    let mut sketch = SparseRecovery::new(s, rows, &mut StdRng::seed_from_u64(7));
+    // Pre-kernel formula: rows × 2s cells + checksum (6 words each)
+    // plus (a, b) per row hash. No ladder words anywhere in it.
+    let paper_words = rows * 2 * s * 6 + 6 + 2 * rows;
+    assert_eq!(sketch.space_words(), paper_words);
+    // The ladder is exactly the 8 × 256 window table plus its base,
+    // reported on the scratch channel only.
+    assert_eq!(sketch.scratch_words(), 8 * 256 + 1);
+    // Ingestion (which materialises the lazy grid) moves neither.
+    for i in 0..1_000u64 {
+        sketch.update(i % 37, 1);
+    }
+    assert_eq!(sketch.space_words(), paper_words);
+    assert_eq!(sketch.scratch_words(), 8 * 256 + 1);
+
+    // Supplying a shared ladder changes who owns the table, never the
+    // paper-facing count.
+    let shared = Arc::new(PowerLadder::new(123_456_789));
+    let sharing =
+        SparseRecovery::with_shared_ladder(s, rows, shared, &mut StdRng::seed_from_u64(8));
+    assert_eq!(sharing.space_words(), paper_words);
+}
+
+/// Ladder sharing is counted at the sharing level: an ℓ₀-sampler's ~40
+/// levels hold one `Arc`'d ladder between them and must report one
+/// table — and the composed estimators above it (turnstile bank, cash
+/// register) keep scratch on its own channel, in whole-ladder units.
+#[test]
+fn shared_ladders_counted_once_per_sharing_scope() {
+    use hindex_sketch::{L0Sampler, L0SamplerParams};
+
+    let ladder_words = 8 * 256 + 1;
+    let sampler =
+        L0Sampler::new(L0SamplerParams::default(), &mut StdRng::seed_from_u64(9));
+    assert!(sampler.num_levels() >= 2);
+    assert_eq!(sampler.scratch_words(), ladder_words);
+
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    let cash = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(10));
+    assert_eq!(cash.scratch_words() % ladder_words, 0);
+    assert_eq!(cash.scratch_words() / ladder_words, params.num_samplers());
+
+    let turnstile = TurnstileHIndex::new(
+        Epsilon::new(0.4).unwrap(),
+        Delta::new(0.3).unwrap(),
+        &mut StdRng::seed_from_u64(11),
+    );
+    assert_eq!(turnstile.scratch_words() % ladder_words, 0);
+    assert!(turnstile.scratch_words() / ladder_words > turnstile.num_samplers());
+}
