@@ -1,0 +1,500 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lint pass only needs a *token stream with line numbers* in which
+//! comments and string contents cannot masquerade as code, so this lexer
+//! is deliberately much simpler than a real Rust front end:
+//!
+//! - line comments (`//`, `///`, `//!`) and nested block comments are
+//!   skipped entirely — a `.unwrap()` in a doc example never lints;
+//! - string literals (plain, raw `r#"…"#`, byte, C) become single
+//!   [`TokKind::Str`] tokens carrying their contents, so lints can key
+//!   on e.g. an `expect("…")` message without matching inside it;
+//! - `'a` lifetimes are distinguished from `'a'` char literals;
+//! - every remaining non-identifier character is a one-character
+//!   [`TokKind::Punct`] token (so `>>` is two `>` tokens — lints that
+//!   track bracket depth must cope, and do).
+//!
+//! It does **not** attempt to parse: no precedence, no items, no types.
+//! The lints in [`crate::lints`] work on token subsequences only.
+
+/// The coarse classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, unprefixed).
+    Ident,
+    /// A numeric literal (integer or float, suffix included).
+    Number,
+    /// A string literal of any flavour; `text` holds the contents
+    /// without quotes or raw-string hashes.
+    Str,
+    /// A character or byte literal; `text` holds the contents.
+    Char,
+    /// A lifetime such as `'a` or `'static`; `text` omits the quote.
+    Lifetime,
+    /// A single punctuation character; `text` is that character.
+    Punct,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse kind of the token.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True if this token is the single punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes ident-continue characters and returns them.
+    fn eat_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed),
+    /// honouring backslash escapes. Returns the contents.
+    fn eat_quoted(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    s.push(c);
+                    if let Some(esc) = self.bump() {
+                        s.push(esc);
+                    }
+                }
+                _ => s.push(c),
+            }
+        }
+        s
+    }
+
+    /// Consumes a raw-string body: opening `"` already consumed, the
+    /// terminator is `"` followed by `hashes` `#` characters.
+    fn eat_raw(&mut self, hashes: usize) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            s.push(c);
+        }
+        s
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed input
+/// degrades to punctuation tokens rather than an error, which is the
+/// right behaviour for a linter that must not crash on a half-edited
+/// file.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+
+        // Identifiers, keywords, and string-literal prefixes.
+        if is_ident_start(c) {
+            let word = cur.eat_ident();
+            // Raw identifier r#type — keep the unprefixed name.
+            if word == "r" && cur.peek(0) == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+                cur.bump();
+                let name = cur.eat_ident();
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text: name,
+                    line,
+                });
+                continue;
+            }
+            // Raw strings: r"…", r#"…"#, br#"…"#, cr"…".
+            if matches!(word.as_str(), "r" | "br" | "cr") {
+                let mut hashes = 0usize;
+                while cur.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if cur.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        cur.bump();
+                    }
+                    let text = cur.eat_raw(hashes);
+                    out.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                    continue;
+                }
+            }
+            // Plain-prefixed strings b"…" / c"…" and byte chars b'…'.
+            if matches!(word.as_str(), "b" | "c") && cur.peek(0) == Some('"') {
+                cur.bump();
+                let text = cur.eat_quoted();
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if word == "b" && cur.peek(0) == Some('\'') {
+                cur.bump();
+                let text = eat_char_body(&mut cur);
+                out.push(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            out.push(Token {
+                kind: TokKind::Ident,
+                text: word,
+                line,
+            });
+            continue;
+        }
+
+        // Numbers (loose: digits then ident-continue; optional fraction).
+        if c.is_ascii_digit() {
+            let mut s = cur.eat_ident();
+            if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                cur.bump();
+                s.push('.');
+                s.push_str(&cur.eat_ident());
+            }
+            out.push(Token {
+                kind: TokKind::Number,
+                text: s,
+                line,
+            });
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            cur.bump();
+            let text = cur.eat_quoted();
+            out.push(Token {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            cur.bump();
+            let next = cur.peek(0);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if n != '\'' => cur.peek(1) == Some('\''),
+                _ => false,
+            };
+            if is_char {
+                let text = eat_char_body(&mut cur);
+                out.push(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+            } else {
+                let text = cur.eat_ident();
+                out.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // Everything else: one-character punctuation.
+        cur.bump();
+        out.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+
+    out
+}
+
+/// Consumes a char-literal body up to and including the closing `'`
+/// (opening quote already consumed).
+fn eat_char_body(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\'' => break,
+            '\\' => {
+                s.push(c);
+                if let Some(esc) = cur.bump() {
+                    s.push(esc);
+                }
+            }
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// Returns the 1-based line ranges `(start, end)` of items marked
+/// `#[test]` or `#[cfg(test)]` (or any `cfg` whose argument mentions the
+/// bare `test` predicate, e.g. `#[cfg(all(test, feature = "x"))]`).
+///
+/// A marked item's range runs from the attribute to the matching close
+/// brace of its body (or to the terminating `;` for bodiless items), so
+/// an entire `#[cfg(test)] mod tests { … }` is covered. Ranges may nest;
+/// callers just test membership.
+#[must_use]
+pub fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let Some(close) = matching(tokens, i + 1, '[', ']') else {
+            break;
+        };
+        let inner = &tokens[i + 2..close];
+        let is_test_attr = inner.first().is_some_and(|t| t.is_ident("test"))
+            || (inner.first().is_some_and(|t| t.is_ident("cfg"))
+                && inner.iter().any(|t| t.is_ident("test")));
+        let mut j = close + 1;
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching(tokens, j + 1, '[', ']') {
+                Some(c) => j = c + 1,
+                None => return ranges,
+            }
+        }
+        // Find the item body: first `{` (to its matching `}`) or a `;`.
+        let mut end_line = start_line;
+        while let Some(t) = tokens.get(j) {
+            if t.is_punct(';') {
+                end_line = t.line;
+                break;
+            }
+            if t.is_punct('{') {
+                match matching(tokens, j, '{', '}') {
+                    Some(c) => end_line = tokens[c].line,
+                    None => end_line = u32::MAX,
+                }
+                break;
+            }
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = close + 1;
+    }
+    ranges
+}
+
+/// Index of the token matching the opener at `open_idx`, tracking
+/// nesting depth of `open`/`close` punctuation.
+fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // x.unwrap() in a line comment
+            /* x.unwrap() /* nested */ still comment */
+            /// ```
+            /// doc.unwrap();
+            /// ```
+            let s = "call .unwrap() inside a string";
+            let r = r#"raw "quoted" .unwrap()"#;
+            safe();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"safe".to_string()));
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].text.contains("raw \"quoted\""));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\nb\n\"two\nlines\"\nc";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 4);
+        assert_eq!((toks[2].kind, toks[2].line), (TokKind::Str, 3));
+        assert_eq!(toks[3].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_mod_range_covers_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn test_attr_and_cfg_all_are_detected() {
+        let src = "#[test]\nfn t() { body(); }\n#[cfg(all(test, feature = \"slow\"))]\nfn u() { body(); }\n#[cfg(feature = \"test\")]\nfn not_test() {}\n";
+        let ranges = test_ranges(&lex(src));
+        assert_eq!(ranges, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn raw_identifiers_unprefix() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

@@ -1,0 +1,506 @@
+//! The lint catalogue: five repo-specific rules, L1–L5.
+//!
+//! Each lint works on the lexed token streams in a [`Workspace`];
+//! none of them parses Rust properly, and each one documents the
+//! approximation it makes. False positives are expected to be rare and
+//! are handled by the committed baseline, never by weakening a rule.
+
+use crate::lexer::{TokKind, Token};
+use crate::workspace::{FileKind, SourceFile, Workspace};
+use crate::Finding;
+use std::collections::{BTreeMap, HashSet};
+
+/// Renders one line's tokens back into a compact, format-insensitive
+/// snippet for diagnostics and baseline keys.
+fn render(tokens: &[&Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        match t.kind {
+            TokKind::Str => {
+                s.push('"');
+                s.push_str(&t.text);
+                s.push('"');
+            }
+            TokKind::Char => {
+                s.push('\'');
+                s.push_str(&t.text);
+                s.push('\'');
+            }
+            TokKind::Lifetime => {
+                s.push('\'');
+                s.push_str(&t.text);
+            }
+            _ => s.push_str(&t.text),
+        }
+    }
+    s
+}
+
+/// Groups a file's tokens by source line, skipping test-only code.
+fn live_lines(file: &SourceFile) -> BTreeMap<u32, Vec<&Token>> {
+    let mut lines: BTreeMap<u32, Vec<&Token>> = BTreeMap::new();
+    for t in &file.tokens {
+        if !file.in_test_code(t.line) {
+            lines.entry(t.line).or_default().push(t);
+        }
+    }
+    lines
+}
+
+/// All identifier texts appearing in a file (used for "is this type
+/// referenced from suite X" checks).
+fn ident_set(file: Option<&SourceFile>) -> HashSet<&str> {
+    file.map(|f| {
+        f.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    })
+    .unwrap_or_default()
+}
+
+/// A `impl Trait for Type` declaration recovered from tokens.
+struct ImplDecl {
+    trait_name: String,
+    type_name: String,
+    line: u32,
+}
+
+/// Scans a file for trait impls. Approximation: the trait is the last
+/// angle-depth-0 identifier before `for`, the type is the first
+/// identifier after it; inherent impls (no `for` before the body) are
+/// skipped. `>>`-style token splits are harmless because the lexer
+/// already emits one token per `>`.
+fn impls_in(file: &SourceFile) -> Vec<ImplDecl> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") || file.in_test_code(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let mut j = i + 1;
+        // Skip the generics block `impl<...>` if present.
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i64;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Collect up to `for` (trait impl) or `{` / `;` (inherent).
+        let mut depth = 0i64;
+        let mut last_ident: Option<&str> = None;
+        let mut found: Option<(String, usize)> = None;
+        while let Some(t) = toks.get(j) {
+            if depth == 0 {
+                if t.is_ident("for") {
+                    if let Some(name) = last_ident {
+                        found = Some((name.to_string(), j + 1));
+                    }
+                    break;
+                }
+                if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0 && t.kind == TokKind::Ident {
+                last_ident = Some(&t.text);
+            }
+            j += 1;
+        }
+        if let Some((trait_name, after_for)) = found {
+            let mut k = after_for;
+            while let Some(t) = toks.get(k) {
+                if t.kind == TokKind::Ident {
+                    out.push(ImplDecl {
+                        trait_name,
+                        type_name: t.text.clone(),
+                        line,
+                    });
+                    break;
+                }
+                if t.is_punct('{') {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// L1 — field arithmetic must go through `hindex-hashing::field`.
+///
+/// Flags any library-code line (outside `crates/hashing/src/field.rs`)
+/// that mentions `MERSENNE_P` together with raw `%`, `*`, or an `as`
+/// cast: reductions, products, and narrowing conversions on field
+/// elements belong to the checked helpers (`from_u64`, `from_i64`,
+/// `mersenne_mul`, `mersenne_reduce`), which carry the canonicality
+/// invariants. Line-based: an expression split across lines so that the
+/// constant and the operator land on different lines is not caught.
+pub struct FieldArithmetic;
+
+impl crate::Lint for FieldArithmetic {
+    fn id(&self) -> &'static str {
+        "L1"
+    }
+    fn summary(&self) -> &'static str {
+        "raw %/*/`as` arithmetic on MERSENNE_P outside hindex-hashing::field"
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Library || file.path == "crates/hashing/src/field.rs" {
+                continue;
+            }
+            for (line, toks) in live_lines(file) {
+                let mentions_p = toks.iter().any(|t| t.is_ident("MERSENNE_P"));
+                let raw_op = toks
+                    .iter()
+                    .any(|t| t.is_punct('%') || t.is_punct('*') || t.is_ident("as"));
+                if mentions_p && raw_op {
+                    out.push(Finding::new(
+                        "L1",
+                        &file.path,
+                        line,
+                        &render(&toks),
+                        "raw field arithmetic on MERSENNE_P outside hindex-hashing::field"
+                            .to_string(),
+                        Some(
+                            "route through the checked helpers: from_u64 / from_i64 for \
+                             canonicalisation, mersenne_mul / mersenne_reduce for products"
+                                .to_string(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// L2 — every public estimator carries a space contract.
+///
+/// Any type implementing one of the estimator traits
+/// (`AggregateEstimator`, `CashRegisterEstimator`,
+/// `TurnstileEstimator`) in `crates/{core,sketch,baseline}` must also
+/// implement `SpaceUsage`, and must be referenced from the workspace
+/// space-contract suite `tests/space_contracts.rs` so the sublinearity
+/// bounds of the paper stay pinned by tests.
+pub struct SpaceContract;
+
+/// The estimator traits whose implementors L2 audits.
+const ESTIMATOR_TRAITS: &[&str] = &[
+    "AggregateEstimator",
+    "CashRegisterEstimator",
+    "TurnstileEstimator",
+];
+
+/// Crates whose estimator types are subject to L2.
+const ESTIMATOR_CRATES: &[&str] = &["crates/core/", "crates/sketch/", "crates/baseline/"];
+
+impl crate::Lint for SpaceContract {
+    fn id(&self) -> &'static str {
+        "L2"
+    }
+    fn summary(&self) -> &'static str {
+        "estimator types must impl SpaceUsage and appear in tests/space_contracts.rs"
+    }
+    fn cross_file(&self) -> bool {
+        true
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let contract_refs = ident_set(ws.file("tests/space_contracts.rs"));
+        let mut space_types: HashSet<String> = HashSet::new();
+        for file in &ws.files {
+            if file.kind == FileKind::Library {
+                for imp in impls_in(file) {
+                    if imp.trait_name == "SpaceUsage" {
+                        space_types.insert(imp.type_name);
+                    }
+                }
+            }
+        }
+        let mut reported: HashSet<(String, &str)> = HashSet::new();
+        for file in &ws.files {
+            if !ESTIMATOR_CRATES.iter().any(|c| file.path.starts_with(c)) {
+                continue;
+            }
+            for imp in impls_in(file) {
+                if !ESTIMATOR_TRAITS.contains(&imp.trait_name.as_str()) {
+                    continue;
+                }
+                let ty = &imp.type_name;
+                if !space_types.contains(ty) && reported.insert((ty.clone(), "space")) {
+                    out.push(Finding::new(
+                        "L2",
+                        &file.path,
+                        imp.line,
+                        &format!("{ty} missing SpaceUsage"),
+                        format!("estimator `{ty}` does not implement SpaceUsage"),
+                        Some(format!(
+                            "add `impl SpaceUsage for {ty}` reporting words of state"
+                        )),
+                    ));
+                }
+                if !contract_refs.contains(ty.as_str()) && reported.insert((ty.clone(), "test")) {
+                    out.push(Finding::new(
+                        "L2",
+                        &file.path,
+                        imp.line,
+                        &format!("{ty} not in space_contracts"),
+                        format!("estimator `{ty}` is not referenced from tests/space_contracts.rs"),
+                        Some(format!(
+                            "add a sublinearity/space assertion for `{ty}` to tests/space_contracts.rs"
+                        )),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// L3 — no panicking escape hatches in library crates.
+///
+/// Flags `.unwrap()`, `.expect(…)`, and the `panic!` / `unreachable!` /
+/// `todo!` / `unimplemented!` macros in library code. Estimators ingest
+/// adversarial streams; failures must surface as
+/// `hindex-common::error` values, not aborts. Plain `assert!` is *not*
+/// flagged: asserting an invariant is policy, panicking on data is not.
+/// Tests, benches, examples, and tooling are exempt.
+pub struct NoPanicPaths;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl crate::Lint for NoPanicPaths {
+    fn id(&self) -> &'static str {
+        "L3"
+    }
+    fn summary(&self) -> &'static str {
+        "no unwrap()/expect()/panic!-family in library crates"
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            let toks = &file.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || file.in_test_code(t.line) {
+                    continue;
+                }
+                let after_dot = i > 0 && toks[i - 1].is_punct('.');
+                let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                let snippet = if after_dot && called && t.text == "unwrap" {
+                    Some("unwrap()".to_string())
+                } else if after_dot && called && t.text == "expect" {
+                    Some(match toks.get(i + 2) {
+                        Some(msg) if msg.kind == TokKind::Str => {
+                            format!("expect(\"{}\")", msg.text)
+                        }
+                        _ => "expect(..)".to_string(),
+                    })
+                } else if PANIC_MACROS.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                {
+                    Some(format!("{}!", t.text))
+                } else {
+                    None
+                };
+                if let Some(snippet) = snippet {
+                    out.push(Finding::new(
+                        "L3",
+                        &file.path,
+                        t.line,
+                        &snippet,
+                        format!("`{snippet}` in library crate can abort on adversarial input"),
+                        Some(
+                            "return a hindex_common::error value (or degrade and assert the \
+                             invariant via debug_invariant!); baseline only with justification"
+                                .to_string(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// L4 — memory safety and determinism hygiene.
+///
+/// (a) Every crate root (`src/lib.rs` / `src/main.rs`, vendored shims
+/// excepted) must carry `#![forbid(unsafe_code)]`.
+/// (b) Library code must not reach for ambient nondeterminism:
+/// `thread_rng`, entropy-based RNG constructors, and wall-clock types
+/// are banned — estimators take seeds and tick counters from their
+/// callers so runs replay bit-identically (the sharded-engine stress
+/// tests depend on this).
+pub struct ForbidNondeterminism;
+
+const NONDETERMINISM: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "try_from_os_rng",
+    "SystemTime",
+    "Instant",
+];
+
+impl crate::Lint for ForbidNondeterminism {
+    fn id(&self) -> &'static str {
+        "L4"
+    }
+    fn summary(&self) -> &'static str {
+        "crate roots forbid unsafe_code; no ambient RNG/clock in library code"
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.is_crate_root && matches!(file.kind, FileKind::Library | FileKind::Tool) {
+                let toks = &file.tokens;
+                let has_forbid = toks.windows(7).any(|w| {
+                    w[0].is_punct('#')
+                        && w[1].is_punct('!')
+                        && w[2].is_punct('[')
+                        && w[3].is_ident("forbid")
+                        && w[4].is_punct('(')
+                        && w[5].is_ident("unsafe_code")
+                        && w[6].is_punct(')')
+                });
+                if !has_forbid {
+                    out.push(Finding::new(
+                        "L4",
+                        &file.path,
+                        1,
+                        "missing forbid(unsafe_code)",
+                        "crate root lacks #![forbid(unsafe_code)]".to_string(),
+                        Some(
+                            "add `#![forbid(unsafe_code)]` below the crate docs".to_string(),
+                        ),
+                    ));
+                }
+            }
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            for t in &file.tokens {
+                if t.kind == TokKind::Ident
+                    && NONDETERMINISM.contains(&t.text.as_str())
+                    && !file.in_test_code(t.line)
+                {
+                    out.push(Finding::new(
+                        "L4",
+                        &file.path,
+                        t.line,
+                        &format!("nondeterministic {}", t.text),
+                        format!(
+                            "`{}` introduces ambient nondeterminism into library code",
+                            t.text
+                        ),
+                        Some(
+                            "take a caller-provided seed (SeedableRng::seed_from_u64) or tick \
+                             counter instead"
+                                .to_string(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// L5 — every `Mergeable` impl has a merge-semantics test.
+///
+/// Types implementing `Mergeable` in library crates must be referenced
+/// from `tests/merge_semantics.rs`, the suite asserting that
+/// `merge(a, b)` behaves like the concatenated stream. Distributed
+/// correctness of the sharded engine rests on exactly this property,
+/// so it is pinned per type, not assumed.
+pub struct MergeSemantics;
+
+impl crate::Lint for MergeSemantics {
+    fn id(&self) -> &'static str {
+        "L5"
+    }
+    fn summary(&self) -> &'static str {
+        "every Mergeable impl is exercised by tests/merge_semantics.rs"
+    }
+    fn cross_file(&self) -> bool {
+        true
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let merge_refs = ident_set(ws.file("tests/merge_semantics.rs"));
+        let mut reported: HashSet<String> = HashSet::new();
+        for file in &ws.files {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            for imp in impls_in(file) {
+                if imp.trait_name != "Mergeable" {
+                    continue;
+                }
+                let ty = &imp.type_name;
+                if !merge_refs.contains(ty.as_str()) && reported.insert(ty.clone()) {
+                    out.push(Finding::new(
+                        "L5",
+                        &file.path,
+                        imp.line,
+                        &format!("{ty} missing merge test"),
+                        format!(
+                            "`Mergeable` impl for `{ty}` is not exercised by tests/merge_semantics.rs"
+                        ),
+                        Some(format!(
+                            "add a split-stream merge-vs-concatenation test for `{ty}`"
+                        )),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impl_scan_recovers_traits_and_types() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs".into(),
+            "impl Mergeable for Foo {}\n\
+             impl<E: Mergeable + Send> SpaceUsage for Sharded<E, T> {}\n\
+             impl hindex_common::TurnstileEstimator for Bar {}\n\
+             impl Baz { fn inherent(&self) { for x in 0..3 { let _ = x; } } }\n\
+             fn ret() -> impl Iterator<Item = u64> { 0..3 }\n",
+        );
+        let decls: Vec<(String, String)> = impls_in(&f)
+            .into_iter()
+            .map(|d| (d.trait_name, d.type_name))
+            .collect();
+        assert_eq!(
+            decls,
+            vec![
+                ("Mergeable".to_string(), "Foo".to_string()),
+                ("SpaceUsage".to_string(), "Sharded".to_string()),
+                ("TurnstileEstimator".to_string(), "Bar".to_string()),
+            ]
+        );
+    }
+}

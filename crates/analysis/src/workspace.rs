@@ -1,0 +1,176 @@
+//! Workspace discovery: walks the repository, lexes every `.rs` file,
+//! and classifies each one so lints know which rules apply where.
+
+use crate::lexer::{lex, test_ranges, Token};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The workspace's library crates: code that ships in the estimator
+/// stack and is held to the strictest lint rules (L1, L3, L4).
+pub const LIBRARY_CRATES: &[&str] = &[
+    "common", "hashing", "sketch", "stream", "core", "baseline", "engine",
+];
+
+/// How a source file is classified for linting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library-crate source (including the root `hindex` facade in
+    /// `src/`): all lints apply.
+    Library,
+    /// First-party tooling (`cli`, `bench`, this crate): exempt from
+    /// the content lints, but crate roots still need L4's `forbid`.
+    Tool,
+    /// Tests, benches, and examples: exempt from content lints; L2/L5
+    /// read some of these files as the *reference* test suites.
+    Test,
+    /// Vendored offline shims (`crates/rand`, `crates/proptest`):
+    /// stand-ins for external code, exempt from every lint.
+    Vendored,
+}
+
+/// One lexed, classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repository-relative path with `/` separators.
+    pub path: String,
+    /// Lint classification.
+    pub kind: FileKind,
+    /// True for `src/lib.rs` / `src/main.rs` crate roots.
+    pub is_crate_root: bool,
+    /// The full token stream.
+    pub tokens: Vec<Token>,
+    /// 1-based line ranges covered by `#[test]` / `#[cfg(test)]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Builds a file from its repo-relative path and contents.
+    #[must_use]
+    pub fn parse(path: String, contents: &str) -> Self {
+        let tokens = lex(contents);
+        let test_ranges = test_ranges(&tokens);
+        let kind = classify(&path);
+        let is_crate_root = path.ends_with("src/lib.rs") || path.ends_with("src/main.rs");
+        Self {
+            path,
+            kind,
+            is_crate_root,
+            tokens,
+            test_ranges,
+        }
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]`/`#[test]` item.
+    #[must_use]
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+fn classify(path: &str) -> FileKind {
+    if path.starts_with("crates/rand/") || path.starts_with("crates/proptest/") {
+        return FileKind::Vendored;
+    }
+    let in_dir = |d: &str| {
+        path.starts_with(&format!("{d}/")) || path.contains(&format!("/{d}/"))
+    };
+    if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+        return FileKind::Test;
+    }
+    if path.starts_with("src/") {
+        return FileKind::Library;
+    }
+    if LIBRARY_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+    {
+        return FileKind::Library;
+    }
+    FileKind::Tool
+}
+
+/// The whole lexed workspace: inputs to every lint.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All discovered source files, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(path, contents)` pairs.
+    /// Used by the fixture tests; [`Workspace::load`] is the real path.
+    #[must_use]
+    pub fn from_sources(sources: Vec<(String, String)>) -> Self {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(p, c)| SourceFile::parse(p, &c))
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Self { files }
+    }
+
+    /// Walks `root` collecting and lexing every `.rs` file outside
+    /// `target/` and VCS metadata.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut sources = Vec::new();
+        walk(root, root, &mut sources)?;
+        Ok(Self::from_sources(sources))
+    }
+
+    /// Looks up a file by its repo-relative path.
+    #[must_use]
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let contents = fs::read_to_string(&path)?;
+            out.push((rel, contents));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_policy() {
+        assert_eq!(classify("crates/sketch/src/l0.rs"), FileKind::Library);
+        assert_eq!(classify("src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("crates/engine/src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("crates/cli/src/main.rs"), FileKind::Tool);
+        assert_eq!(classify("crates/analysis/src/lib.rs"), FileKind::Tool);
+        assert_eq!(classify("tests/space_contracts.rs"), FileKind::Test);
+        assert_eq!(classify("crates/sketch/tests/extra.rs"), FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Test);
+        assert_eq!(classify("crates/rand/src/lib.rs"), FileKind::Vendored);
+    }
+
+    #[test]
+    fn crate_roots_are_flagged() {
+        let f = SourceFile::parse("crates/core/src/lib.rs".into(), "//! Docs\n");
+        assert!(f.is_crate_root);
+        let g = SourceFile::parse("crates/core/src/turnstile.rs".into(), "//! Docs\n");
+        assert!(!g.is_crate_root);
+    }
+}

@@ -1,0 +1,184 @@
+//! One intentional-violation fixture per lint class, plus a clean
+//! fixture asserting the pass is quiet on conforming code. These pin
+//! the *detection* behaviour: if a lint regresses into silence, these
+//! fail before CI ever depends on `--deny`.
+
+use hindex_analysis::workspace::Workspace;
+use hindex_analysis::run_lints;
+
+fn ws(files: &[(&str, &str)]) -> Workspace {
+    Workspace::from_sources(
+        files
+            .iter()
+            .map(|(p, c)| (p.to_string(), c.to_string()))
+            .collect(),
+    )
+}
+
+/// A conforming library file: checked helpers, no panics, forbid at
+/// the root, seeded randomness only.
+const CLEAN_ROOT: &str = r#"
+//! Crate docs.
+#![forbid(unsafe_code)]
+
+/// Canonicalise via the checked helper.
+pub fn residue(delta: i64) -> u64 {
+    hindex_hashing::from_i64(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let x: Option<u64> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}
+"#;
+
+#[test]
+fn clean_fixture_is_quiet() {
+    let findings = run_lints(&ws(&[("crates/sketch/src/lib.rs", CLEAN_ROOT)]), false);
+    assert!(
+        findings.is_empty(),
+        "clean fixture should produce no findings, got: {findings:?}"
+    );
+}
+
+#[test]
+fn l1_catches_raw_field_arithmetic() {
+    let bad = "#![forbid(unsafe_code)]\n\
+               pub fn residue(delta: i64) -> u64 {\n\
+                   delta.rem_euclid(MERSENNE_P as i64) as u64\n\
+               }\n\
+               pub fn product(a: u64, b: u64) -> u64 {\n\
+                   (a * b) % MERSENNE_P\n\
+               }\n";
+    let findings = run_lints(&ws(&[("crates/sketch/src/lib.rs", bad)]), false);
+    let l1: Vec<_> = findings.iter().filter(|f| f.lint == "L1").collect();
+    assert_eq!(l1.len(), 2, "both lines lint: {findings:?}");
+    assert_eq!(l1[0].line, 3);
+    assert_eq!(l1[1].line, 6);
+    // Same pattern inside hashing's field module is the one sanctioned home.
+    let home = run_lints(
+        &ws(&[("crates/hashing/src/field.rs", bad)]),
+        false,
+    );
+    assert!(home.iter().all(|f| f.lint != "L1"));
+}
+
+#[test]
+fn l2_catches_estimator_without_space_contract() {
+    // `Bad` implements an estimator trait but no SpaceUsage and is not
+    // referenced from the contract suite; `Good` has both.
+    let src = "#![forbid(unsafe_code)]\n\
+               impl AggregateEstimator for Bad { }\n\
+               impl CashRegisterEstimator for Good { }\n\
+               impl SpaceUsage for Good { }\n";
+    let suite = "fn covers() { let _ = Good::default(); }\n";
+    let findings = run_lints(
+        &ws(&[
+            ("crates/core/src/lib.rs", src),
+            ("tests/space_contracts.rs", suite),
+        ]),
+        false,
+    );
+    let l2: Vec<_> = findings.iter().filter(|f| f.lint == "L2").collect();
+    assert_eq!(l2.len(), 2, "missing impl + missing test ref: {findings:?}");
+    assert!(l2.iter().all(|f| f.message.contains("Bad")));
+    // --quick skips the cross-file pass entirely.
+    let quick = run_lints(&ws(&[("crates/core/src/lib.rs", src)]), true);
+    assert!(quick.iter().all(|f| f.lint != "L2"));
+}
+
+#[test]
+fn l3_catches_panic_paths_in_library_code() {
+    let bad = "#![forbid(unsafe_code)]\n\
+               pub fn f(x: Option<u64>) -> u64 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"state out of sync\");\n\
+                   if a != b { unreachable!() }\n\
+                   a\n\
+               }\n";
+    let findings = run_lints(&ws(&[("crates/engine/src/lib.rs", bad)]), false);
+    let snippets: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == "L3")
+        .map(|f| f.snippet.as_str())
+        .collect();
+    assert_eq!(
+        snippets,
+        vec!["unwrap()", "expect(\"state out of sync\")", "unreachable!"]
+    );
+    // The same code in a test, bench, or tool file is exempt.
+    for exempt in ["tests/adversarial.rs", "crates/cli/src/main.rs", "benches/speed.rs"] {
+        let f = run_lints(&ws(&[(exempt, bad)]), false);
+        assert!(f.iter().all(|x| x.lint != "L3"), "{exempt} should be exempt");
+    }
+}
+
+#[test]
+fn l4_catches_missing_forbid_and_ambient_nondeterminism() {
+    let no_forbid = "//! Docs only.\npub fn f() {}\n";
+    let findings = run_lints(&ws(&[("crates/core/src/lib.rs", no_forbid)]), false);
+    assert!(
+        findings.iter().any(|f| f.lint == "L4" && f.message.contains("forbid")),
+        "{findings:?}"
+    );
+
+    let entropy = "#![forbid(unsafe_code)]\n\
+                   pub fn seed() -> u64 {\n\
+                       let mut rng = rand::thread_rng();\n\
+                       rng.random_range(0..10)\n\
+                   }\n";
+    let findings = run_lints(&ws(&[("crates/core/src/lib.rs", entropy)]), false);
+    let l4: Vec<_> = findings.iter().filter(|f| f.lint == "L4").collect();
+    assert_eq!(l4.len(), 1);
+    assert!(l4[0].message.contains("thread_rng"));
+
+    // Vendored shims and non-library crates are exempt from the ban.
+    let f = run_lints(&ws(&[("crates/rand/src/lib.rs", entropy)]), false);
+    assert!(f.is_empty());
+}
+
+#[test]
+fn l5_catches_untested_mergeable_impl() {
+    let src = "#![forbid(unsafe_code)]\n\
+               impl Mergeable for Tested { }\n\
+               impl Mergeable for Untested { }\n";
+    let suite = "fn merge_round_trip() { let _ = Tested::default(); }\n";
+    let findings = run_lints(
+        &ws(&[
+            ("crates/core/src/lib.rs", src),
+            ("tests/merge_semantics.rs", suite),
+        ]),
+        false,
+    );
+    let l5: Vec<_> = findings.iter().filter(|f| f.lint == "L5").collect();
+    assert_eq!(l5.len(), 1, "{findings:?}");
+    assert!(l5[0].message.contains("Untested"));
+}
+
+#[test]
+fn baseline_keys_silence_exact_findings_only() {
+    use hindex_analysis::baseline::{apply, Baseline};
+    let bad = "#![forbid(unsafe_code)]\n\
+               pub fn f(x: Option<u64>) -> u64 { x.expect(\"sync\") }\n";
+    let findings = run_lints(&ws(&[("crates/core/src/lib.rs", bad)]), false);
+    assert_eq!(findings.len(), 1);
+    let key = findings[0].key();
+    assert_eq!(key, "L3|crates/core/src/lib.rs|expect(\"sync\")");
+
+    let silenced = apply(&Baseline::parse(&format!("{key}  # audited")), findings.clone());
+    assert!(silenced.new.is_empty());
+    assert_eq!(silenced.silenced, 1);
+    assert!(silenced.stale.is_empty());
+    assert!(silenced.unjustified.is_empty());
+
+    let other = apply(&Baseline::parse("L3|other.rs|unwrap()  # elsewhere"), findings);
+    assert_eq!(other.new.len(), 1);
+    assert_eq!(other.stale.len(), 1);
+}

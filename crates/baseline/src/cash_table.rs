@@ -53,10 +53,20 @@ impl CashRegisterEstimator for CashTable {
         *entry += delta;
         let new = *entry;
         if old > 0 {
-            let bucket = self.histogram.get_mut(&old).expect("histogram in sync");
-            *bucket -= 1;
-            if *bucket == 0 {
-                self.histogram.remove(&old);
+            // `counts` and `histogram` are updated in lockstep, so the
+            // old bucket must exist; a desync would only skew the
+            // incremental h (estimate stays a lower bound), so degrade
+            // rather than panic (lint L3) and let the invariant layer
+            // catch it in debug runs.
+            hindex_common::debug_invariant!(
+                self.histogram.contains_key(&old),
+                "histogram out of sync: no bucket for count {old}"
+            );
+            if let Some(bucket) = self.histogram.get_mut(&old) {
+                *bucket -= 1;
+                if *bucket == 0 {
+                    self.histogram.remove(&old);
+                }
             }
         }
         *self.histogram.entry(new).or_insert(0) += 1;

@@ -36,10 +36,18 @@ impl TurnstileTable {
             self.counts.remove(&index);
         }
         if old > 0 {
-            let b = self.histogram.get_mut(&(old as u64)).expect("in sync");
-            *b -= 1;
-            if *b == 0 {
-                self.histogram.remove(&(old as u64));
+            // Same lockstep argument as `CashTable::update`: degrade
+            // instead of panicking (lint L3), with the invariant layer
+            // asserting sync in debug runs.
+            hindex_common::debug_invariant!(
+                self.histogram.contains_key(&(old as u64)),
+                "histogram out of sync: no bucket for count {old}"
+            );
+            if let Some(b) = self.histogram.get_mut(&(old as u64)) {
+                *b -= 1;
+                if *b == 0 {
+                    self.histogram.remove(&(old as u64));
+                }
             }
         }
         if new > 0 {

@@ -1,0 +1,48 @@
+//! The `debug_invariant!` assertion layer.
+//!
+//! Sketch states carry algebraic invariants the type system cannot
+//! express: field elements must stay canonical (`< p`), exponential
+//! histogram suffix counters must be non-increasing, a 1-sparse cell's
+//! fingerprint must equal the polynomial evaluated at its support. The
+//! [`debug_invariant!`] macro lets hot-path code assert those facts
+//! *without* paying for them in release or even ordinary debug builds:
+//! the condition tokens are compiled out entirely unless the calling
+//! crate enables its `debug_invariants` cargo feature.
+//!
+//! Each workspace crate that uses the macro declares its own
+//! `debug_invariants` feature (cargo features are resolved in the crate
+//! where the macro *expands*, not where it is defined) and forwards to
+//! its dependencies' features so one flag arms the whole stack:
+//!
+//! ```text
+//! cargo test -p hindex --features debug_invariants
+//! ```
+//!
+//! Invariants that need non-trivial setup (temporaries, loops) should
+//! instead live in a `#[cfg(feature = "debug_invariants")]` helper
+//! function so nothing is bound-but-unused when the feature is off.
+
+/// Asserts an internal invariant, compiled out unless the **calling**
+/// crate's `debug_invariants` feature is enabled.
+///
+/// Usage is identical to [`assert!`]:
+///
+/// ```
+/// # use hindex_common::debug_invariant;
+/// let residue = 5u64;
+/// debug_invariant!(residue < (1 << 61) - 1, "non-canonical: {residue}");
+/// ```
+///
+/// Unlike [`debug_assert!`], this is off even in debug builds by
+/// default — the invariants guarded here are expensive (full-state
+/// scans, reference recomputation) and exist for the dedicated
+/// invariant-testing CI stage, not for every test run.
+#[macro_export]
+macro_rules! debug_invariant {
+    ($($arg:tt)*) => {
+        #[cfg(feature = "debug_invariants")]
+        {
+            assert!($($arg)*);
+        }
+    };
+}

@@ -25,6 +25,7 @@ pub mod approx;
 pub mod error;
 pub mod grid;
 pub mod hindex;
+pub mod invariants;
 pub mod params;
 pub mod traits;
 pub mod variants;

@@ -76,6 +76,34 @@ impl ExponentialHistogram {
         self.grid
     }
 
+    /// Structural invariants of the lazy bucket vector: it never ends
+    /// in a zero bucket (levels materialise only when an element clears
+    /// them, and merges of well-formed histograms preserve this), and
+    /// the derived suffix counters `c_i` are non-increasing in `i` by
+    /// construction. Only compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    fn assert_buckets_consistent(&self) {
+        assert!(
+            self.buckets.last() != Some(&0),
+            "trailing zero bucket: lazy materialisation invariant broken"
+        );
+        let c = self.counters();
+        assert!(
+            c.windows(2).all(|w| w[0] >= w[1]),
+            "suffix counters must be non-increasing: {c:?}"
+        );
+    }
+
+    /// FNV digest over the grid and the complete bucket vector, for
+    /// bit-identity assertions. Only compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        hindex_sketch::digest::fnv1a(
+            std::iter::once(self.buckets.len() as u64).chain(self.buckets.iter().copied()),
+        )
+    }
+
     /// The paper's counter `c_i` (number of elements `≥ (1+ε)ⁱ`) for
     /// each level, highest level last.
     #[must_use]
@@ -109,6 +137,8 @@ impl Mergeable for ExponentialHistogram {
         for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
+        #[cfg(feature = "debug_invariants")]
+        self.assert_buckets_consistent();
     }
 }
 
@@ -122,6 +152,8 @@ impl AggregateEstimator for ExponentialHistogram {
             self.buckets.resize(level + 1, 0);
         }
         self.buckets[level] += 1;
+        #[cfg(feature = "debug_invariants")]
+        self.assert_buckets_consistent();
     }
 
     fn estimate(&self) -> u64 {

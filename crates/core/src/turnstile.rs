@@ -123,7 +123,13 @@ impl TurnstileHIndex {
         for (i, mut v) in net {
             // A net delta can overflow i64 only if the caller fed
             // ≥ 2⁶³ worth of mass in one batch; chunk it rather than
-            // silently truncate.
+            // silently truncate. The clamp covers both extremes exactly:
+            // a batch of pure i64::MIN deltas nets to k·i64::MIN, which
+            // peels off in i64::MIN-sized chunks with no overflow (the
+            // i128 accumulator cannot itself overflow before ~2⁶⁴
+            // updates). HashMap iteration order varies per process, but
+            // the sketches are linear over the exact field, so any
+            // emission order produces bit-identical state.
             while v != 0 {
                 let chunk = v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
                 coalesced.push((i, chunk));
@@ -143,6 +149,21 @@ impl TurnstileHIndex {
     #[must_use]
     pub fn num_samplers(&self) -> usize {
         self.samplers.len()
+    }
+
+    /// FNV digest over the full sampler bank and norm sketch state, for
+    /// bit-identity assertions (the engine concurrency audit checks
+    /// that shard-merge results are identical across schedules). Only
+    /// compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        hindex_sketch::digest::fnv1a(
+            self.samplers
+                .iter()
+                .map(L0Sampler::state_digest)
+                .chain(std::iter::once(self.norm.state_digest())),
+        )
     }
 
     /// Current estimate of `h*(max(V, 0))`.

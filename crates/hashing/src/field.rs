@@ -23,6 +23,10 @@ pub fn mersenne_reduce(x: u128) -> u64 {
     if r >= MERSENNE_P {
         r -= MERSENNE_P;
     }
+    #[cfg(feature = "debug_invariants")]
+    {
+        assert!(is_canonical(r), "mersenne_reduce produced non-canonical residue");
+    }
     r
 }
 
@@ -38,6 +42,13 @@ pub fn mersenne_mul(a: u64, b: u64) -> u64 {
 #[must_use]
 pub fn mersenne_add(a: u64, b: u64) -> u64 {
     debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    #[cfg(feature = "debug_invariants")]
+    {
+        assert!(
+            is_canonical(a) && is_canonical(b),
+            "mersenne_add requires canonical inputs: {a} + {b}"
+        );
+    }
     let s = a + b; // no overflow: both < 2⁶¹
     if s >= MERSENNE_P {
         s - MERSENNE_P
@@ -46,10 +57,56 @@ pub fn mersenne_add(a: u64, b: u64) -> u64 {
     }
 }
 
+/// Whether `x` is a canonical residue, i.e. `x < p`.
+///
+/// All field helpers produce canonical residues; `mersenne_add` (and the
+/// `debug_invariants` feature more broadly) *requires* them. Sketch code
+/// that stores field elements long-term should hold only canonical
+/// values so that merges and fingerprint comparisons are bit-exact.
+#[inline]
+#[must_use]
+pub const fn is_canonical(x: u64) -> bool {
+    x < MERSENNE_P
+}
+
+/// Canonicalizes an arbitrary `u64` into a residue modulo `p`.
+///
+/// This is the *only* sanctioned way to bring raw machine words into the
+/// field (lint L1 bans open-coded `% MERSENNE_P` outside this module):
+/// keeping the entry points here means canonicality assertions guard
+/// every conversion when `debug_invariants` is enabled.
+#[inline]
+#[must_use]
+pub fn from_u64(x: u64) -> u64 {
+    let r = if x >= MERSENNE_P { x % MERSENNE_P } else { x };
+    #[cfg(feature = "debug_invariants")]
+    {
+        assert!(is_canonical(r), "from_u64 produced non-canonical residue");
+    }
+    r
+}
+
+/// Embeds a signed delta into the field: returns `delta mod p` as a
+/// canonical residue, mapping negative deltas to their additive inverse.
+///
+/// Handles the full `i64` range including `i64::MIN` (whose magnitude is
+/// not representable as a positive `i64`): `rem_euclid` in `i128` avoids
+/// the overflow that `-delta` would hit.
+#[inline]
+#[must_use]
+pub fn from_i64(delta: i64) -> u64 {
+    let r = i128::from(delta).rem_euclid(i128::from(MERSENNE_P)) as u64;
+    #[cfg(feature = "debug_invariants")]
+    {
+        assert!(is_canonical(r), "from_i64 produced non-canonical residue");
+    }
+    r
+}
+
 /// Raises `base` to `exp` modulo `p` by square-and-multiply.
 #[must_use]
 pub fn mersenne_pow(base: u64, mut exp: u64) -> u64 {
-    let mut base = base % MERSENNE_P;
+    let mut base = from_u64(base);
     let mut acc = 1u64;
     while exp > 0 {
         if exp & 1 == 1 {
@@ -121,7 +178,50 @@ mod tests {
         assert_eq!(mersenne_pow(2, 61), 1);
     }
 
+    #[test]
+    fn from_i64_handles_extremes() {
+        assert_eq!(from_i64(0), 0);
+        assert_eq!(from_i64(1), 1);
+        assert_eq!(from_i64(-1), MERSENNE_P - 1);
+        assert_eq!(from_i64(i64::MAX), reduce_ref(i64::MAX as u128));
+        // i64::MIN = -2⁶³; -2⁶³ mod (2⁶¹-1) = p - (2⁶³ mod p) = p - 4.
+        assert_eq!(from_i64(i64::MIN), MERSENNE_P - 4);
+        // Embedding is a homomorphism: (a + (-a)) ↦ 0.
+        for d in [3i64, -17, i64::MAX, i64::MIN + 1] {
+            assert_eq!(mersenne_add(from_i64(d), from_i64(-d)), 0, "d={d}");
+        }
+    }
+
+    #[test]
+    fn from_u64_canonicalizes() {
+        assert_eq!(from_u64(0), 0);
+        assert_eq!(from_u64(MERSENNE_P), 0);
+        assert_eq!(from_u64(MERSENNE_P - 1), MERSENNE_P - 1);
+        assert_eq!(from_u64(u64::MAX), reduce_ref(u128::from(u64::MAX)));
+        assert!(is_canonical(from_u64(u64::MAX)));
+    }
+
     proptest::proptest! {
+        #[test]
+        fn prop_from_i64_is_canonical_and_consistent(d in proptest::num::i64::ANY) {
+            let r = from_i64(d);
+            proptest::prop_assert!(is_canonical(r));
+            let expected = i128::from(d).rem_euclid(i128::from(MERSENNE_P)) as u64;
+            proptest::prop_assert_eq!(r, expected);
+            // Additive inverse round-trip (guarded against -i64::MIN overflow).
+            if d != i64::MIN {
+                proptest::prop_assert_eq!(mersenne_add(r, from_i64(-d)), 0);
+            }
+        }
+
+        #[test]
+        fn prop_from_u64_round_trips(x in proptest::num::u64::ANY) {
+            let r = from_u64(x);
+            proptest::prop_assert!(is_canonical(r));
+            proptest::prop_assert_eq!(from_u64(r), r); // idempotent on residues
+            proptest::prop_assert_eq!(u128::from(r), u128::from(x) % u128::from(MERSENNE_P));
+        }
+
         #[test]
         fn prop_reduce_matches_reference(x in proptest::num::u128::ANY) {
             proptest::prop_assert_eq!(mersenne_reduce(x), reduce_ref(x));

@@ -21,7 +21,7 @@
 //! results to [`crate::mersenne_pow`] (both produce the canonical
 //! residue in `[0, p)`).
 
-use crate::field::{mersenne_mul, MERSENNE_P};
+use crate::field::{from_u64, mersenne_mul};
 
 /// Bits per window digit.
 const WINDOW_BITS: usize = 8;
@@ -66,7 +66,7 @@ impl PowerLadder {
     /// [`PowerLadder::pow`] costs at most 7.
     #[must_use]
     pub fn new(base: u64) -> Self {
-        let base = base % MERSENNE_P;
+        let base = from_u64(base);
         let mut table = vec![0u64; WINDOWS * WINDOW_SIZE].into_boxed_slice();
         let mut window_base = base; // base^(2^(8w)) for the current w
         for w in 0..WINDOWS {
@@ -103,6 +103,15 @@ impl PowerLadder {
             rest >>= WINDOW_BITS;
             row += WINDOW_SIZE;
         }
+        #[cfg(feature = "debug_invariants")]
+        {
+            assert_eq!(
+                acc,
+                crate::field::mersenne_pow(self.base, exp),
+                "ladder diverged from square-and-multiply: base={} exp={exp}",
+                self.base
+            );
+        }
         acc
     }
 
@@ -119,7 +128,7 @@ impl PowerLadder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::field::mersenne_pow;
+    use crate::field::{mersenne_pow, MERSENNE_P};
 
     #[test]
     fn matches_mersenne_pow_on_edges() {

@@ -34,7 +34,10 @@ pub mod ladder;
 pub mod pairwise;
 pub mod tabulation;
 
-pub use field::{mersenne_mul, mersenne_pow, mersenne_reduce, MERSENNE_P};
+pub use field::{
+    from_i64, from_u64, is_canonical, mersenne_add, mersenne_mul, mersenne_pow, mersenne_reduce,
+    MERSENNE_P,
+};
 pub use kwise::PolynomialHash;
 pub use ladder::PowerLadder;
 pub use pairwise::PairwiseHash;

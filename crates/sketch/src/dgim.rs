@@ -113,8 +113,12 @@ impl Dgim {
                 .filter(|&(_, &(_, s))| s == size)
                 .map(|(i, _)| i)
                 .collect();
-            let oldest = idxs.pop().expect("count ≥ 2");
-            let second_oldest = idxs.pop().expect("count ≥ 2");
+            // `count ≥ k + 2 ≥ 2` guarantees both pops succeed; the
+            // let-else keeps the no-panic contract (lint L3) honest if
+            // that ever stops holding.
+            let (Some(oldest), Some(second_oldest)) = (idxs.pop(), idxs.pop()) else {
+                break;
+            };
             // Merged bucket keeps the newer timestamp of the pair.
             let merged_ts = self.buckets[second_oldest].0;
             self.buckets[second_oldest] = (merged_ts, size * 2);

@@ -1,0 +1,27 @@
+//! Bit-exact state digests, compiled only under `debug_invariants`.
+//!
+//! The deterministic-schedule concurrency audit (`tests/engine_schedules.rs`)
+//! asserts that merged shard states are *bit-identical* across update
+//! interleavings, not merely equal-in-estimate. Each sketch exposes a
+//! `state_digest()` under this feature that folds its complete state
+//! through FNV-1a; two states digest equal iff every word of state
+//! matches.
+
+/// Folds a word stream through 64-bit FNV-1a.
+///
+/// Not a cryptographic hash — it only needs to make accidental digest
+/// collisions between *different* sketch states vanishingly unlikely in
+/// tests.
+#[must_use]
+pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut acc = OFFSET;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            acc ^= u64::from(byte);
+            acc = acc.wrapping_mul(PRIME);
+        }
+    }
+    acc
+}

@@ -245,7 +245,12 @@ impl DistinctCounter for Kmv {
             // Fewer than k distinct hashes: the count is exact.
             return self.mins.len() as u64;
         }
-        let kth = *self.mins.iter().next_back().expect("non-empty") as f64;
+        // `len() == k ≥ 2` here, so a back element exists; fall back to
+        // the exact count rather than panic (lint L3).
+        let Some(&kth) = self.mins.iter().next_back() else {
+            return self.mins.len() as u64;
+        };
+        let kth = kth as f64;
         let unit = kth / (u64::MAX as f64 + 1.0);
         if unit <= 0.0 {
             return self.mins.len() as u64;

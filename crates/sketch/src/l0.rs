@@ -17,7 +17,7 @@
 use crate::sparse::{DecodeScratch, SparseRecovery};
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
-use hindex_hashing::{mersenne_mul, Hasher64, PolynomialHash, PowerLadder};
+use hindex_hashing::{from_i64, mersenne_mul, Hasher64, PolynomialHash, PowerLadder};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -146,8 +146,7 @@ impl L0Sampler {
         // All levels share one fingerprint point: one ladder pow
         // (≤ 7 multiplies) and one fingerprint-increment multiply
         // serve the whole level stack.
-        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
-        let term = mersenne_mul(delta_mod, self.ladder.pow(index));
+        let term = mersenne_mul(from_i64(delta), self.ladder.pow(index));
         for level in &mut self.levels[..=top] {
             level.update_with_term(index, delta, term);
         }
@@ -168,8 +167,7 @@ impl L0Sampler {
         self.level_hash.hash_batch(&raw_indices, &mut hashes);
         for (&(index, delta), &h) in updates.iter().zip(&hashes) {
             let top = self.level_from_hash(h);
-            let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
-            let term = mersenne_mul(delta_mod, self.ladder.pow(index));
+            let term = mersenne_mul(from_i64(delta), self.ladder.pow(index));
             for level in &mut self.levels[..=top] {
                 level.update_with_term(index, delta, term);
             }
@@ -219,6 +217,14 @@ impl L0Sampler {
     #[must_use]
     pub fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// FNV digest over every level's complete state, for bit-identity
+    /// assertions. Only compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        crate::digest::fnv1a(self.levels.iter().map(SparseRecovery::state_digest))
     }
 
     /// Estimate of `ℓ₀(x)` (the number of non-zero coordinates) from
@@ -312,6 +318,14 @@ impl L0Norm {
     #[must_use]
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// FNV digest over every core's complete state, for bit-identity
+    /// assertions. Only compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        crate::digest::fnv1a(self.cores.iter().map(L0Sampler::state_digest))
     }
 }
 

@@ -34,6 +34,8 @@
 pub mod countmin;
 pub mod countsketch;
 pub mod dgim;
+#[cfg(feature = "debug_invariants")]
+pub mod digest;
 pub mod hyperloglog;
 pub mod distinct;
 pub mod l0;

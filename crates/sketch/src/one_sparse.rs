@@ -18,7 +18,7 @@
 
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
-use hindex_hashing::{mersenne_mul, mersenne_pow};
+use hindex_hashing::{from_i64, mersenne_add, mersenne_mul, mersenne_pow};
 use rand::Rng;
 
 /// Maximum index accepted by the sketches: indices live in the Mersenne
@@ -101,8 +101,7 @@ impl OneSparseRecovery {
     /// debug builds.
     pub fn update_with_power(&mut self, index: u64, delta: i64, r_pow_index: u64) {
         debug_assert_eq!(r_pow_index, mersenne_pow(self.r, index));
-        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
-        self.update_with_term(index, delta, mersenne_mul(delta_mod, r_pow_index));
+        self.update_with_term(index, delta, mersenne_mul(from_i64(delta), r_pow_index));
     }
 
     /// Like [`Self::update_with_power`] but with the whole fingerprint
@@ -120,14 +119,26 @@ impl OneSparseRecovery {
         assert!(index <= MAX_INDEX, "index {index} outside the field domain");
         debug_assert_eq!(
             term,
-            mersenne_mul(
-                delta.rem_euclid(MERSENNE_P as i64) as u64,
-                mersenne_pow(self.r, index)
-            )
+            mersenne_mul(from_i64(delta), mersenne_pow(self.r, index))
         );
-        self.ell += i128::from(delta);
-        self.z += i128::from(delta) * i128::from(index);
-        self.fingerprint = add_mod(self.fingerprint, term);
+        // ℓ and z accumulate mod 2¹²⁸ (two's complement). Extreme
+        // streams — |δ| near 2⁶³ against indices near 2⁶¹ — can push an
+        // *intermediate* Σ δ·i past i128 range even though every
+        // decodable (≤1-sparse) final state fits comfortably (|v·i| <
+        // 2¹²⁴). Wrapping arithmetic keeps the partial sums exact mod
+        // 2¹²⁸, so any representable final value is recovered bit-exactly
+        // and cancellation still returns to zero; non-representable
+        // states are only reachable for vectors the decode rejects via
+        // the fingerprint anyway.
+        self.ell = self.ell.wrapping_add(i128::from(delta));
+        self.z = self
+            .z
+            .wrapping_add(i128::from(delta).wrapping_mul(i128::from(index)));
+        self.fingerprint = mersenne_add(self.fingerprint, term);
+        hindex_common::debug_invariant!(
+            hindex_hashing::is_canonical(self.fingerprint),
+            "1-sparse fingerprint left the field after update"
+        );
     }
 
     /// Merges another sketch built with the same fingerprint point
@@ -138,9 +149,13 @@ impl OneSparseRecovery {
     /// Panics if the two sketches use different points.
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.r, other.r, "cannot merge sketches with different points");
-        self.ell += other.ell;
-        self.z += other.z;
-        self.fingerprint = add_mod(self.fingerprint, other.fingerprint);
+        self.ell = self.ell.wrapping_add(other.ell);
+        self.z = self.z.wrapping_add(other.z);
+        self.fingerprint = mersenne_add(self.fingerprint, other.fingerprint);
+        hindex_common::debug_invariant!(
+            hindex_hashing::is_canonical(self.fingerprint),
+            "1-sparse fingerprint left the field after merge"
+        );
     }
 
     /// Attempts to decode the sketched vector.
@@ -155,8 +170,7 @@ impl OneSparseRecovery {
                 let index = index as u64;
                 let value = self.ell;
                 if let Ok(value64) = i64::try_from(value) {
-                    let value_mod = value64.rem_euclid(MERSENNE_P as i64) as u64;
-                    let expected = mersenne_mul(value_mod, mersenne_pow(self.r, index));
+                    let expected = mersenne_mul(from_i64(value64), mersenne_pow(self.r, index));
                     if expected == self.fingerprint {
                         return Recovery::One {
                             index,
@@ -177,13 +191,24 @@ impl SpaceUsage for OneSparseRecovery {
     }
 }
 
-#[inline]
-fn add_mod(a: u64, b: u64) -> u64 {
-    let s = a + b;
-    if s >= MERSENNE_P {
-        s - MERSENNE_P
-    } else {
-        s
+#[cfg(feature = "debug_invariants")]
+impl OneSparseRecovery {
+    /// FNV-1a digest over the complete sketch state, for bit-identity
+    /// assertions in the deterministic-schedule stress tests. Only
+    /// compiled under `debug_invariants`.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        crate::digest::fnv1a(
+            [
+                self.ell as u128 as u64,
+                (self.ell as u128 >> 64) as u64,
+                self.z as u128 as u64,
+                (self.z as u128 >> 64) as u64,
+                self.fingerprint,
+                self.r,
+            ]
+            .into_iter(),
+        )
     }
 }
 
@@ -370,6 +395,38 @@ mod tests {
             s.update(i, vi);
             s.update(j, vj);
             proptest::prop_assert_eq!(s.decode(), Recovery::NotSparse);
+        }
+
+        // With `debug_invariants` armed, every update/merge below also
+        // executes the canonicality assertions — this is the
+        // "invariant layer exercised in CI, not just compiled" check.
+        #[test]
+        #[cfg(feature = "debug_invariants")]
+        fn prop_split_merge_is_bit_identical_to_serial(
+            seed in proptest::num::u64::ANY,
+            updates in proptest::collection::vec(
+                (0u64..=MAX_INDEX, proptest::num::i64::ANY),
+                1..24,
+            ),
+            split in 0usize..24,
+        ) {
+            let point = OneSparseRecovery::new(
+                &mut StdRng::seed_from_u64(seed)
+            ).point();
+            let mut serial = OneSparseRecovery::with_point(point);
+            let mut left = OneSparseRecovery::with_point(point);
+            let mut right = OneSparseRecovery::with_point(point);
+            let cut = split.min(updates.len());
+            for (k, &(i, d)) in updates.iter().enumerate() {
+                serial.update(i, d);
+                if k < cut { left.update(i, d); } else { right.update(i, d); }
+            }
+            left.merge(&right);
+            // 1-sparse consistency: the sketch is linear, so any
+            // split/merge of the stream yields the same state, bit for
+            // bit, and hence the same decode.
+            proptest::prop_assert_eq!(left.state_digest(), serial.state_digest());
+            proptest::prop_assert_eq!(left.decode(), serial.decode());
         }
 
         #[test]

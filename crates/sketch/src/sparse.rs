@@ -18,7 +18,7 @@
 use crate::one_sparse::{OneSparseRecovery, Recovery};
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
-use hindex_hashing::{mersenne_mul, Hasher64, PairwiseHash, PowerLadder};
+use hindex_hashing::{from_i64, mersenne_mul, Hasher64, PairwiseHash, PowerLadder};
 use rand::Rng;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -128,6 +128,8 @@ impl SparseRecovery {
         // every touched cell and the checksum.
         let r_pow = self.ladder.pow(index);
         self.update_with_power(index, delta, r_pow);
+        #[cfg(feature = "debug_invariants")]
+        self.assert_grid_consistent();
     }
 
     /// Like [`Self::update`] but with `rⁱ` supplied by the caller, so a
@@ -142,8 +144,7 @@ impl SparseRecovery {
         // The fingerprint increment (δ mod p)·rⁱ is the same for the
         // checksum and every touched cell: one multiply serves all of
         // them, and each cell update is then three additions.
-        let delta_mod = delta.rem_euclid(MERSENNE_P as i64) as u64;
-        self.update_with_term(index, delta, mersenne_mul(delta_mod, r_pow));
+        self.update_with_term(index, delta, mersenne_mul(from_i64(delta), r_pow));
     }
 
     /// Like [`Self::update_with_power`] but with the shared fingerprint
@@ -175,10 +176,7 @@ impl SparseRecovery {
         let deltas: Vec<i64> = updates.iter().map(|&(_, d)| d).collect();
         let terms: Vec<u64> = updates
             .iter()
-            .map(|&(i, d)| {
-                let delta_mod = d.rem_euclid(MERSENNE_P as i64) as u64;
-                mersenne_mul(delta_mod, self.ladder.pow(i))
-            })
+            .map(|&(i, d)| mersenne_mul(from_i64(d), self.ladder.pow(i)))
             .collect();
         let mut cols = Vec::new();
         self.update_batch_with_terms(&indices, &deltas, &terms, &mut cols);
@@ -241,6 +239,8 @@ impl SparseRecovery {
             }
             start = end;
         }
+        #[cfg(feature = "debug_invariants")]
+        self.assert_grid_consistent();
     }
 
     /// The shared power ladder for this sketch's fingerprint point.
@@ -268,6 +268,8 @@ impl SparseRecovery {
             }
         }
         self.checksum.merge(&other.checksum);
+        #[cfg(feature = "debug_invariants")]
+        self.assert_grid_consistent();
     }
 
     /// Attempts to recover the full support of the sketched vector by
@@ -363,6 +365,58 @@ impl SparseRecovery {
             }
             _ => None,
         }
+    }
+}
+
+#[cfg(feature = "debug_invariants")]
+impl SparseRecovery {
+    /// Structural invariants of the grid: the lazy cell vector is
+    /// either empty or exactly `rows × cols`, and every cell shares the
+    /// checksum's fingerprint point, which in turn is the ladder base
+    /// (merge compatibility and decode verification both hinge on
+    /// this). Only compiled under `debug_invariants`.
+    fn assert_grid_consistent(&self) {
+        assert!(
+            self.cells.is_empty() || self.cells.len() == self.hashes.len() * self.cols,
+            "cell grid is {} cells, want 0 or {}",
+            self.cells.len(),
+            self.hashes.len() * self.cols
+        );
+        assert_eq!(
+            self.checksum.point(),
+            self.ladder.base(),
+            "checksum point diverged from the shared ladder base"
+        );
+        for cell in &self.cells {
+            assert_eq!(
+                cell.point(),
+                self.checksum.point(),
+                "grid cell fingerprint point diverged from the checksum"
+            );
+        }
+    }
+
+    /// FNV digest over the complete sketch state (every cell and the
+    /// checksum), for bit-identity assertions. Lazy materialisation is
+    /// *not* part of the state: an untouched grid and a materialised
+    /// grid whose updates all cancelled both sketch the zero vector, so
+    /// an unmaterialised grid digests as its canonical zero cells (this
+    /// is what lets batched paths drop net-zero coalesced indices and
+    /// still digest-match the serial path). Only compiled under
+    /// `debug_invariants`.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let total = self.hashes.len() * self.cols;
+        let zero_cell = OneSparseRecovery::with_point(self.checksum.point()).state_digest();
+        crate::digest::fnv1a(
+            (0..total)
+                .map(|k| {
+                    self.cells
+                        .get(k)
+                        .map_or(zero_cell, OneSparseRecovery::state_digest)
+                })
+                .chain(std::iter::once(self.checksum.state_digest())),
+        )
     }
 }
 

@@ -13,6 +13,33 @@ cargo test -q --offline --workspace
 echo "==> clippy"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> hindex-analysis (repo lints, deny mode)"
+cargo run -q --offline -p hindex-analysis -- --deny
+
+echo "==> debug invariant layer (feature-gated assertions + proptests)"
+cargo test -q --offline -p hindex-hashing --features debug_invariants
+cargo test -q --offline -p hindex-sketch --features debug_invariants
+cargo test -q --offline -p hindex --features debug_invariants \
+    --test invariants --test engine_schedules --test adversarial
+
+echo "==> concurrency audit (best effort: miri / thread sanitizer)"
+# Both need a nightly toolchain; this gate must pass on a stock stable
+# install, so each stage is attempted and skipped cleanly if absent.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test --offline -p hindex-engine
+else
+    echo "    miri unavailable (needs nightly + 'cargo miri'); skipping"
+fi
+if cargo +nightly --version >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test --offline -p hindex-engine \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+    echo "    thread sanitizer unavailable (needs nightly + rust-src); skipping"
+fi
+
 echo "==> benches compile"
 cargo bench -p hindex-bench --offline --no-run
 

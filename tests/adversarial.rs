@@ -257,3 +257,88 @@ fn estimators_never_panic_on_fuzzed_inputs() {
         );
     }
 }
+
+/// Regression: 1-sparse accumulators at the representable extremes.
+/// `ℓ` and `z` accumulate `δ` and `δ·i` in wrapping `i128`; before the
+/// wrapping fix, a handful of `i64::MIN`-weight updates at a huge index
+/// overflowed `z` and aborted in debug builds. The sums are exact mod
+/// 2¹²⁸, so cancellation must walk the cell back to the empty state bit
+/// for bit — and intermediate, non-representable states must decode
+/// gracefully rather than panic.
+#[test]
+fn one_sparse_survives_extreme_index_and_delta() {
+    use hindex_sketch::one_sparse::MAX_INDEX;
+    use hindex_sketch::{OneSparseRecovery, Recovery};
+    let empty = OneSparseRecovery::with_point(123_456_789);
+    let mut cell = empty;
+    // |δ·i| ≈ 2⁶³·2⁶¹ = 2¹²⁴ per update: 16 of them push Σ δ·i past
+    // i128 range (pre-fix: overflow abort in debug builds).
+    for _ in 0..16 {
+        cell.update(MAX_INDEX, i64::MIN);
+        let _ = cell.decode(); // mid-flight decode must not abort either
+    }
+    // 2 × 2⁶² cancels one −2⁶³, so 32 of them cancel all 16 MINs.
+    for _ in 0..32 {
+        cell.update(MAX_INDEX, 1i64 << 62);
+    }
+    assert_eq!(cell.decode(), Recovery::Zero);
+    // And a decodable extreme: one live coordinate at the top index.
+    cell.update(MAX_INDEX, i64::MAX);
+    assert_eq!(
+        cell.decode(),
+        Recovery::One { index: MAX_INDEX, value: i64::MAX }
+    );
+}
+
+/// Regression: the turnstile batch path coalesces per-paper deltas in
+/// `i128` and clamps to `i64` — `i64::MIN` (whose negation overflows
+/// `i64`) and saturating mixes around it must match the serial
+/// one-update-at-a-time path exactly, including the internal field
+/// state when the invariant layer is armed.
+#[test]
+fn turnstile_batch_coalescing_handles_i64_min() {
+    let proto = TurnstileHIndex::with_sampler_count(
+        Epsilon::new(0.4).unwrap(),
+        Delta::new(0.3).unwrap(),
+        9,
+        &mut StdRng::seed_from_u64(55),
+    );
+    let updates: Vec<(u64, i64)> = vec![
+        (5, i64::MIN),
+        (7, 3),
+        (5, i64::MIN), // coalesced sum −2⁶⁴: overflows i64, exact in i128
+        (5, i64::MAX),
+        (9, -1),
+        (5, i64::MAX), // net −2 on paper 5
+        (9, 1),        // exact cancellation inside one batch
+    ];
+    let mut serial = proto.clone();
+    for &(i, d) in &updates {
+        TurnstileEstimator::update(&mut serial, i, d);
+    }
+    let mut batched = proto.clone();
+    batched.update_batch(&updates);
+    assert_eq!(batched.estimate(), serial.estimate());
+    #[cfg(feature = "debug_invariants")]
+    assert_eq!(batched.state_digest(), serial.state_digest());
+}
+
+/// Regression: field helpers at the domain extremes. `from_i64` must
+/// embed `i64::MIN` correctly (its magnitude is not representable as a
+/// positive `i64`), and products of residues next to `p − 1` must stay
+/// canonical — the weights adversarial retraction streams produce.
+#[test]
+fn field_helpers_at_extremes() {
+    use hindex_hashing::{from_i64, is_canonical, mersenne_mul, mersenne_pow, MERSENNE_P};
+    assert_eq!(from_i64(i64::MIN), MERSENNE_P - 4); // −2⁶³ ≡ −4 (mod 2⁶¹−1)
+    assert_eq!(from_i64(i64::MAX), 3); // 2⁶³ − 1 ≡ 4 − 1
+    for x in [MERSENNE_P - 1, MERSENNE_P - 2, 1, 2] {
+        for y in [MERSENNE_P - 1, MERSENNE_P - 2] {
+            let prod = mersenne_mul(x, y);
+            assert!(is_canonical(prod), "mul({x}, {y}) = {prod} left the field");
+        }
+    }
+    // (p−1)² ≡ 1: the top residue is its own inverse.
+    assert_eq!(mersenne_mul(MERSENNE_P - 1, MERSENNE_P - 1), 1);
+    assert_eq!(mersenne_pow(MERSENNE_P - 1, u64::MAX % 2), MERSENNE_P - 1);
+}

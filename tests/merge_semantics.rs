@@ -4,6 +4,7 @@
 //! streams.
 
 use hindex::prelude::*;
+use hindex_baseline::CashTable;
 use hindex_sketch::distinct::DistinctCounter;
 use hindex_sketch::{Bjkst, CountMin, L0Sampler, OneSparseRecovery, SparseRecovery};
 use rand::rngs::StdRng;
@@ -333,6 +334,63 @@ fn kernel_paths_bit_identical_to_legacy_square_and_multiply() {
     assert_eq!(ladder.decode(), legacy.decode());
     assert_eq!(ladder_merged.decode(), legacy_merged.decode());
     assert!(legacy.decode().is_some(), "decode failed on ≤ 6-sparse input");
+}
+
+#[test]
+fn cash_table_merge_equals_concatenation_exactly() {
+    // The exact baseline is deterministic and order-insensitive, so a
+    // sharded run must agree with the single stream on *every* exposed
+    // quantity, not just within tolerance.
+    let updates: Vec<(u64, u64)> = (0..3_000u64).map(|k| (k % 173, 1 + k % 5)).collect();
+    let mut whole = CashTable::new();
+    let mut shards: Vec<CashTable> = (0..3).map(|_| CashTable::new()).collect();
+    for (k, &(i, d)) in updates.iter().enumerate() {
+        whole.update(i, d);
+        shards[k % 3].update(i, d);
+    }
+    let merged = merge_shards(shards);
+    assert_eq!(merged.estimate(), whole.estimate());
+    assert_eq!(merged.distinct(), whole.distinct());
+    for paper in 0..173u64 {
+        assert_eq!(merged.count(paper), whole.count(paper), "paper {paper}");
+    }
+}
+
+#[test]
+fn one_heavy_hitter_merge_preserves_dominant_author() {
+    // Algorithm 7's histogram merges exactly; the per-level reservoirs
+    // merge distributionally. A planted dominant author must therefore
+    // survive a 2-way shard split in (nearly) every seeded run.
+    let corpus = hindex_stream::generator::planted_heavy_hitters(&[90], 10, 2, 2, 5);
+    let truth_h = corpus.ground_truth().per_author[&AuthorId(0)];
+    let trials = 8;
+    let mut found = 0;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let proto = OneHeavyHitter::new(Epsilon::new(0.2).unwrap(), 0.05, &mut rng);
+        let mut shards = vec![proto.clone(), proto];
+        for (k, p) in corpus.papers().iter().enumerate() {
+            shards[k % 2].push(p);
+        }
+        let merged = merge_shards(shards);
+        if let OneHeavyHitterOutcome::Author { author, h_estimate } = merged.decode() {
+            assert_eq!(author, AuthorId(0));
+            assert!(h_estimate <= truth_h, "estimate {h_estimate} above truth {truth_h}");
+            if h_estimate as f64 >= 0.7 * truth_h as f64 {
+                found += 1;
+            }
+        }
+    }
+    assert!(found >= trials - 2, "dominant author survived only {found}/{trials} merges");
+}
+
+#[test]
+#[should_panic(expected = "share epsilon")]
+fn one_heavy_hitter_merge_rejects_mismatched_epsilon() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut a = OneHeavyHitter::new(Epsilon::new(0.2).unwrap(), 0.05, &mut rng);
+    let b = OneHeavyHitter::new(Epsilon::new(0.4).unwrap(), 0.05, &mut rng);
+    a.merge(&b);
 }
 
 /// Same contract one level down: a 1-sparse cell updated via a shared
