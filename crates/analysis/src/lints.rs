@@ -476,6 +476,88 @@ impl crate::Lint for MergeSemantics {
     }
 }
 
+/// L6 — every `Mergeable` impl is persistable and covered.
+///
+/// The engine checkpoints by snapshotting each shard, so any estimator
+/// it can host (`Mergeable`) must also implement `Snapshot`, and the
+/// implementation must be exercised by `tests/snapshot_roundtrip.rs`
+/// (round-trip law + corruption totality). A mergeable type without a
+/// durable encoding silently excludes itself from crash recovery.
+pub struct SnapshotCoverage;
+
+impl crate::Lint for SnapshotCoverage {
+    fn id(&self) -> &'static str {
+        "L6"
+    }
+    fn summary(&self) -> &'static str {
+        "every Mergeable impl has a Snapshot impl covered by tests/snapshot_roundtrip.rs"
+    }
+    fn cross_file(&self) -> bool {
+        true
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let roundtrip_refs = ident_set(ws.file("tests/snapshot_roundtrip.rs"));
+        let mut snapshot_types: HashSet<String> = HashSet::new();
+        for file in &ws.files {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            for imp in impls_in(file) {
+                if imp.trait_name == "Snapshot" {
+                    snapshot_types.insert(imp.type_name);
+                }
+            }
+        }
+        let mut reported: HashSet<String> = HashSet::new();
+        for file in &ws.files {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            for imp in impls_in(file) {
+                if imp.trait_name != "Mergeable" {
+                    continue;
+                }
+                let ty = &imp.type_name;
+                if !snapshot_types.contains(ty.as_str())
+                    && reported.insert(format!("impl:{ty}"))
+                {
+                    out.push(Finding::new(
+                        "L6",
+                        &file.path,
+                        imp.line,
+                        &format!("{ty} not persistable"),
+                        format!(
+                            "`Mergeable` impl for `{ty}` has no `Snapshot` impl — the engine \
+                             cannot checkpoint shards hosting it"
+                        ),
+                        Some(format!(
+                            "implement `Snapshot` for `{ty}` (versioned frame, total decode)"
+                        )),
+                    ));
+                }
+                if !roundtrip_refs.contains(ty.as_str())
+                    && reported.insert(format!("test:{ty}"))
+                {
+                    out.push(Finding::new(
+                        "L6",
+                        &file.path,
+                        imp.line,
+                        &format!("{ty} missing snapshot round-trip test"),
+                        format!(
+                            "`{ty}` is not referenced by tests/snapshot_roundtrip.rs, the suite \
+                             asserting the round-trip law and corruption totality"
+                        ),
+                        Some(format!(
+                            "add a round-trip + corruption case for `{ty}` to \
+                             tests/snapshot_roundtrip.rs"
+                        )),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

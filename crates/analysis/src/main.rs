@@ -24,7 +24,7 @@ OPTIONS:
     --root <DIR>       Repository root to analyse (default: .)
     --baseline <FILE>  Baseline file (default: <root>/crates/analysis/baseline.txt)
     --deny             Exit nonzero on new findings or unjustified baseline entries
-    --quick            Run only file-local lints (skips cross-file L2/L5)
+    --quick            Run only file-local lints (skips cross-file L2/L5/L6)
     --list             Print the lint catalogue and exit
     --help             Show this help
 

@@ -163,6 +163,39 @@ fn l5_catches_untested_mergeable_impl() {
 }
 
 #[test]
+fn l6_catches_unpersistable_and_untested_mergeable_impls() {
+    // `Covered` is fully compliant; `NoSnapshot` merges but cannot be
+    // checkpointed; `NoTest` is persistable but unexercised.
+    let src = "#![forbid(unsafe_code)]\n\
+               impl Mergeable for Covered { }\n\
+               impl Snapshot for Covered { }\n\
+               impl Mergeable for NoSnapshot { }\n\
+               impl Mergeable for NoTest { }\n\
+               impl Snapshot for NoTest { }\n";
+    let suite = "fn roundtrip() { let _ = Covered::default(); }\n";
+    let findings = run_lints(
+        &ws(&[
+            ("crates/core/src/lib.rs", src),
+            ("tests/merge_semantics.rs", "fn m() { Covered::default(); NoSnapshot::default(); NoTest::default(); }\n"),
+            ("tests/snapshot_roundtrip.rs", suite),
+        ]),
+        false,
+    );
+    let l6: Vec<_> = findings.iter().filter(|f| f.lint == "L6").collect();
+    assert_eq!(l6.len(), 3, "{findings:?}");
+    assert!(l6.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("no `Snapshot` impl")));
+    assert!(l6.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("not referenced")));
+    assert!(l6.iter().any(|f| f.message.contains("NoTest") && f.message.contains("not referenced")));
+
+    // Cross-file lint: skipped under --quick.
+    let quick = run_lints(
+        &ws(&[("crates/core/src/lib.rs", src)]),
+        true,
+    );
+    assert!(quick.iter().all(|f| f.lint != "L6"), "{quick:?}");
+}
+
+#[test]
 fn baseline_keys_silence_exact_findings_only() {
     use hindex_analysis::baseline::{apply, Baseline};
     let bad = "#![forbid(unsafe_code)]\n\

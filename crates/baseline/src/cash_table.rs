@@ -1,5 +1,6 @@
 //! Exact cash-register baseline.
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::{CashRegisterEstimator, Mergeable, SpaceUsage};
 use std::collections::HashMap;
 
@@ -101,6 +102,46 @@ impl Mergeable for CashTable {
         for (&paper, &count) in &other.counts {
             self.update(paper, count);
         }
+    }
+}
+
+/// Payload: the per-paper totals as `(paper, count)` pairs, sorted by
+/// paper id so equal tables encode identically regardless of hash-map
+/// iteration order. The histogram, the incremental `h`, and the
+/// `above` tally are *derived* state: decode rebuilds them by
+/// replaying each total as one cash-register update, which keeps the
+/// four fields in lockstep by construction instead of trusting four
+/// separately serialised copies to agree.
+impl Snapshot for CashTable {
+    const TAG: u8 = 20;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        let mut entries: Vec<(u64, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        entries.sort_unstable();
+        w.put_usize(entries.len());
+        for (paper, count) in entries {
+            w.put_u64(paper);
+            w.put_u64(count);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.get_count(16)?;
+        let mut table = Self::new();
+        let mut prev: Option<u64> = None;
+        for _ in 0..len {
+            let paper = r.get_u64()?;
+            let count = r.get_u64()?;
+            if count == 0 {
+                return Err(SnapshotError::Invalid("paper with zero citations stored"));
+            }
+            if prev.is_some_and(|p| p >= paper) {
+                return Err(SnapshotError::Invalid("papers must be strictly increasing"));
+            }
+            prev = Some(paper);
+            table.update(paper, count);
+        }
+        Ok(table)
     }
 }
 

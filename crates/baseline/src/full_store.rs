@@ -1,5 +1,6 @@
 //! Store-everything aggregate baseline.
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::{h_index, AggregateEstimator, SpaceUsage};
 
 /// Exact aggregate-model baseline that stores every value — the
@@ -33,6 +34,28 @@ impl AggregateEstimator for FullStore {
 
     fn estimate(&self) -> u64 {
         h_index(&self.values)
+    }
+}
+
+/// Payload: the stored values in arrival order. Nothing to validate —
+/// every `Vec<u64>` is a reachable store.
+impl Snapshot for FullStore {
+    const TAG: u8 = 21;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_usize(self.values.len());
+        for &v in &self.values {
+            w.put_u64(v);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.get_count(8)?;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(r.get_u64()?);
+        }
+        Ok(Self { values })
     }
 }
 

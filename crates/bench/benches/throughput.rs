@@ -524,7 +524,7 @@ fn kernels(quick: bool) {
             setup,
             |mut engine: ShardedEngine<TurnstileHIndex, (u64, i64)>| {
                 engine.push_slice(&tn_updates);
-                engine.finish().estimate()
+                engine.finish().unwrap().estimate()
             },
         );
     }
@@ -553,7 +553,7 @@ fn engine_scaling() {
         let setup = || ShardedEngine::new(EngineConfig::with_shards(shards), prototype.clone());
         let ingest = |mut engine: ShardedEngine<CashRegisterHIndex, (u64, u64)>| {
             engine.push_slice(&updates);
-            engine.finish()
+            engine.finish().unwrap()
         };
         // Shared prototype + linear sketches: every shard count must
         // report the identical estimate.
@@ -596,7 +596,7 @@ fn engine_overheads() {
     });
     bench("engine_overheads", "spawn_join_empty_8", 1, 5, || {
         let engine = ShardedEngine::new(EngineConfig::with_shards(8), prototype.clone());
-        engine.finish()
+        engine.finish().unwrap()
     });
 }
 

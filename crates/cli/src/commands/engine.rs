@@ -49,7 +49,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
             let mut engine = ShardedEngine::new(config, prototype);
             let start = Instant::now();
             engine.push_slice(&updates);
-            let merged = engine.finish();
+            let merged = engine.finish().unwrap();
             let elapsed = start.elapsed();
             (
                 format!("sharded ℓ₀-sampling sketch (Alg 6, x = {})", merged.num_samplers()),
@@ -62,7 +62,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
             let mut engine = ShardedEngine::new(config, CashTable::new());
             let start = Instant::now();
             engine.push_slice(&updates);
-            let merged = engine.finish();
+            let merged = engine.finish().unwrap();
             let elapsed = start.elapsed();
             ("sharded exact table".into(), merged.estimate(), merged.space_words(), elapsed)
         }

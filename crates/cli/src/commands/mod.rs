@@ -5,3 +5,4 @@ pub mod cash;
 pub mod engine;
 pub mod generate;
 pub mod hh;
+pub mod snapshot;

@@ -5,6 +5,8 @@
 //! hindex cash  [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
 //! hindex engine [--shards 4] [--batch 1024] [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
 //! hindex hh    [--eps 0.2] [--delta 0.1] [--seed S] [--threshold T] < papers.txt
+//! hindex snapshot --out ckpt.bin [--cut K] [engine flags] < updates.txt
+//! hindex restore  --in ckpt.bin [--algorithm sketch|exact] < updates.txt
 //! hindex gen   --kind zipf|planted|heavy [--n N] [--h H] [--exponent A] [--seed S]
 //! ```
 //!
@@ -42,6 +44,8 @@ pub fn run(argv: &[String], input: &mut dyn Read) -> Result<String, String> {
         "cash" => commands::cash::run(&parsed, input),
         "engine" => commands::engine::run(&parsed, input),
         "hh" => commands::hh::run(&parsed, input),
+        "snapshot" => commands::snapshot::run_snapshot(&parsed, input),
+        "restore" => commands::snapshot::run_restore(&parsed, input),
         "gen" => commands::generate::run(&parsed),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -63,6 +67,10 @@ pub fn usage() -> &'static str {
               --algorithm sketch|exact (sketch)  --seed S (0)\n\
        hh     find heavy hitters in H-index (`paper authors citations` lines)\n\
               --eps E (0.2)  --delta D (0.1)  --seed S (0)  --threshold T (auto)\n\
+       snapshot  ingest a prefix of a cash-register stream, write a checkpoint\n\
+              --out FILE  --cut K (whole stream)  plus the `engine` flags\n\
+       restore   resume from a checkpoint, replay the stream from its offset\n\
+              --in FILE  --algorithm sketch|exact (sketch)\n\
        gen    generate synthetic streams\n\
               --kind zipf|planted|heavy  --n N (1000)  --h H (100)\n\
               --exponent A (2.0)  --seed S (0)\n\

@@ -113,6 +113,29 @@ impl ExpGrid {
     }
 }
 
+/// The grid serializes as its base `1 + ε` (IEEE-754 bits): the base is
+/// the entire state, and storing it verbatim — rather than ε — makes the
+/// round-trip bit-exact with no float arithmetic on the decode path.
+impl crate::snapshot::Snapshot for ExpGrid {
+    const TAG: u8 = 12;
+
+    fn write_payload(&self, w: &mut crate::snapshot::Writer<'_>) {
+        w.put_f64(self.base);
+    }
+
+    fn read_payload(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let base = r.get_f64()?;
+        if !(base.is_finite() && base > 1.0) {
+            return Err(crate::snapshot::SnapshotError::Invalid(
+                "grid base must be finite and greater than 1",
+            ));
+        }
+        Ok(Self { base })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@ pub mod grid;
 pub mod hindex;
 pub mod invariants;
 pub mod params;
+pub mod snapshot;
 pub mod traits;
 pub mod variants;
 
@@ -35,6 +36,7 @@ pub use error::{Error, Result};
 pub use grid::ExpGrid;
 pub use hindex::{h_index, h_index_sorted_desc, h_support, IncrementalHIndex};
 pub use params::{Delta, Epsilon};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use traits::{
     AggregateEstimator, CashRegisterEstimator, EstimatorParams, Mergeable, SpaceUsage,
     TurnstileEstimator,

@@ -26,6 +26,7 @@
 //!   an upper bound `D ≤ D_max`, `x = ⌈3ε⁻² ln(2/δ) · D_max/β⌉` makes
 //!   the per-level Chernoff argument relative.
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
     CashRegisterEstimator, Delta, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage,
 };
@@ -163,6 +164,20 @@ impl CashRegisterHIndex {
         self.samplers.len()
     }
 
+    /// FNV digest over the sampler bank, the distinct sketch, and
+    /// `max_seen`, for bit-identity assertions (checkpoint/restore
+    /// tests in particular). Only compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        hindex_sketch::digest::fnv1a(
+            self.samplers
+                .iter()
+                .map(L0Sampler::state_digest)
+                .chain([self.distinct.state_digest(), self.max_seen]),
+        )
+    }
+
     /// The sampled `(paper, exact count)` pairs currently recoverable —
     /// exposed for experiments that analyze the sampler ensemble.
     #[must_use]
@@ -173,6 +188,86 @@ impl CashRegisterHIndex {
             .filter(|&(_, v)| v > 0)
             .map(|(i, v)| (i, v as u64))
             .collect()
+    }
+}
+
+impl CashRegisterParams {
+    /// Serialises the mode tag and numeric fields (snapshot helper).
+    fn write_into_payload(&self, w: &mut Writer<'_>) {
+        match *self {
+            CashRegisterParams::Additive { epsilon, delta } => {
+                w.put_u8(0);
+                w.put_f64(epsilon.get());
+                w.put_f64(delta.get());
+            }
+            CashRegisterParams::Multiplicative { epsilon, delta, beta, distinct_bound } => {
+                w.put_u8(1);
+                w.put_f64(epsilon.get());
+                w.put_f64(delta.get());
+                w.put_u64(beta);
+                w.put_u64(distinct_bound);
+            }
+        }
+    }
+
+    /// Decodes what [`Self::write_into_payload`] wrote, re-validating
+    /// every constructor invariant (`ε`, `δ` in range, `β ≥ 1`).
+    fn read_from_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mode = r.get_u8()?;
+        let epsilon = Epsilon::new(r.get_f64()?)
+            .map_err(|_| SnapshotError::Invalid("epsilon outside (0, 1)"))?;
+        let delta = Delta::new(r.get_f64()?)
+            .map_err(|_| SnapshotError::Invalid("delta outside (0, 1)"))?;
+        match mode {
+            0 => Ok(CashRegisterParams::Additive { epsilon, delta }),
+            1 => {
+                let beta = r.get_u64()?;
+                if beta == 0 {
+                    return Err(SnapshotError::Invalid("beta must be positive"));
+                }
+                let distinct_bound = r.get_u64()?;
+                Ok(CashRegisterParams::Multiplicative { epsilon, delta, beta, distinct_bound })
+            }
+            _ => Err(SnapshotError::Invalid("unknown cash-register mode")),
+        }
+    }
+}
+
+/// Payload: the parameter record (mode tag + numeric fields), the
+/// sampler bank, the BJKST distinct sketch, and `max_seen`. The grid
+/// is rebuilt from the re-validated `ε`.
+impl Snapshot for CashRegisterHIndex {
+    const TAG: u8 = 15;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        self.params.write_into_payload(w);
+        w.put_usize(self.samplers.len());
+        for s in &self.samplers {
+            w.put_nested(s);
+        }
+        w.put_nested(&self.distinct);
+        w.put_u64(self.max_seen);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let params = CashRegisterParams::read_from_payload(r)?;
+        let count = r.get_count(FRAME_OVERHEAD)?;
+        if count == 0 {
+            return Err(SnapshotError::Invalid("need at least one sampler"));
+        }
+        let mut samplers = Vec::with_capacity(count);
+        for _ in 0..count {
+            samplers.push(r.get_nested::<L0Sampler>()?);
+        }
+        let distinct = r.get_nested::<Bjkst>()?;
+        let max_seen = r.get_u64()?;
+        Ok(Self {
+            params,
+            grid: ExpGrid::new(params.epsilon().get()),
+            samplers,
+            distinct,
+            max_seen,
+        })
     }
 }
 

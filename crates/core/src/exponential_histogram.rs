@@ -17,6 +17,7 @@
 //!   maximum level appears. This removes the pseudocode's need to know
 //!   `n` in advance while counting exactly the same quantities.
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::{AggregateEstimator, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage};
 use rand::Rng;
 
@@ -139,6 +140,35 @@ impl Mergeable for ExponentialHistogram {
         }
         #[cfg(feature = "debug_invariants")]
         self.assert_buckets_consistent();
+    }
+}
+
+/// Payload: the grid as a nested frame, then the lazy bucket vector.
+/// Decode re-validates the lazy-materialisation invariant (no trailing
+/// zero bucket) so every restored histogram is a state some update
+/// sequence could have produced.
+impl Snapshot for ExponentialHistogram {
+    const TAG: u8 = 14;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_nested(&self.grid);
+        w.put_usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let grid = r.get_nested::<ExpGrid>()?;
+        let len = r.get_count(8)?;
+        let mut buckets = Vec::with_capacity(len);
+        for _ in 0..len {
+            buckets.push(r.get_u64()?);
+        }
+        if buckets.last() == Some(&0) {
+            return Err(SnapshotError::Invalid("trailing zero bucket"));
+        }
+        Ok(Self { grid, buckets })
     }
 }
 

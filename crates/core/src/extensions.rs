@@ -14,6 +14,7 @@
 //!   responses each": Algorithm 1 with the thresholds scaled by α
 //!   (`α = 1` recovers the H-index exactly).
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, Mergeable, SpaceUsage};
 
 /// Streaming `(1−O(ε))` g-index estimator over aggregate streams.
@@ -104,6 +105,45 @@ impl Mergeable for StreamingGIndex {
             *a += b;
         }
         self.n_seen += other.n_seen;
+    }
+}
+
+/// Payload: the grid, one shared level count, the per-level counts,
+/// the per-level sums (u128), and the element tally. `counts` and
+/// `sums` always resize together, so a single length serves both; the
+/// lazy-materialisation invariant (no trailing all-zero level) is
+/// re-validated on decode.
+impl Snapshot for StreamingGIndex {
+    const TAG: u8 = 19;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_nested(&self.grid);
+        w.put_usize(self.counts.len());
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+        for &s in &self.sums {
+            w.put_u128(s);
+        }
+        w.put_u64(self.n_seen);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let grid = r.get_nested::<ExpGrid>()?;
+        let len = r.get_count(24)?; // 8 count + 16 sum bytes per level
+        let mut counts = Vec::with_capacity(len);
+        for _ in 0..len {
+            counts.push(r.get_u64()?);
+        }
+        let mut sums = Vec::with_capacity(len);
+        for _ in 0..len {
+            sums.push(r.get_u128()?);
+        }
+        if counts.last() == Some(&0) {
+            return Err(SnapshotError::Invalid("trailing empty level"));
+        }
+        let n_seen = r.get_u64()?;
+        Ok(Self { grid, counts, sums, n_seen })
     }
 }
 

@@ -25,6 +25,7 @@
 //! an explicit-threshold variant for experiments.
 
 use crate::one_heavy_hitter::OneHeavyHitter;
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{Delta, Epsilon, EstimatorParams, Mergeable, SpaceUsage};
 use hindex_hashing::{Hasher64, PairwiseHash};
 use hindex_stream::{AuthorId, Paper};
@@ -187,6 +188,11 @@ impl HeavyHitters {
                     .sum::<u64>()
             })
             .max()
+            // 0 is the honest sentinel for "no rows": with no detector
+            // mass the impact estimate is zero, matching the empty
+            // sketch. The branch is unreachable through the public API —
+            // `rows()` clamps to ≥ 1 even under `rows_override: Some(0)`
+            // (pinned by `zero_geometry_overrides_are_clamped`).
             .unwrap_or(0)
     }
 
@@ -219,6 +225,8 @@ impl HeavyHitters {
                     .sum::<u128>()
             })
             .max()
+            // Same sentinel contract as `total_impact_estimate`: zero L2
+            // mass for an (unreachable) empty row range.
             .unwrap_or(0);
         let bar_sq = self.params.epsilon.get() * l2_mass as f64;
         let all = self.decode_with_threshold(0);
@@ -270,6 +278,85 @@ impl HeavyHitters {
         let cap = (1.0 / self.params.epsilon.get()).ceil() as usize;
         out.truncate(cap.max(1));
         out
+    }
+}
+
+/// Payload: the parameter record (`ε`, `δ`, the two optional geometry
+/// overrides), the exact counters, the per-row hashes, and the
+/// detector grid. Decode re-derives the geometry from the restored
+/// parameters and insists the hash and detector counts match it —
+/// [`HeavyHitters::push`] indexes `detectors[row · buckets + b]`
+/// unchecked, so a mismatched grid must never be constructed.
+impl Snapshot for HeavyHitters {
+    const TAG: u8 = 18;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_f64(self.params.epsilon.get());
+        w.put_f64(self.params.delta.get());
+        for over in [self.params.buckets_override, self.params.rows_override] {
+            match over {
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_usize(v);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        w.put_u64(self.total_responses);
+        w.put_u64(self.papers_seen);
+        w.put_usize(self.hashes.len());
+        for h in &self.hashes {
+            w.put_nested(h);
+        }
+        for d in &self.detectors {
+            w.put_nested(d);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let epsilon = Epsilon::new(r.get_f64()?)
+            .map_err(|_| SnapshotError::Invalid("epsilon outside (0, 1)"))?;
+        let delta = Delta::new(r.get_f64()?)
+            .map_err(|_| SnapshotError::Invalid("delta outside (0, 1)"))?;
+        let mut overrides = [None, None];
+        for slot in &mut overrides {
+            if r.get_u8()? != 0 {
+                *slot = Some(r.get_usize()?);
+            }
+        }
+        let params = HeavyHittersParams {
+            epsilon,
+            delta,
+            buckets_override: overrides[0],
+            rows_override: overrides[1],
+        };
+        let total_responses = r.get_u64()?;
+        let papers_seen = r.get_u64()?;
+        let rows = r.get_count(FRAME_OVERHEAD)?;
+        if rows != params.rows() {
+            return Err(SnapshotError::Invalid("hash count does not match row count"));
+        }
+        let mut hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            hashes.push(r.get_nested::<PairwiseHash>()?);
+        }
+        let cells = rows
+            .checked_mul(params.buckets())
+            .ok_or(SnapshotError::Invalid("detector grid overflows"))?;
+        if cells > r.remaining() / FRAME_OVERHEAD {
+            return Err(SnapshotError::Invalid("detector grid larger than payload"));
+        }
+        let mut detectors = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            detectors.push(r.get_nested::<OneHeavyHitter>()?);
+        }
+        Ok(Self {
+            params,
+            hashes,
+            detectors,
+            total_responses,
+            papers_seen,
+        })
     }
 }
 
@@ -486,5 +573,69 @@ mod tests {
             }
         }
         assert!(found_l2_only_big >= 5, "L2 decode unstable: {found_l2_only_big}/6");
+    }
+
+    /// Boundary regression: as ε and δ approach their open upper bound
+    /// the float→usize geometry casts shrink toward zero; the `.max(1)`
+    /// clamps must keep every dimension at least one so `new`, `push`,
+    /// and the decoders stay well-defined.
+    #[test]
+    fn extreme_epsilon_delta_geometry_stays_positive() {
+        let p = HeavyHittersParams::new(
+            Epsilon::new(0.999_999).unwrap(),
+            Delta::new(0.999_999).unwrap(),
+        );
+        // 2/ε² ≈ 2.0 → 2 buckets; log₂(1/(εδ)) ≈ 0 → clamped to 1 row.
+        assert!(p.buckets() >= 1, "buckets collapsed to zero");
+        assert_eq!(p.rows(), 1, "rows must clamp to one");
+
+        let mut hh = HeavyHitters::new(p, &mut StdRng::seed_from_u64(0));
+        hh.push(&hindex_stream::Paper::solo(1, 7, 50));
+        // cap = ⌈1/ε⌉ = 2 here; the `.max(1)` guard matters when the
+        // ceil lands on 1 exactly — decode must still return candidates.
+        let out = hh.decode_with_threshold(0);
+        assert!(out.len() <= 2);
+        assert!(!out.is_empty(), "sole author lost at extreme ε");
+    }
+
+    #[test]
+    fn zero_geometry_overrides_are_clamped() {
+        let mut p = HeavyHittersParams::new(
+            Epsilon::new(0.25).unwrap(),
+            Delta::new(0.1).unwrap(),
+        );
+        p.buckets_override = Some(0);
+        p.rows_override = Some(0);
+        assert_eq!(p.buckets(), 1);
+        assert_eq!(p.rows(), 1);
+        // A 1×1 grid is a single Algorithm 7 detector; it must ingest
+        // and decode without indexing past the (single-cell) grid.
+        let mut hh = HeavyHitters::new(p, &mut StdRng::seed_from_u64(1));
+        for i in 0..20 {
+            hh.push(&hindex_stream::Paper::solo(i, 3, 10));
+        }
+        let out = hh.decode_with_threshold(0);
+        assert!(out.iter().any(|c| c.author == AuthorId(3)), "{out:?}");
+    }
+
+    /// Tiny streams: 0, 1, and 2 papers through standard geometry. The
+    /// `unwrap_or(0)` sentinels and the reservoir fill laws must hold
+    /// at sizes far below the sketch's design scale.
+    #[test]
+    fn tiny_streams_estimate_without_panicking() {
+        let hh = sketch(0.25, 0.1, 3);
+        assert_eq!(hh.total_impact_estimate(), 0);
+        assert!(hh.decode_l2().is_empty());
+
+        let mut hh = sketch(0.25, 0.1, 3);
+        hh.push(&hindex_stream::Paper::solo(0, 1, 4));
+        assert!(hh.total_impact_estimate() <= 4);
+        assert_eq!(hh.total_responses(), 4);
+
+        let mut hh = sketch(0.25, 0.1, 3);
+        hh.push(&hindex_stream::Paper::solo(0, 1, 4));
+        hh.push(&hindex_stream::Paper::solo(1, 1, 6));
+        let out = hh.decode_with_threshold(0);
+        assert!(out.iter().any(|c| c.author == AuthorId(1)), "{out:?}");
     }
 }

@@ -25,6 +25,7 @@
 //! plurality author when it covers at least `(1 − ε − slack)` of the
 //! sample, `slack = ε/2`.
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::{Epsilon, ExpGrid, Mergeable, SpaceUsage};
 use hindex_sketch::Reservoir;
 use hindex_stream::{AuthorId, Paper};
@@ -181,6 +182,91 @@ impl OneHeavyHitter {
             Some((author, h_estimate)) => OneHeavyHitterOutcome::Author { author, h_estimate },
             None => OneHeavyHitterOutcome::Fail,
         }
+    }
+}
+
+/// Payload: `ε`, the reservoir capacity, the paper tally, the embedded
+/// generator's four state words, then per materialised level its
+/// bucket count and reservoir (`seen`, then each retained author list
+/// as a length-prefixed id sequence). `Rc` sharing between levels is
+/// not preserved — the restored detector holds equal, unshared lists —
+/// which changes memory footprint but no observable state. Reservoirs
+/// are rebuilt through [`Reservoir::from_parts`], so the fill law is
+/// re-validated totally; the histogram's no-trailing-zero invariant is
+/// checked like the standalone exponential histogram's.
+impl Snapshot for OneHeavyHitter {
+    const TAG: u8 = 17;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_f64(self.epsilon);
+        w.put_usize(self.sample_size);
+        w.put_u64(self.papers_seen);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(self.buckets.len());
+        for (level, &b) in self.buckets.iter().enumerate() {
+            w.put_u64(b);
+            let res = &self.reservoirs[level];
+            w.put_u64(res.seen());
+            w.put_usize(res.items().len());
+            for authors in res.items() {
+                w.put_usize(authors.len());
+                for a in authors.iter() {
+                    w.put_u64(a.0);
+                }
+            }
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let epsilon = r.get_f64()?;
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SnapshotError::Invalid("epsilon outside (0, 1)"));
+        }
+        let sample_size = r.get_usize()?;
+        if sample_size == 0 {
+            return Err(SnapshotError::Invalid("sample size must be positive"));
+        }
+        let papers_seen = r.get_u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        // Each level carries at least 24 bytes (bucket, seen, item
+        // count), which bounds the pre-allocation.
+        let levels = r.get_count(24)?;
+        let mut buckets = Vec::with_capacity(levels);
+        let mut reservoirs = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            buckets.push(r.get_u64()?);
+            let seen = r.get_u64()?;
+            let item_count = r.get_count(8)?;
+            let mut items: Vec<Rc<[AuthorId]>> = Vec::with_capacity(item_count);
+            for _ in 0..item_count {
+                let authors = r.get_count(8)?;
+                let mut list = Vec::with_capacity(authors);
+                for _ in 0..authors {
+                    list.push(AuthorId(r.get_u64()?));
+                }
+                items.push(Rc::from(list));
+            }
+            let res = Reservoir::from_parts(sample_size, items, seen)
+                .ok_or(SnapshotError::Invalid("reservoir fill law violated"))?;
+            reservoirs.push(res);
+        }
+        if buckets.last() == Some(&0) {
+            return Err(SnapshotError::Invalid("trailing zero bucket"));
+        }
+        Ok(Self {
+            epsilon,
+            grid: ExpGrid::new(epsilon),
+            buckets,
+            reservoirs,
+            sample_size,
+            rng: StdRng::from_state(state),
+            papers_seen,
+        })
     }
 }
 

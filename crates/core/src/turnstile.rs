@@ -18,6 +18,7 @@
 //! nothing, and the estimate can *decrease* over time, which no
 //! cash-register algorithm allows.
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
     Delta, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage, TurnstileEstimator,
 };
@@ -198,6 +199,43 @@ impl TurnstileHIndex {
             level += 1;
         }
         best
+    }
+}
+
+/// Payload: `ε`, the sampler bank as nested frames, and the nested
+/// ℓ₀-norm sketch. The grid is a pure function of `ε` and is rebuilt
+/// rather than stored; `ε` itself is re-validated through
+/// [`Epsilon::new`] so a corrupted float cannot smuggle in a NaN grid.
+impl Snapshot for TurnstileHIndex {
+    const TAG: u8 = 16;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_f64(self.epsilon.get());
+        w.put_usize(self.samplers.len());
+        for s in &self.samplers {
+            w.put_nested(s);
+        }
+        w.put_nested(&self.norm);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let epsilon = Epsilon::new(r.get_f64()?)
+            .map_err(|_| SnapshotError::Invalid("epsilon outside (0, 1)"))?;
+        let count = r.get_count(FRAME_OVERHEAD)?;
+        if count == 0 {
+            return Err(SnapshotError::Invalid("need at least one sampler"));
+        }
+        let mut samplers = Vec::with_capacity(count);
+        for _ in 0..count {
+            samplers.push(r.get_nested::<L0Sampler>()?);
+        }
+        let norm = r.get_nested::<L0Norm>()?;
+        Ok(Self {
+            epsilon,
+            grid: ExpGrid::new(epsilon.get()),
+            samplers,
+            norm,
+        })
     }
 }
 

@@ -65,18 +65,72 @@
 //!    the only cross-thread traffic is by-value message passing
 //!    (`sync_channel`), queries clone a snapshot rather than lock, and
 //!    `#![forbid(unsafe_code)]` (lint L4) rules out hand-rolled
-//!    sharing. A worker that panics poisons nothing: `finish`/`query`
-//!    propagate the panic, since the shard's updates are lost and no
-//!    correct answer exists (the lint-L3 baseline records this).
+//!    sharing. A worker that panics poisons nothing: the engine marks
+//!    the shard dead and `finish`/`query` return
+//!    [`EngineError::ShardDead`] — the shard's updates are lost, so no
+//!    exact answer exists. Callers that prefer a lossy answer over none
+//!    opt in explicitly via [`ShardedEngine::query_degraded`] /
+//!    [`ShardedEngine::finish_degraded`], which merge the surviving
+//!    shards and report which ones are missing.
+//!
+//! # Crash recovery
+//!
+//! [`ShardedEngine::checkpoint`] flushes, snapshots every shard, and
+//! packages the states with the engine geometry and the stream offset
+//! (items routed so far) into an [`EngineCheckpoint`] — a
+//! [`Snapshot`](hindex_common::Snapshot)-serialisable value when the
+//! estimator is. [`ShardedEngine::restore`] respawns the workers from
+//! those states; replaying the stream from
+//! [`EngineCheckpoint::stream_offset`] then reproduces the never-killed
+//! run bit for bit (routing is a pure function of `(item, tick)` and
+//! the tick is part of the checkpoint).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
     AggregateEstimator, CashRegisterEstimator, Mergeable, SpaceUsage, TurnstileEstimator,
 };
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
+
+/// A shard failure the engine surfaces instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A worker thread died (panicked); its shard's updates are lost.
+    /// Strict queries refuse to answer — use the `_degraded` variants
+    /// to merge the surviving shards anyway.
+    ShardDead {
+        /// Index of the first dead shard found.
+        shard: usize,
+    },
+    /// Every worker thread died; not even a degraded answer exists.
+    AllShardsDead,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ShardDead { shard } => {
+                write!(f, "shard worker {shard} died; its updates are lost")
+            }
+            EngineError::AllShardsDead => write!(f, "every shard worker died"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of an explicit lossy query over an engine with dead shards.
+#[derive(Debug, Clone)]
+pub struct Degraded<E> {
+    /// The merge of every surviving shard's state.
+    pub estimator: E,
+    /// Indices of the dead shards whose updates are missing from
+    /// `estimator` (empty when nothing was lost).
+    pub dead_shards: Vec<usize>,
+}
 
 /// Batched ingestion of stream items of type `T`.
 ///
@@ -198,17 +252,20 @@ enum Command<E, T> {
 /// for k in 0..10_000u64 {
 ///     engine.push((k % 300, 1));
 /// }
-/// let snapshot = engine.query(); // anytime: ingestion keeps running
+/// let snapshot = engine.query().unwrap(); // anytime: ingestion keeps running
 /// assert!(snapshot.estimate() > 0);
-/// let exact = engine.finish();
+/// let exact = engine.finish().unwrap();
 /// assert_eq!(exact.estimate(), 34); // 100 papers at 34, 200 at 33
 /// ```
 pub struct ShardedEngine<E, T> {
     config: EngineConfig,
     senders: Vec<SyncSender<Command<E, T>>>,
-    handles: Vec<JoinHandle<E>>,
+    handles: Vec<Option<JoinHandle<E>>>,
     /// Per-shard pending (unsent) batch.
     buffers: Vec<Vec<T>>,
+    /// Shards whose worker has died (send or join failed); their
+    /// updates are lost and strict queries refuse to answer.
+    dead: Vec<bool>,
     tick: u64,
 }
 
@@ -229,15 +286,30 @@ where
     /// Panics if any [`EngineConfig`] field is zero.
     #[must_use]
     pub fn new(config: EngineConfig, prototype: E) -> Self {
+        let states = (0..config.shards.max(1)).map(|_| prototype.clone()).collect();
+        Self::spawn(config, states, 0)
+    }
+
+    /// Respawns an engine from a [`ShardedEngine::checkpoint`]: one
+    /// worker per checkpointed shard state, with the stream offset
+    /// restored, so replaying the input from
+    /// [`EngineCheckpoint::stream_offset`] continues the original run
+    /// bit for bit.
+    #[must_use]
+    pub fn restore(checkpoint: EngineCheckpoint<E>) -> Self {
+        Self::spawn(checkpoint.config, checkpoint.shards, checkpoint.tick)
+    }
+
+    fn spawn(config: EngineConfig, states: Vec<E>, tick: u64) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_size >= 1, "batch_size must be positive");
         assert!(config.queue_depth >= 1, "queue_depth must be positive");
+        assert_eq!(states.len(), config.shards, "one state per shard");
         let mut senders = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for estimator in states {
             let (tx, rx) = sync_channel::<Command<E, T>>(config.queue_depth);
-            let estimator = prototype.clone();
-            handles.push(std::thread::spawn(move || worker(estimator, &rx)));
+            handles.push(Some(std::thread::spawn(move || worker(estimator, &rx))));
             senders.push(tx);
         }
         Self {
@@ -245,7 +317,8 @@ where
             senders,
             handles,
             buffers: (0..config.shards).map(|_| Vec::new()).collect(),
-            tick: 0,
+            dead: vec![false; config.shards],
+            tick,
         }
     }
 
@@ -292,27 +365,93 @@ where
     /// Anytime query: flushes, snapshots every shard *in place* (the
     /// workers keep running), and merges the snapshots into a single
     /// estimator equivalent to one that ingested everything pushed so
-    /// far.
-    pub fn query(&mut self) -> E {
+    /// far. Returns [`EngineError::ShardDead`] if any worker has died —
+    /// an exact answer no longer exists; see
+    /// [`Self::query_degraded`] for the explicit lossy alternative.
+    pub fn query(&mut self) -> Result<E, EngineError> {
         self.flush();
-        self.merged_snapshot()
+        let states = self.snapshot_states();
+        if let Some(shard) = self.first_dead() {
+            return Err(EngineError::ShardDead { shard });
+        }
+        merge_all(states).ok_or(EngineError::AllShardsDead)
+    }
+
+    /// Lossy anytime query: merges whatever shards still live and
+    /// reports the dead ones. Only errs when *no* shard survives.
+    pub fn query_degraded(&mut self) -> Result<Degraded<E>, EngineError> {
+        self.flush();
+        let states = self.snapshot_states();
+        let dead_shards = self.dead_shard_indices();
+        match merge_all(states) {
+            Some(estimator) => Ok(Degraded { estimator, dead_shards }),
+            None => Err(EngineError::AllShardsDead),
+        }
+    }
+
+    /// Checkpoint for crash recovery: flushes, snapshots every shard,
+    /// and returns the per-shard states together with the geometry and
+    /// the stream offset. Strict like [`Self::query`] — a checkpoint
+    /// taken after a shard died would silently drop that shard's
+    /// history on restore.
+    pub fn checkpoint(&mut self) -> Result<EngineCheckpoint<E>, EngineError> {
+        self.flush();
+        let states = self.snapshot_states();
+        if let Some(shard) = self.first_dead() {
+            return Err(EngineError::ShardDead { shard });
+        }
+        let shards: Vec<E> = states.into_iter().flatten().collect();
+        debug_assert_eq!(shards.len(), self.config.shards);
+        Ok(EngineCheckpoint {
+            config: self.config,
+            tick: self.tick,
+            shards,
+        })
+    }
+
+    /// Items routed so far (pushed, whether or not yet ingested). After
+    /// a [`Self::restore`], replay the input stream from this offset.
+    #[must_use]
+    pub fn stream_offset(&self) -> u64 {
+        self.tick
     }
 
     /// Retires the engine: flushes, joins all workers, and returns the
-    /// merged final estimator.
-    pub fn finish(mut self) -> E {
+    /// merged final estimator. Returns [`EngineError::ShardDead`] if
+    /// any worker died along the way (see [`Self::finish_degraded`]).
+    pub fn finish(mut self) -> Result<E, EngineError> {
+        let states = self.join_workers();
+        if let Some(shard) = self.first_dead() {
+            return Err(EngineError::ShardDead { shard });
+        }
+        merge_all(states).ok_or(EngineError::AllShardsDead)
+    }
+
+    /// Lossy retirement: merges the shards that survived and reports
+    /// the dead ones. Only errs when no shard survives.
+    pub fn finish_degraded(mut self) -> Result<Degraded<E>, EngineError> {
+        let states = self.join_workers();
+        let dead_shards = self.dead_shard_indices();
+        match merge_all(states) {
+            Some(estimator) => Ok(Degraded { estimator, dead_shards }),
+            None => Err(EngineError::AllShardsDead),
+        }
+    }
+
+    /// Flushes, closes the channels, and joins every worker, marking
+    /// panicked ones dead. Shard order is preserved (`None` = dead).
+    fn join_workers(&mut self) -> Vec<Option<E>> {
         self.flush();
         self.senders.clear(); // workers see channel close and return
-        let states: Vec<E> = self
-            .handles
-            .drain(..)
-            // A worker ends only by panicking or by draining a closed
-            // channel; propagating the panic is the correct behaviour
-            // (the shard's updates are lost, any answer would be
-            // wrong), so this expect is baseline-justified for lint L3.
-            .map(|handle| handle.join().expect("shard worker panicked"))
-            .collect();
-        merge_all(states)
+        let mut states = Vec::with_capacity(self.handles.len());
+        for (shard, handle) in self.handles.iter_mut().enumerate() {
+            let state = handle.take().and_then(|h| h.join().ok());
+            if state.is_none() {
+                self.dead[shard] = true;
+            }
+            states.push(state);
+        }
+        states
     }
 
     /// Items buffered locally, not yet handed to any worker.
@@ -321,53 +460,160 @@ where
         self.buffers.iter().map(Vec::len).sum()
     }
 
-    fn send(&self, shard: usize, batch: Vec<T>) {
-        self.senders[shard]
-            .send(Command::Batch(batch))
-            .expect("shard worker exited early");
+    /// Indices of shards whose workers have died.
+    #[must_use]
+    pub fn dead_shard_indices(&self) -> Vec<usize> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
     }
 
-    fn merged_snapshot(&self) -> E {
-        merge_all(self.snapshot_states())
+    fn first_dead(&self) -> Option<usize> {
+        self.dead.iter().position(|&d| d)
+    }
+
+    /// Hands a batch to a worker. A failed send means the worker died
+    /// (its receiver is gone); the shard is marked dead and the batch
+    /// dropped — its updates were lost either way, and the strict
+    /// query/finish paths surface that as [`EngineError::ShardDead`].
+    fn send(&mut self, shard: usize, batch: Vec<T>) {
+        if self.dead[shard] {
+            return;
+        }
+        if self.senders[shard].send(Command::Batch(batch)).is_err() {
+            self.dead[shard] = true;
+        }
     }
 
     /// Requests an in-place snapshot from every live worker and collects
-    /// the replies in shard order. Snapshot requests are *pipelined*:
-    /// all requests go out before any reply is awaited, so the shards
-    /// clone concurrently and a query stalls ingestion for one clone's
-    /// worth of time, not `shards` of them.
-    fn snapshot_states(&self) -> Vec<E> {
+    /// the replies in shard order (`None` = dead shard). Snapshot
+    /// requests are *pipelined*: all requests go out before any reply
+    /// is awaited, so the shards clone concurrently and a query stalls
+    /// ingestion for one clone's worth of time, not `shards` of them.
+    /// A send or receive failure yields `None` for that shard; the
+    /// `&mut self` callers fold those back into the dead set via
+    /// [`Self::note_dead`].
+    fn collect_states(&self) -> Vec<Option<E>> {
         let mut replies = Vec::with_capacity(self.config.shards);
-        for tx in &self.senders {
+        for (shard, tx) in self.senders.iter().enumerate() {
+            if self.dead[shard] {
+                replies.push(None);
+                continue;
+            }
             let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-            // A dead worker means a shard panicked and its updates are
-            // gone; no correct answer exists (baseline-justified, L3).
-            tx.send(Command::Snapshot(reply_tx))
-                .expect("shard worker exited early");
-            replies.push(reply_rx);
+            replies.push(tx.send(Command::Snapshot(reply_tx)).ok().map(|()| reply_rx));
         }
         replies
             .into_iter()
-            .map(|rx| rx.recv().expect("shard worker exited early"))
+            .map(|rx| rx.and_then(|rx| rx.recv().ok()))
             .collect()
+    }
+
+    /// Snapshots every shard and records newly discovered deaths.
+    fn snapshot_states(&mut self) -> Vec<Option<E>> {
+        let states = self.collect_states();
+        self.note_dead(&states);
+        states
+    }
+
+    fn note_dead(&mut self, states: &[Option<E>]) {
+        for (shard, state) in states.iter().enumerate() {
+            if state.is_none() {
+                self.dead[shard] = true;
+            }
+        }
     }
 }
 
-/// Merges shard states in shard order. `ShardedEngine::new` asserts
-/// `shards ≥ 1`, so the collection is never empty (baseline-justified
-/// expect, lint L3).
-fn merge_all<E: Mergeable>(states: Vec<E>) -> E {
-    let mut it = states.into_iter();
-    let mut merged = it.next().expect("at least one shard");
+/// A serialisable frozen engine: per-shard estimator states plus the
+/// geometry and stream offset needed to resume ingestion exactly where
+/// it stopped.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint<E> {
+    config: EngineConfig,
+    tick: u64,
+    shards: Vec<E>,
+}
+
+impl<E> EngineCheckpoint<E> {
+    /// The engine geometry the checkpoint was taken under.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Items the engine had routed when the checkpoint was taken;
+    /// replay the input stream from this offset after a restore.
+    #[must_use]
+    pub fn stream_offset(&self) -> u64 {
+        self.tick
+    }
+
+    /// The per-shard estimator states, in shard order.
+    #[must_use]
+    pub fn shard_states(&self) -> &[E] {
+        &self.shards
+    }
+}
+
+/// Payload: the three geometry fields, the stream offset, and one
+/// nested frame per shard state. Decode re-validates the constructor
+/// invariants [`ShardedEngine::new`] asserts (all geometry fields
+/// positive, one state per shard), so a restored checkpoint can never
+/// panic the spawn path.
+impl<E: Snapshot> Snapshot for EngineCheckpoint<E> {
+    const TAG: u8 = 22;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_usize(self.config.shards);
+        w.put_usize(self.config.batch_size);
+        w.put_usize(self.config.queue_depth);
+        w.put_u64(self.tick);
+        for shard in &self.shards {
+            w.put_nested(shard);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let shards = r.get_usize()?;
+        let batch_size = r.get_usize()?;
+        let queue_depth = r.get_usize()?;
+        if shards == 0 || batch_size == 0 || queue_depth == 0 {
+            return Err(SnapshotError::Invalid("engine geometry fields must be positive"));
+        }
+        if shards > r.remaining() / FRAME_OVERHEAD {
+            return Err(SnapshotError::Invalid("shard count larger than payload"));
+        }
+        let tick = r.get_u64()?;
+        let mut states = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            states.push(r.get_nested::<E>()?);
+        }
+        Ok(Self {
+            config: EngineConfig { shards, batch_size, queue_depth },
+            tick,
+            shards: states,
+        })
+    }
+}
+
+/// Merges the surviving shard states in shard order; `None` when every
+/// shard is gone.
+fn merge_all<E: Mergeable>(states: Vec<Option<E>>) -> Option<E> {
+    let mut it = states.into_iter().flatten();
+    let mut merged = it.next()?;
     for state in it {
         merged.merge(&state);
     }
-    merged
+    Some(merged)
 }
 
-/// Space of the whole pipeline: the sum of the shard estimators' space
-/// (obtained by snapshot) plus the bounded channel capacity and the
-/// router's local buffers, one word per item slot.
+/// Space of the whole pipeline: the sum of the *live* shard estimators'
+/// space (obtained by snapshot; dead shards hold nothing) plus the
+/// bounded channel capacity and the router's local buffers, one word
+/// per item slot.
 impl<E, T> SpaceUsage for ShardedEngine<E, T>
 where
     E: BatchIngest<T> + Mergeable + Clone + Send + SpaceUsage + 'static,
@@ -375,8 +621,9 @@ where
 {
     fn space_words(&self) -> usize {
         let shard_words: usize = self
-            .snapshot_states()
+            .collect_states()
             .iter()
+            .flatten()
             .map(SpaceUsage::space_words)
             .sum();
         let item_words = std::mem::size_of::<T>().div_ceil(std::mem::size_of::<u64>());
@@ -389,7 +636,7 @@ where
 impl<E, T> Drop for ShardedEngine<E, T> {
     fn drop(&mut self) {
         self.senders.clear();
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -441,7 +688,7 @@ mod tests {
             };
             let mut engine = ShardedEngine::new(config, CashTable::new());
             engine.push_slice(&updates);
-            let merged = engine.finish();
+            let merged = engine.finish().unwrap();
             assert_eq!(merged.estimate(), serial.estimate(), "{shards} shards");
             assert_eq!(merged.distinct(), serial.distinct(), "{shards} shards");
         }
@@ -457,7 +704,7 @@ mod tests {
             ExponentialHistogram::new(Epsilon::new(0.2).unwrap()),
         );
         engine.push_slice(&values);
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate());
         assert_eq!(merged.counters(), serial.counters());
     }
@@ -468,14 +715,14 @@ mod tests {
         for k in 0..990u64 {
             engine.push((k % 30, 1));
         }
-        let early = engine.query();
+        let early = engine.query().unwrap();
         // 30 papers × 33 citations: h = 30.
         assert_eq!(early.estimate(), 30);
         // Engine still ingests after a query.
         for k in 0..2_000u64 {
             engine.push((1_000 + k % 40, 1));
         }
-        let done = engine.finish();
+        let done = engine.finish().unwrap();
         assert_eq!(done.estimate(), 40); // 40 papers @ 50 + 30 @ 33 → h = 40
     }
 
@@ -504,7 +751,7 @@ mod tests {
             let config = EngineConfig { shards, batch_size: 16, queue_depth: 2 };
             let mut engine = ShardedEngine::new(config, proto.clone());
             engine.push_slice(&updates);
-            let merged = engine.finish();
+            let merged = engine.finish().unwrap();
             // Linear sketches: merged state is bit-identical to the
             // serial stream, so estimates agree exactly.
             assert_eq!(merged.estimate(), serial.estimate(), "{shards} shards");
@@ -547,10 +794,104 @@ mod tests {
             engine.push((k, 1));
         }
         let words = engine.space_words();
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         // Engine space at least covers the merged estimator's state
         // (shard duplication and channel capacity only add).
         assert!(words >= merged.space_words());
+    }
+
+    /// Exact table that panics on the poison paper id `u64::MAX` —
+    /// a stand-in for any worker-side fault.
+    #[derive(Debug, Clone, Default)]
+    struct Exploding {
+        table: CashTable,
+    }
+
+    impl BatchIngest<(u64, u64)> for Exploding {
+        fn ingest(&mut self, batch: &[(u64, u64)]) {
+            for &(i, z) in batch {
+                assert!(i != u64::MAX, "poison update");
+                self.table.update(i, z);
+            }
+        }
+    }
+
+    impl Mergeable for Exploding {
+        fn merge(&mut self, other: &Self) {
+            self.table.merge(&other.table);
+        }
+    }
+
+    #[test]
+    fn dead_shard_is_a_typed_error_not_a_panic() {
+        let config = EngineConfig { shards: 4, batch_size: 1, queue_depth: 1 };
+        let mut engine = ShardedEngine::new(config, Exploding::default());
+        for k in 0..40u64 {
+            engine.push((k, 1));
+        }
+        let poison_shard = (u64::MAX, 1u64).route(4, 0);
+        engine.push((u64::MAX, 1));
+        // Strict query refuses; the degraded query answers and names
+        // the lost shard.
+        let err = engine.query().unwrap_err();
+        assert_eq!(err, EngineError::ShardDead { shard: poison_shard });
+        let degraded = engine.query_degraded().unwrap();
+        assert_eq!(degraded.dead_shards, vec![poison_shard]);
+        assert!(degraded.estimator.table.estimate() > 0);
+        // Checkpointing a wounded engine is refused too.
+        assert!(matches!(engine.checkpoint(), Err(EngineError::ShardDead { .. })));
+        let err = engine.finish().unwrap_err();
+        assert_eq!(err, EngineError::ShardDead { shard: poison_shard });
+    }
+
+    #[test]
+    fn all_shards_dead_reported() {
+        let config = EngineConfig { shards: 1, batch_size: 1, queue_depth: 1 };
+        let mut engine = ShardedEngine::new(config, Exploding::default());
+        engine.push((u64::MAX, 1));
+        assert_eq!(engine.query_degraded().unwrap_err(), EngineError::AllShardsDead);
+        assert_eq!(engine.finish_degraded().unwrap_err(), EngineError::AllShardsDead);
+    }
+
+    #[test]
+    fn pushes_after_death_do_not_panic() {
+        let config = EngineConfig { shards: 2, batch_size: 1, queue_depth: 1 };
+        let mut engine = ShardedEngine::new(config, Exploding::default());
+        engine.push((u64::MAX, 1));
+        // Give the worker time to die, then keep pushing to both
+        // shards: sends to the dead one are dropped, not panicked on.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for k in 0..100u64 {
+            engine.push((k, 1));
+        }
+        assert!(engine.finish().is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_exactly() {
+        let updates = staircase_updates(40, 30);
+        let mut serial = CashTable::new();
+        for &(i, z) in &updates {
+            serial.update(i, z);
+        }
+        let config = EngineConfig { shards: 3, batch_size: 32, queue_depth: 2 };
+        let mut engine = ShardedEngine::new(config, CashTable::new());
+        let cut = updates.len() / 2;
+        engine.push_slice(&updates[..cut]);
+        let checkpoint = engine.checkpoint().unwrap();
+        assert_eq!(checkpoint.stream_offset(), cut as u64);
+        drop(engine); // the crash
+        // Round-trip the checkpoint through its binary form, as a real
+        // recovery would.
+        let bytes = checkpoint.to_bytes();
+        let (restored, used) = EngineCheckpoint::<CashTable>::read_from(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        let mut engine = ShardedEngine::restore(restored);
+        assert_eq!(engine.stream_offset(), cut as u64);
+        engine.push_slice(&updates[cut..]);
+        let merged = engine.finish().unwrap();
+        assert_eq!(merged.estimate(), serial.estimate());
+        assert_eq!(merged.distinct(), serial.distinct());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::field::{mersenne_add, mersenne_mul, mersenne_reduce, MERSENNE_P};
 use crate::Hasher64;
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use rand::Rng;
 
 /// A k-wise independent hash function `h: u64 → [0, p)`,
@@ -79,6 +80,36 @@ impl PolynomialHash {
         for &k in chunks.remainder() {
             out.push(self.hash(k));
         }
+    }
+}
+
+/// Payload: coefficient count, then the reduced coefficients `c₀ … c_{k−1}`.
+/// Decode re-validates the `from_coefficients` invariants (non-empty,
+/// every coefficient canonical) with typed errors.
+impl Snapshot for PolynomialHash {
+    const TAG: u8 = 2;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_usize(self.coeffs.len());
+        for &c in &self.coeffs {
+            w.put_u64(c);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let k = r.get_count(8)?;
+        if k == 0 {
+            return Err(SnapshotError::Invalid("polynomial hash needs at least one coefficient"));
+        }
+        let mut coeffs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let c = r.get_u64()?;
+            if c >= MERSENNE_P {
+                return Err(SnapshotError::Invalid("polynomial coefficient outside [0, p)"));
+            }
+            coeffs.push(c);
+        }
+        Ok(Self { coeffs })
     }
 }
 

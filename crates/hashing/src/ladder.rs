@@ -21,7 +21,8 @@
 //! results to [`crate::mersenne_pow`] (both produce the canonical
 //! residue in `[0, p)`).
 
-use crate::field::{from_u64, mersenne_mul};
+use crate::field::{from_u64, mersenne_mul, MERSENNE_P};
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 
 /// Bits per window digit.
 const WINDOW_BITS: usize = 8;
@@ -115,6 +116,13 @@ impl PowerLadder {
         acc
     }
 
+    /// Whether another ladder exponentiates the same base (the tables
+    /// are then identical by construction).
+    #[must_use]
+    pub fn same_base(&self, other: &Self) -> bool {
+        self.base == other.base
+    }
+
     /// Words of table storage this ladder holds — derived scratch,
     /// reported separately from the paper's random-words space bound
     /// (see `docs/ALGORITHMS.md`, "Space accounting for derived
@@ -122,6 +130,26 @@ impl PowerLadder {
     #[must_use]
     pub fn table_words(&self) -> usize {
         self.table.len() + 1 // table entries + the stored base
+    }
+}
+
+/// Payload: the base alone. The 2048-entry window table is *derived
+/// scratch* — recomputed deterministically from the base on decode —
+/// so a ladder snapshot is 8 bytes, not 16 KiB, and the restored
+/// ladder's table is bit-identical by construction.
+impl Snapshot for PowerLadder {
+    const TAG: u8 = 4;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_u64(self.base);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let base = r.get_u64()?;
+        if base >= MERSENNE_P {
+            return Err(SnapshotError::Invalid("ladder base outside [0, p)"));
+        }
+        Ok(Self::new(base))
     }
 }
 

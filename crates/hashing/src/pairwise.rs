@@ -8,6 +8,7 @@
 
 use crate::field::{mersenne_add, mersenne_mul, mersenne_reduce, MERSENNE_P};
 use crate::Hasher64;
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use rand::Rng;
 
 /// A pairwise independent hash function with a non-zero slope.
@@ -129,6 +130,30 @@ impl Hasher64 for PairwiseHash {
     fn hash(&self, key: u64) -> u64 {
         let x = mersenne_reduce(u128::from(key));
         mersenne_add(mersenne_mul(self.a, x), self.b)
+    }
+}
+
+/// Payload: slope `a` then offset `b`, both already-canonical field
+/// elements. Decode re-validates the `from_params` invariants with
+/// typed errors instead of asserts.
+impl Snapshot for PairwiseHash {
+    const TAG: u8 = 1;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_u64(self.a);
+        w.put_u64(self.b);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let a = r.get_u64()?;
+        let b = r.get_u64()?;
+        if !(1..MERSENNE_P).contains(&a) {
+            return Err(SnapshotError::Invalid("pairwise slope outside [1, p)"));
+        }
+        if b >= MERSENNE_P {
+            return Err(SnapshotError::Invalid("pairwise offset outside [0, p)"));
+        }
+        Ok(Self { a, b })
     }
 }
 

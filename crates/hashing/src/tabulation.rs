@@ -7,13 +7,14 @@
 //! cross-check). 2 KiB of tables per function.
 
 use crate::Hasher64;
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use rand::Rng;
 
 const BYTES: usize = 8;
 const TABLE: usize = 256;
 
 /// A simple tabulation hash `u64 → u64`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TabulationHash {
     tables: Box<[[u64; TABLE]; BYTES]>,
 }
@@ -51,6 +52,31 @@ impl Hasher64 for TabulationHash {
         // u64::MAX as f64 rounds up to 2⁶⁴, which conveniently keeps the
         // result strictly below 1.0.
         self.hash(key) as f64 / (u64::MAX as f64 + 1.0)
+    }
+}
+
+/// Payload: the 8 × 256 table entries row-major — a fixed 2048-word
+/// block, every bit pattern valid (the tables are uniform 64-bit words,
+/// so there is nothing semantic to re-validate beyond length).
+impl Snapshot for TabulationHash {
+    const TAG: u8 = 3;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        for table in self.tables.iter() {
+            for &cell in table.iter() {
+                w.put_u64(cell);
+            }
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let mut tables = Box::new([[0u64; TABLE]; BYTES]);
+        for table in tables.iter_mut() {
+            for cell in table.iter_mut() {
+                *cell = r.get_u64()?;
+            }
+        }
+        Ok(Self { tables })
     }
 }
 

@@ -237,6 +237,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpointing: a
+        /// generator rebuilt via [`StdRng::from_state`] continues the
+        /// exact sequence this one would have produced.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`StdRng::state`]. An all-zero state is a fixed point of
+        /// xoshiro256++ and is nudged to a valid seed instead.
+        #[must_use]
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

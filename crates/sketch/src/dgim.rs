@@ -11,6 +11,7 @@
 //! H-index to the most recent `W` publications is the streaming form
 //! of that, and each threshold level's counter becomes one [`Dgim`].
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::SpaceUsage;
 use std::collections::VecDeque;
 
@@ -160,6 +161,59 @@ impl Dgim {
     #[must_use]
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
+    }
+}
+
+/// Payload: window, `k`, elapsed time, then the buckets newest-first
+/// as `(timestamp, size)` pairs. Decode re-validates the constructor
+/// invariants plus the structural ones the update path maintains:
+/// positive bucket sizes, timestamps no later than `time`, and
+/// strictly decreasing timestamps from front to back.
+impl Snapshot for Dgim {
+    const TAG: u8 = 11;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_u64(self.window);
+        w.put_usize(self.k);
+        w.put_u64(self.time);
+        w.put_usize(self.buckets.len());
+        for &(ts, size) in &self.buckets {
+            w.put_u64(ts);
+            w.put_u64(size);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let window = r.get_u64()?;
+        if window == 0 {
+            return Err(SnapshotError::Invalid("window must be positive"));
+        }
+        let k = r.get_usize()?;
+        if k == 0 {
+            return Err(SnapshotError::Invalid("k must be positive"));
+        }
+        let time = r.get_u64()?;
+        let len = r.get_count(16)?;
+        let mut buckets = VecDeque::with_capacity(len);
+        let mut prev_ts = None;
+        for _ in 0..len {
+            let ts = r.get_u64()?;
+            let size = r.get_u64()?;
+            if size == 0 {
+                return Err(SnapshotError::Invalid("bucket size must be positive"));
+            }
+            if ts > time {
+                return Err(SnapshotError::Invalid("bucket timestamp is in the future"));
+            }
+            if prev_ts.is_some_and(|p| p <= ts) {
+                return Err(SnapshotError::Invalid(
+                    "buckets must be newest-first with distinct timestamps",
+                ));
+            }
+            prev_ts = Some(ts);
+            buckets.push_back((ts, size));
+        }
+        Ok(Self { window, k, buckets, time })
     }
 }
 

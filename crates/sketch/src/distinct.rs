@@ -17,6 +17,7 @@
 //! Both are insert-only, which matches how Algorithm 6 uses them (cash
 //! register streams have non-negative updates).
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::SpaceUsage;
 use hindex_hashing::{Hasher64, PolynomialHash, TabulationHash};
 use rand::Rng;
@@ -165,6 +166,22 @@ impl Bjkst {
             a.merge(b);
         }
     }
+
+    /// FNV digest over every copy's level and (sorted) buffer, for
+    /// bit-identity assertions. The buffers are hash sets, so sorting
+    /// makes the digest independent of iteration order. Only compiled
+    /// under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        crate::digest::fnv1a(self.copies.iter().flat_map(|c| {
+            let mut items: Vec<u64> = c.buffer.iter().copied().collect();
+            items.sort_unstable();
+            std::iter::once(u64::from(c.z))
+                .chain(std::iter::once(items.len() as u64))
+                .chain(items)
+        }))
+    }
 }
 
 impl DistinctCounter for Bjkst {
@@ -178,6 +195,77 @@ impl DistinctCounter for Bjkst {
         let mut ests: Vec<u64> = self.copies.iter().map(BjkstCore::estimate).collect();
         ests.sort_unstable();
         ests[ests.len() / 2]
+    }
+}
+
+impl BjkstCore {
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_nested(&self.hash);
+        w.put_u32(self.z);
+        w.put_usize(self.cap);
+        w.put_usize(self.buffer.len());
+        // HashSet iteration order is nondeterministic; serialise the
+        // retained hashes sorted so equal states write equal bytes.
+        let mut items: Vec<u64> = self.buffer.iter().copied().collect();
+        items.sort_unstable();
+        for item in items {
+            w.put_u64(item);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let hash = r.get_nested::<PolynomialHash>()?;
+        let z = r.get_u32()?;
+        if z > 61 {
+            return Err(SnapshotError::Invalid("bjkst level above the 61-bit domain"));
+        }
+        let cap = r.get_usize()?;
+        if cap == 0 {
+            return Err(SnapshotError::Invalid("bjkst capacity must be positive"));
+        }
+        let len = r.get_count(8)?;
+        if len > cap {
+            return Err(SnapshotError::Invalid("bjkst buffer exceeds its capacity"));
+        }
+        let mut buffer = HashSet::with_capacity(cap.min(len + 1));
+        for _ in 0..len {
+            let item = r.get_u64()?;
+            if trailing_zeros_61(item) < z {
+                return Err(SnapshotError::Invalid("bjkst buffer item below its level"));
+            }
+            buffer.insert(item);
+        }
+        Ok(Self { hash, z, buffer, cap })
+    }
+}
+
+/// Payload: the copy count, then per copy a nested hash frame, the
+/// current level `z`, the capacity, and the retained hashes in sorted
+/// order. Decode re-validates the level invariant (`trailing_zeros ≥
+/// z` for every retained item) and the capacity bound.
+impl Snapshot for Bjkst {
+    const TAG: u8 = 9;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_usize(self.copies.len());
+        for copy in &self.copies {
+            copy.write_payload(w);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let count = r.get_usize()?;
+        if count == 0 {
+            return Err(SnapshotError::Invalid("need at least one bjkst copy"));
+        }
+        if count > r.remaining() / FRAME_OVERHEAD {
+            return Err(SnapshotError::Invalid("copy count larger than payload"));
+        }
+        let mut copies = Vec::with_capacity(count);
+        for _ in 0..count {
+            copies.push(BjkstCore::read_payload(r)?);
+        }
+        Ok(Self { copies })
     }
 }
 
@@ -256,6 +344,45 @@ impl DistinctCounter for Kmv {
             return self.mins.len() as u64;
         }
         (((self.k - 1) as f64) / unit).round() as u64
+    }
+}
+
+/// Payload: the tabulation tables as a nested frame, then `k` and the
+/// retained minima in (their natural) ascending order. Decode
+/// re-validates `k ≥ 2`, the `|mins| ≤ k` bound, and strict ordering.
+impl Snapshot for Kmv {
+    const TAG: u8 = 10;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_nested(&self.hash);
+        w.put_usize(self.k);
+        w.put_usize(self.mins.len());
+        for &m in &self.mins {
+            w.put_u64(m);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let hash = r.get_nested::<TabulationHash>()?;
+        let k = r.get_usize()?;
+        if k < 2 {
+            return Err(SnapshotError::Invalid("k must be at least 2"));
+        }
+        let len = r.get_count(8)?;
+        if len > k {
+            return Err(SnapshotError::Invalid("kmv holds more than k minima"));
+        }
+        let mut mins = BTreeSet::new();
+        let mut prev = None;
+        for _ in 0..len {
+            let m = r.get_u64()?;
+            if prev.is_some_and(|p| p >= m) {
+                return Err(SnapshotError::Invalid("kmv minima must be strictly increasing"));
+            }
+            prev = Some(m);
+            mins.insert(m);
+        }
+        Ok(Self { hash, k, mins })
     }
 }
 

@@ -15,6 +15,7 @@
 //! is independent of the values.
 
 use crate::sparse::{DecodeScratch, SparseRecovery};
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
 use hindex_hashing::{from_i64, mersenne_mul, Hasher64, PolynomialHash, PowerLadder};
@@ -245,6 +246,44 @@ impl L0Sampler {
     }
 }
 
+/// Payload: the level hash, then the level count and the levels as
+/// nested frames. Decode re-establishes the one-ladder-per-stack
+/// sharing: every restored level must carry the same fingerprint
+/// point (a structural invariant of construction), and all levels are
+/// re-pointed at a single rebuilt [`PowerLadder`].
+impl Snapshot for L0Sampler {
+    const TAG: u8 = 7;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_nested(&self.level_hash);
+        w.put_usize(self.levels.len());
+        for level in &self.levels {
+            w.put_nested(level);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let level_hash = r.get_nested::<PolynomialHash>()?;
+        let count = r.get_usize()?;
+        if !(1..=64).contains(&count) {
+            return Err(SnapshotError::Invalid("level count outside 1..=64"));
+        }
+        let mut levels = Vec::with_capacity(count);
+        for _ in 0..count {
+            levels.push(r.get_nested::<SparseRecovery>()?);
+        }
+        let ladder = Arc::clone(levels[0].ladder());
+        for level in &mut levels {
+            if !level.share_ladder(&ladder) {
+                return Err(SnapshotError::Invalid(
+                    "levels must share one fingerprint point",
+                ));
+            }
+        }
+        Ok(Self { level_hash, levels, ladder })
+    }
+}
+
 /// Turnstile `(1±ε, δ)` estimator of the number of non-zero
 /// coordinates (`ℓ₀` norm): the median of independent level-sampled
 /// estimates.
@@ -326,6 +365,35 @@ impl L0Norm {
     #[must_use]
     pub fn state_digest(&self) -> u64 {
         crate::digest::fnv1a(self.cores.iter().map(L0Sampler::state_digest))
+    }
+}
+
+/// Payload: the core count followed by the cores as nested frames.
+impl Snapshot for L0Norm {
+    const TAG: u8 = 8;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_usize(self.cores.len());
+        for core in &self.cores {
+            w.put_nested(core);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let count = r.get_usize()?;
+        if count == 0 {
+            return Err(SnapshotError::Invalid("need at least one core"));
+        }
+        // Each core frame costs at least FRAME_OVERHEAD bytes; bound
+        // the allocation by what the payload can actually hold.
+        if count > r.remaining() / hindex_common::snapshot::FRAME_OVERHEAD {
+            return Err(SnapshotError::Invalid("core count larger than payload"));
+        }
+        let mut cores = Vec::with_capacity(count);
+        for _ in 0..count {
+            cores.push(r.get_nested::<L0Sampler>()?);
+        }
+        Ok(Self { cores })
     }
 }
 

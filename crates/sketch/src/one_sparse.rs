@@ -16,6 +16,7 @@
 //! at most `max_index/p < 2⁻²⁰` for any realistic index domain
 //! (Schwartz–Zippel on the degree-`max_index` polynomial difference).
 
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
 use hindex_hashing::{from_i64, mersenne_add, mersenne_mul, mersenne_pow};
@@ -181,6 +182,56 @@ impl OneSparseRecovery {
             }
         }
         Recovery::NotSparse
+    }
+}
+
+impl OneSparseRecovery {
+    /// The raw `(ℓ, z, f, r)` state, for serialisation paths that
+    /// store cells without repeating the shared point.
+    pub(crate) fn raw_parts(&self) -> (i128, i128, u64, u64) {
+        (self.ell, self.z, self.fingerprint, self.r)
+    }
+
+    /// Rebuilds a sketch from raw state, re-validating the constructor
+    /// invariants with typed errors instead of asserts. Crate-internal:
+    /// the s-sparse grid serialises its cells as bare `(ℓ, z, f)`
+    /// triples (the point is shared with the checksum) and needs a
+    /// total way back.
+    pub(crate) fn from_raw_parts(
+        ell: i128,
+        z: i128,
+        fingerprint: u64,
+        r: u64,
+    ) -> Result<Self, SnapshotError> {
+        if !(1..MERSENNE_P).contains(&r) {
+            return Err(SnapshotError::Invalid("fingerprint point outside [1, p)"));
+        }
+        if fingerprint >= MERSENNE_P {
+            return Err(SnapshotError::Invalid("fingerprint outside [0, p)"));
+        }
+        Ok(Self { ell, z, fingerprint, r })
+    }
+}
+
+/// Payload: `ℓ` and `z` as two's-complement 128-bit words, then the
+/// fingerprint and its evaluation point. Decode re-validates the
+/// field-membership invariants (`r ∈ [1, p)`, canonical fingerprint).
+impl Snapshot for OneSparseRecovery {
+    const TAG: u8 = 5;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_i128(self.ell);
+        w.put_i128(self.z);
+        w.put_u64(self.fingerprint);
+        w.put_u64(self.r);
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let ell = r.get_i128()?;
+        let z = r.get_i128()?;
+        let fingerprint = r.get_u64()?;
+        let point = r.get_u64()?;
+        Self::from_raw_parts(ell, z, fingerprint, point)
     }
 }
 

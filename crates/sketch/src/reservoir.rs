@@ -111,6 +111,23 @@ impl<T> Reservoir<T> {
         self.seen = total;
     }
 
+    /// Rebuilds a reservoir from its observable state, re-validating
+    /// the structural invariants totally (no panics): positive
+    /// capacity and `items.len() = min(seen, capacity)` — the fill law
+    /// every reachable reservoir satisfies. Returns `None` if the
+    /// parts are inconsistent; serialisation decoders map that to a
+    /// typed error.
+    #[must_use]
+    pub fn from_parts(capacity: usize, items: Vec<T>, seen: u64) -> Option<Self> {
+        if capacity == 0 {
+            return None;
+        }
+        if items.len() as u64 != seen.min(capacity as u64) {
+            return None;
+        }
+        Some(Self { capacity, items, seen })
+    }
+
     /// The current sample (uniform over everything offered).
     #[must_use]
     pub fn items(&self) -> &[T] {

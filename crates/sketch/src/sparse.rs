@@ -16,6 +16,7 @@
 //! the ℓ₀-sampler's level search needs.
 
 use crate::one_sparse::{OneSparseRecovery, Recovery};
+use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use hindex_common::SpaceUsage;
 use hindex_hashing::field::MERSENNE_P;
 use hindex_hashing::{from_i64, mersenne_mul, Hasher64, PairwiseHash, PowerLadder};
@@ -249,6 +250,20 @@ impl SparseRecovery {
         &self.ladder
     }
 
+    /// Swaps this sketch's ladder for a shared one with the same base.
+    /// Returns `false` (leaving the sketch untouched) on a base
+    /// mismatch. Crate-internal: this is how a restored ℓ₀-sampler
+    /// re-establishes the one-ladder-per-stack sharing that
+    /// [`Self::with_shared_ladder`] set up originally.
+    pub(crate) fn share_ladder(&mut self, ladder: &Arc<PowerLadder>) -> bool {
+        if ladder.same_base(&self.ladder) {
+            self.ladder = Arc::clone(ladder);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Merges another sketch with identical configuration and
     /// randomness.
     ///
@@ -365,6 +380,127 @@ impl SparseRecovery {
             }
             _ => None,
         }
+    }
+}
+
+/// Payload: sparsity and row count, the row hashes and the checksum
+/// cell as nested frames, then the **non-zero cells only** as
+/// `(index, ℓ, z, f)` records in ascending index order (the point is
+/// shared with the checksum). Zero cells and lazy never-materialised
+/// cells have identical state `(0, 0, 0)` — laziness is not state,
+/// matching the `state_digest` convention — so the encoding is
+/// canonical whether or not the grid ever materialised, and a sketch
+/// that saw a handful of updates costs bytes proportional to its
+/// support, not to the `rows × 2s` capacity. Decode rebuilds a
+/// materialised grid when any cell is non-zero and stays lazy
+/// otherwise. The ladder is derived scratch and is rebuilt from the
+/// checksum point.
+impl Snapshot for SparseRecovery {
+    const TAG: u8 = 6;
+
+    fn write_payload(&self, w: &mut Writer<'_>) {
+        w.put_usize(self.s);
+        w.put_usize(self.hashes.len());
+        for h in &self.hashes {
+            w.put_nested(h);
+        }
+        w.put_nested(&self.checksum);
+        let nonzero: Vec<(usize, (i128, i128, u64))> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter_map(|(k, cell)| {
+                let (ell, z, f, _) = cell.raw_parts();
+                (ell != 0 || z != 0 || f != 0).then_some((k, (ell, z, f)))
+            })
+            .collect();
+        w.put_usize(nonzero.len());
+        for (k, (ell, z, f)) in nonzero {
+            w.put_usize(k);
+            w.put_i128(ell);
+            w.put_i128(z);
+            w.put_u64(f);
+        }
+    }
+
+    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let s = r.get_usize()?;
+        let rows = r.get_usize()?;
+        if s == 0 {
+            return Err(SnapshotError::Invalid("sparsity must be at least 1"));
+        }
+        if rows == 0 {
+            return Err(SnapshotError::Invalid("need at least one row"));
+        }
+        // Each row hash is a nested frame of at least FRAME_OVERHEAD
+        // bytes; bound the hash allocation by the payload size.
+        if rows > r.remaining() / hindex_common::snapshot::FRAME_OVERHEAD {
+            return Err(SnapshotError::Invalid("row count larger than payload"));
+        }
+        let cols = s
+            .checked_mul(2)
+            .ok_or(SnapshotError::Invalid("sparsity overflows the grid width"))?;
+        let total = rows
+            .checked_mul(cols)
+            .ok_or(SnapshotError::Invalid("grid dimensions overflow"))?;
+        // With sparse cell storage the grid capacity is no longer
+        // bounded by the payload length, so a hostile header could
+        // claim an enormous `s`. Cap the materialised grid outright:
+        // real sketches use `rows = O(log 1/δ)` and `cols = 2s` with
+        // small `s`, orders of magnitude below this format limit.
+        const MAX_GRID_CELLS: usize = 1 << 20;
+        if total > MAX_GRID_CELLS {
+            return Err(SnapshotError::Invalid("grid capacity exceeds the format limit"));
+        }
+        let mut hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            hashes.push(r.get_nested::<PairwiseHash>()?);
+        }
+        let checksum = r.get_nested::<OneSparseRecovery>()?;
+        let point = checksum.point();
+        // Each stored cell record is 8 + 16 + 16 + 8 bytes; `get_count`
+        // rejects hostile counts before this allocates.
+        let stored = r.get_count(48)?;
+        if stored > total {
+            return Err(SnapshotError::Invalid("more cells than the grid holds"));
+        }
+        let mut cells = Vec::new();
+        if stored > 0 {
+            // The in-memory grid (like the digest) treats a lazy grid
+            // and an all-zero grid as the same state, so materialise
+            // only when there is something to place. `total` bytes of
+            // zero cells is bounded by the sketch's own design capacity,
+            // already vetted above via the nested-frame row bound.
+            cells = vec![OneSparseRecovery::with_point(point); total];
+            let mut prev: Option<usize> = None;
+            for _ in 0..stored {
+                let k = r.get_usize()?;
+                if k >= total {
+                    return Err(SnapshotError::Invalid("cell index outside the grid"));
+                }
+                if prev.is_some_and(|p| p >= k) {
+                    return Err(SnapshotError::Invalid(
+                        "cell indices must be strictly increasing",
+                    ));
+                }
+                prev = Some(k);
+                let ell = r.get_i128()?;
+                let z = r.get_i128()?;
+                let f = r.get_u64()?;
+                if ell == 0 && z == 0 && f == 0 {
+                    return Err(SnapshotError::Invalid("zero cell stored explicitly"));
+                }
+                cells[k] = OneSparseRecovery::from_raw_parts(ell, z, f, point)?;
+            }
+        }
+        Ok(Self {
+            s,
+            cols,
+            hashes,
+            cells,
+            checksum,
+            ladder: Arc::new(PowerLadder::new(point)),
+        })
     }
 }
 

@@ -57,16 +57,16 @@ fn main() {
     engine.push_slice(&updates);
 
     // Anytime query: ingestion keeps running afterwards.
-    let snapshot = engine.query();
+    let snapshot = engine.query().unwrap();
     println!("anytime estimate : {}", snapshot.estimate());
 
-    let merged = engine.finish();
+    let merged = engine.finish().unwrap();
     let engine_time = start.elapsed();
 
     // Exact truth via the sharded exact baseline.
     let mut exact_engine = ShardedEngine::new(EngineConfig::with_shards(4), CashTable::new());
     exact_engine.push_slice(&updates);
-    let exact = exact_engine.finish();
+    let exact = exact_engine.finish().unwrap();
 
     println!("exact h-index    : {}", exact.estimate());
     println!("serial estimate  : {} ({serial_time:.2?})", serial.estimate());

@@ -20,7 +20,8 @@ echo "==> debug invariant layer (feature-gated assertions + proptests)"
 cargo test -q --offline -p hindex-hashing --features debug_invariants
 cargo test -q --offline -p hindex-sketch --features debug_invariants
 cargo test -q --offline -p hindex --features debug_invariants \
-    --test invariants --test engine_schedules --test adversarial
+    --test invariants --test engine_schedules --test adversarial \
+    --test snapshot_roundtrip --test engine_recovery
 
 echo "==> concurrency audit (best effort: miri / thread sanitizer)"
 # Both need a nightly toolchain; this gate must pass on a stock stable

@@ -52,6 +52,9 @@ pub mod prelude {
         EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage, TurnstileEstimator,
     };
     pub use hindex_core::prelude::*;
-    pub use hindex_engine::{BatchIngest, EngineConfig, Routable, ShardedEngine};
+    pub use hindex_engine::{
+        BatchIngest, Degraded, EngineCheckpoint, EngineConfig, EngineError, Routable,
+        ShardedEngine,
+    };
     pub use hindex_stream::prelude::*;
 }

@@ -34,7 +34,7 @@ fn exact_table_sharded_equals_serial() {
     for shards in [1, 2, 3, 8] {
         let mut engine = ShardedEngine::new(EngineConfig::with_shards(shards), CashTable::new());
         engine.push_slice(&updates);
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate(), "shards {shards}");
     }
 }
@@ -58,7 +58,7 @@ fn sketch_sharded_state_identical_to_serial() {
         };
         let mut engine = ShardedEngine::new(config, prototype.clone());
         engine.push_slice(&updates);
-        let merged = engine.finish();
+        let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate(), "shards {shards}");
         assert_eq!(merged.draw_samples(), serial.draw_samples(), "shards {shards}");
     }
@@ -79,7 +79,7 @@ fn batch_size_does_not_change_the_answer() {
         };
         let mut engine = ShardedEngine::new(config, prototype.clone());
         engine.push_slice(&updates);
-        let estimate = engine.finish().estimate();
+        let estimate = engine.finish().unwrap().estimate();
         match reference {
             None => reference = Some(estimate),
             Some(r) => assert_eq!(r, estimate, "batch {batch_size}"),
@@ -99,7 +99,7 @@ fn aggregate_round_robin_matches_serial() {
     let mut engine =
         ShardedEngine::new(EngineConfig::with_shards(4), ExponentialHistogram::new(eps));
     engine.push_slice(&values);
-    let merged = engine.finish();
+    let merged = engine.finish().unwrap();
     assert_eq!(merged.counters(), serial.counters());
     assert_eq!(merged.estimate(), serial.estimate());
 }
@@ -115,14 +115,14 @@ fn anytime_query_equals_prefix_and_ingestion_continues() {
     for &(p, z) in head {
         prefix.update(p, z);
     }
-    assert_eq!(engine.query().estimate(), prefix.estimate());
+    assert_eq!(engine.query().unwrap().estimate(), prefix.estimate());
     // The engine is still live: the tail lands on the same shards.
     engine.push_slice(tail);
     let mut whole = CashTable::new();
     for &(p, z) in &updates {
         whole.update(p, z);
     }
-    assert_eq!(engine.finish().estimate(), whole.estimate());
+    assert_eq!(engine.finish().unwrap().estimate(), whole.estimate());
 }
 
 #[test]
@@ -131,7 +131,7 @@ fn same_stream_same_prototype_is_deterministic() {
     let run = || {
         let mut engine = ShardedEngine::new(EngineConfig::with_shards(4), sketch_prototype(5));
         engine.push_slice(&updates);
-        engine.finish()
+        engine.finish().unwrap()
     };
     let (a, b) = (run(), run());
     assert_eq!(a.estimate(), b.estimate());

@@ -1,0 +1,175 @@
+//! Crash recovery: a killed engine restored from its last checkpoint
+//! and replayed from the recorded stream offset must reach the same
+//! state as an engine that never crashed — identical estimates and
+//! samples always, and a bit-identical `state_digest` under the
+//! invariant layer.
+
+use hindex::prelude::*;
+use hindex_baseline::CashTable;
+use hindex_common::snapshot::Snapshot;
+use hindex_core::{CashRegisterHIndex, CashRegisterParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(shards: usize) -> EngineConfig {
+    EngineConfig { shards, batch_size: 32, ..EngineConfig::default() }
+}
+
+fn stream(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|k| ((k * 17) % 300, 1 + k % 3)).collect()
+}
+
+fn sketch_proto(seed: u64) -> CashRegisterHIndex {
+    let params = CashRegisterParams::Additive {
+        epsilon: Epsilon::new(0.3).unwrap(),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Runs the crash drill for one estimator type and returns the
+/// uninterrupted and the recovered final states.
+fn crash_and_recover<E>(proto: E, shards: usize, updates: &[(u64, u64)]) -> (E, E)
+where
+    E: BatchIngest<(u64, u64)> + Clone + Mergeable + Snapshot + Send + 'static,
+{
+    // Reference: one engine sees the whole stream, never interrupted.
+    let mut reference = ShardedEngine::new(config(shards), proto.clone());
+    reference.push_slice(updates);
+    let reference = reference.finish().expect("reference run");
+
+    // Victim: ingests a prefix, checkpoints to *bytes* (as a real
+    // process would persist to disk), keeps running past the
+    // checkpoint, then "crashes" — everything after the checkpoint is
+    // lost, including any state still buffered in worker channels.
+    let cut = updates.len() / 2;
+    let mut victim = ShardedEngine::new(config(shards), proto);
+    victim.push_slice(&updates[..cut]);
+    let checkpoint = victim.checkpoint().expect("checkpoint");
+    assert_eq!(checkpoint.stream_offset(), cut as u64);
+    let frame = checkpoint.to_bytes();
+    victim.push_slice(&updates[cut..cut + cut / 2]); // lost work
+    drop(victim); // the crash
+
+    // Recovery: decode the persisted frame, respawn, and replay the
+    // input stream from the recorded offset.
+    let (restored_cp, used) =
+        hindex_engine::EngineCheckpoint::<E>::read_from(&frame).expect("decode checkpoint");
+    assert_eq!(used, frame.len());
+    assert_eq!(restored_cp.stream_offset(), cut as u64);
+    let mut recovered = ShardedEngine::restore(restored_cp);
+    assert_eq!(recovered.stream_offset(), cut as u64);
+    recovered.push_slice(&updates[cut..]);
+    let recovered = recovered.finish().expect("recovered run");
+    (reference, recovered)
+}
+
+#[test]
+fn recovered_exact_engine_matches_uninterrupted_run_exactly() {
+    let updates = stream(4_000);
+    for shards in [1, 2, 5] {
+        let (reference, recovered) = crash_and_recover(CashTable::new(), shards, &updates);
+        assert_eq!(recovered.estimate(), reference.estimate(), "shards {shards}");
+        assert_eq!(recovered.distinct(), reference.distinct(), "shards {shards}");
+        for paper in 0..300u64 {
+            assert_eq!(
+                recovered.count(paper),
+                reference.count(paper),
+                "shards {shards}, paper {paper}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovered_sketch_engine_matches_uninterrupted_run() {
+    let updates = stream(3_000);
+    for shards in [1, 3] {
+        let (reference, recovered) = crash_and_recover(sketch_proto(42), shards, &updates);
+        // The sketch is a deterministic function of (randomness, multiset
+        // of per-shard updates); restore + replay routes every update to
+        // the same shard as the reference, so the merged states agree on
+        // every observable, not just within tolerance.
+        assert_eq!(recovered.estimate(), reference.estimate(), "shards {shards}");
+        assert_eq!(recovered.draw_samples(), reference.draw_samples(), "shards {shards}");
+        #[cfg(feature = "debug_invariants")]
+        assert_eq!(
+            recovered.state_digest(),
+            reference.state_digest(),
+            "shards {shards}: digests diverged"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_at_zero_replays_everything() {
+    let updates = stream(1_000);
+    let mut victim = ShardedEngine::new(config(2), sketch_proto(7));
+    let checkpoint = victim.checkpoint().expect("empty checkpoint");
+    assert_eq!(checkpoint.stream_offset(), 0);
+    let frame = checkpoint.to_bytes();
+    drop(victim);
+
+    let mut reference = ShardedEngine::new(config(2), sketch_proto(7));
+    reference.push_slice(&updates);
+    let reference = reference.finish().unwrap();
+
+    let (cp, _) =
+        hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame).unwrap();
+    let mut recovered = ShardedEngine::restore(cp);
+    recovered.push_slice(&updates);
+    let recovered = recovered.finish().unwrap();
+    assert_eq!(recovered.estimate(), reference.estimate());
+    assert_eq!(recovered.draw_samples(), reference.draw_samples());
+}
+
+#[test]
+fn chained_checkpoints_recover_after_repeated_crashes() {
+    // Crash twice: checkpoint A at 1/3, restore, checkpoint B at 2/3
+    // (taken by the *restored* engine), restore again, finish. State
+    // must still match the never-crashed run.
+    let updates = stream(3_000);
+    let third = updates.len() / 3;
+
+    let mut reference = ShardedEngine::new(config(3), sketch_proto(9));
+    reference.push_slice(&updates);
+    let reference = reference.finish().unwrap();
+
+    let mut first = ShardedEngine::new(config(3), sketch_proto(9));
+    first.push_slice(&updates[..third]);
+    let frame_a = first.checkpoint().unwrap().to_bytes();
+    drop(first);
+
+    let (cp_a, _) =
+        hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame_a).unwrap();
+    let mut second = ShardedEngine::restore(cp_a);
+    second.push_slice(&updates[third..2 * third]);
+    let frame_b = second.checkpoint().unwrap().to_bytes();
+    drop(second);
+
+    let (cp_b, _) =
+        hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame_b).unwrap();
+    assert_eq!(cp_b.stream_offset(), 2 * third as u64);
+    let mut third_run = ShardedEngine::restore(cp_b);
+    third_run.push_slice(&updates[2 * third..]);
+    let recovered = third_run.finish().unwrap();
+
+    assert_eq!(recovered.estimate(), reference.estimate());
+    assert_eq!(recovered.draw_samples(), reference.draw_samples());
+    #[cfg(feature = "debug_invariants")]
+    assert_eq!(recovered.state_digest(), reference.state_digest());
+}
+
+#[test]
+fn restore_preserves_engine_geometry() {
+    let mut engine = ShardedEngine::new(config(4), CashTable::new());
+    engine.push_slice(&stream(100));
+    let checkpoint = engine.checkpoint().unwrap();
+    assert_eq!(checkpoint.config().shards, 4);
+    assert_eq!(checkpoint.shard_states().len(), 4);
+    engine.finish().unwrap();
+
+    let restored = ShardedEngine::restore(checkpoint);
+    assert_eq!(restored.config().shards, 4);
+    restored.finish().unwrap();
+}

@@ -111,7 +111,7 @@ fn cash_table_bit_identical_across_schedules() {
     let config = EngineConfig { shards: SHARDS, batch_size: BATCH, queue_depth: 2 };
     let mut engine = ShardedEngine::new(config, CashTable::new());
     engine.push_slice(&updates);
-    let threaded = engine.finish();
+    let threaded = engine.finish().unwrap();
     assert_eq!(threaded.estimate(), serial.estimate());
     assert_eq!(threaded.distinct(), serial.distinct());
 
@@ -150,7 +150,7 @@ fn exponential_histogram_bit_identical_across_schedules() {
         ExponentialHistogram::new(Epsilon::new(0.2).unwrap()),
     );
     engine.push_slice(&values);
-    let threaded = engine.finish();
+    let threaded = engine.finish().unwrap();
     assert_eq!(threaded.counters(), serial.counters());
 
     let queues = round_robin_batches(&values, SHARDS, BATCH);
@@ -195,7 +195,7 @@ fn turnstile_bit_identical_across_schedules_with_retractions() {
     let config = EngineConfig { shards: SHARDS, batch_size: BATCH, queue_depth: 2 };
     let mut engine = ShardedEngine::new(config, proto.clone());
     engine.push_slice(&updates);
-    let threaded = engine.finish();
+    let threaded = engine.finish().unwrap();
     assert_eq!(threaded.estimate(), serial.estimate());
 
     let queues = key_routed_batches(&updates, |u| u.0, SHARDS, BATCH);

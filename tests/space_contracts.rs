@@ -176,7 +176,7 @@ fn engine_space_accounts_shards_and_channels() {
         words <= 3 * (proto_words + 100_000) + channel_words + buffered_words,
         "engine space unbounded: {words}"
     );
-    engine.finish();
+    engine.finish().unwrap();
 }
 
 /// The exact engine splits the key space: the shards' tables together
@@ -204,7 +204,7 @@ fn exact_engine_space_partitions_keys() {
         words <= single.space_words() + channel_words + 64,
         "sharded exact tables duplicate keys: {words}"
     );
-    engine.finish();
+    engine.finish().unwrap();
 }
 
 /// §6 extensions (g-index, α-index) and the sliding-window estimator
