@@ -5,7 +5,7 @@
 //! invariants: that field arithmetic must go through the checked
 //! helpers in `hindex-hashing::field`, that every estimator carries a
 //! space contract, that library crates never panic on data. This crate
-//! encodes those rules as lints L1–L6 over a hand-rolled token stream
+//! encodes those rules as lints L1–L8 over a hand-rolled token stream
 //! (see [`lexer`]) with zero external dependencies, so the pass runs in
 //! the same offline environment as the rest of the workspace.
 //!
@@ -26,7 +26,7 @@ use workspace::Workspace;
 /// One diagnostic produced by a lint.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Lint identifier (`"L1"` … `"L6"`).
+    /// Lint identifier (`"L1"` … `"L8"`).
     pub lint: &'static str,
     /// Repo-relative path of the offending file.
     pub file: String,
@@ -85,7 +85,7 @@ impl Finding {
 
 /// A single lint rule.
 pub trait Lint {
-    /// Stable identifier, `"L1"` … `"L6"`.
+    /// Stable identifier, `"L1"` … `"L8"`.
     fn id(&self) -> &'static str;
     /// One-line description for `--list` and documentation.
     fn summary(&self) -> &'static str;
@@ -108,6 +108,8 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(lints::ForbidNondeterminism),
         Box::new(lints::MergeSemantics),
         Box::new(lints::SnapshotCoverage),
+        Box::new(lints::ObservabilityWiring),
+        Box::new(lints::LegacyIngestVerbs),
     ]
 }
 

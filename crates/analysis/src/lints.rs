@@ -1,4 +1,4 @@
-//! The lint catalogue: five repo-specific rules, L1–L5.
+//! The lint catalogue: eight repo-specific rules, L1–L8.
 //!
 //! Each lint works on the lexed token streams in a [`Workspace`];
 //! none of them parses Rust properly, and each one documents the
@@ -353,7 +353,16 @@ impl crate::Lint for NoPanicPaths {
 /// are banned — estimators take seeds and tick counters from their
 /// callers so runs replay bit-identically (the sharded-engine stress
 /// tests depend on this).
+///
+/// One explicit exemption: [`CLOCK_SEAM`], the observability crate's
+/// single wall-clock module. Latency profiling needs a real clock;
+/// confining it to one audited file (whose durations feed only
+/// latency histograms, never estimator state) is the policy, so the
+/// exemption is carried here rather than in the baseline.
 pub struct ForbidNondeterminism;
+
+/// The one library file allowed to name wall-clock types.
+pub const CLOCK_SEAM: &str = "crates/obs/src/clock.rs";
 
 const NONDETERMINISM: &[&str] = &[
     "thread_rng",
@@ -397,7 +406,7 @@ impl crate::Lint for ForbidNondeterminism {
                     ));
                 }
             }
-            if file.kind != FileKind::Library {
+            if file.kind != FileKind::Library || file.path == CLOCK_SEAM {
                 continue;
             }
             for t in &file.tokens {
@@ -558,9 +567,360 @@ impl crate::Lint for SnapshotCoverage {
     }
 }
 
+/// L7 — the observability layer stays wired end to end.
+///
+/// Two completeness checks on the tracing vocabulary:
+///
+/// (a) every `EventKind` variant declared in `crates/obs/src/trace.rs`
+/// must be *recorded* somewhere in `crates/obs/src/observer.rs` — a
+/// variant nobody emits is dead vocabulary that silently rots;
+///
+/// (b) every observer hook (`fn on_*` in `observer.rs`) must be called
+/// from at least one file outside `crates/obs/` — a hook the engine
+/// and CLI never invoke means an instrumentation point was designed
+/// and then dropped on the floor.
+///
+/// Approximation: both checks are ident-presence, not call-graph
+/// analysis; a hook mentioned in a comment token would not count
+/// (comments are not lexed), but one mentioned in dead code would.
+pub struct ObservabilityWiring;
+
+/// Where the event vocabulary is declared.
+const TRACE_FILE: &str = "crates/obs/src/trace.rs";
+/// Where events are recorded and hooks are defined.
+const OBSERVER_FILE: &str = "crates/obs/src/observer.rs";
+
+/// Scans `enum EventKind { ... }` and returns the variant names.
+/// Variants are the idents at brace depth 1 that directly follow the
+/// opening brace or a comma (attribute/doc tokens are not emitted by
+/// the lexer, so this is exact for fieldless enums).
+fn event_kind_variants(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident("EventKind") {
+            let mut j = i + 2;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('{') {
+                    break;
+                }
+                j += 1;
+            }
+            let mut depth = 0i64;
+            let mut expect_variant = false;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('{') {
+                    depth += 1;
+                    if depth == 1 {
+                        expect_variant = true;
+                    }
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 {
+                    if t.is_punct(',') {
+                        expect_variant = true;
+                    } else if expect_variant && t.kind == TokKind::Ident {
+                        out.push((t.text.clone(), t.line));
+                        expect_variant = false;
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Names of `fn on_*` hook definitions in a file, outside test code.
+fn hook_defs(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("fn") && !file.in_test_code(t.line) {
+            if let Some(name) = toks.get(i + 1) {
+                if name.kind == TokKind::Ident && name.text.starts_with("on_") {
+                    out.push((name.text.clone(), name.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl crate::Lint for ObservabilityWiring {
+    fn id(&self) -> &'static str {
+        "L7"
+    }
+    fn summary(&self) -> &'static str {
+        "every EventKind variant is recorded and every observer hook is called"
+    }
+    fn cross_file(&self) -> bool {
+        true
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(trace) = ws.file(TRACE_FILE) else {
+            return; // no obs crate in this workspace snapshot
+        };
+        let observer_refs = ident_set(ws.file(OBSERVER_FILE));
+        for (variant, line) in event_kind_variants(trace) {
+            if !observer_refs.contains(variant.as_str()) {
+                out.push(Finding::new(
+                    "L7",
+                    TRACE_FILE,
+                    line,
+                    &format!("EventKind::{variant} never recorded"),
+                    format!(
+                        "`EventKind::{variant}` is declared but never recorded by                          {OBSERVER_FILE}"
+                    ),
+                    Some(format!(
+                        "emit the event from the matching observer hook, or delete                          the `{variant}` variant"
+                    )),
+                ));
+            }
+        }
+        let Some(observer) = ws.file(OBSERVER_FILE) else {
+            return;
+        };
+        let mut external_refs: HashSet<&str> = HashSet::new();
+        for file in &ws.files {
+            if file.path.starts_with("crates/obs/") || file.kind == FileKind::Vendored {
+                continue;
+            }
+            for t in &file.tokens {
+                if t.kind == TokKind::Ident && t.text.starts_with("on_") {
+                    external_refs.insert(&t.text);
+                }
+            }
+        }
+        for (hook, line) in hook_defs(observer) {
+            if !external_refs.contains(hook.as_str()) {
+                out.push(Finding::new(
+                    "L7",
+                    OBSERVER_FILE,
+                    line,
+                    &format!("hook {hook} never called"),
+                    format!(
+                        "observer hook `{hook}` is never invoked outside crates/obs                          — an instrumentation point got designed, then dropped"
+                    ),
+                    Some(format!(
+                        "call `{hook}` from the engine or CLI, or remove the hook"
+                    )),
+                ));
+            }
+        }
+    }
+}
+
+/// L8 — the estimator ingestion vocabulary stays unified.
+///
+/// The estimator traits expose `ingest` / `ingest_batch`; the old
+/// verbs (`push`, `update`, `push_batch`, `update_batch`) survive only
+/// as `#[deprecated]` default-method shims on the traits themselves.
+/// This lint flags any *impl block of an estimator trait* in library
+/// code that re-defines one of the old verbs — overriding a shim
+/// resurrects the legacy vocabulary and silently bypasses the
+/// deprecation path.
+///
+/// Approximation: brace-matched scan of `impl <EstimatorTrait> for ..`
+/// blocks; `fn push` on inherent impls or non-estimator traits (ring
+/// buffers, `Vec` wrappers) is deliberately not flagged.
+pub struct LegacyIngestVerbs;
+
+/// The banned method names inside estimator-trait impl blocks.
+const LEGACY_VERBS: &[&str] = &["push", "update", "push_batch", "update_batch"];
+
+impl crate::Lint for LegacyIngestVerbs {
+    fn id(&self) -> &'static str {
+        "L8"
+    }
+    fn summary(&self) -> &'static str {
+        "no push/update/*_batch definitions inside estimator-trait impls"
+    }
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            let toks = &file.tokens;
+            let mut i = 0usize;
+            while i < toks.len() {
+                if !toks[i].is_ident("impl") || file.in_test_code(toks[i].line) {
+                    i += 1;
+                    continue;
+                }
+                // Find `for` at angle depth 0 to confirm a trait impl,
+                // remembering the trait name (last depth-0 ident).
+                let mut j = i + 1;
+                let mut angle = 0i64;
+                let mut trait_name: Option<&str> = None;
+                let mut is_estimator = false;
+                while let Some(t) = toks.get(j) {
+                    if t.is_punct('<') {
+                        angle += 1;
+                    } else if t.is_punct('>') {
+                        angle -= 1;
+                    } else if angle == 0 {
+                        if t.is_ident("for") {
+                            is_estimator = trait_name
+                                .is_some_and(|n| ESTIMATOR_TRAITS.contains(&n));
+                            break;
+                        }
+                        if t.is_punct('{') || t.is_punct(';') {
+                            break;
+                        }
+                        if t.kind == TokKind::Ident {
+                            trait_name = Some(&t.text);
+                        }
+                    }
+                    j += 1;
+                }
+                // Walk the impl body, flagging `fn <legacy-verb>`.
+                while let Some(t) = toks.get(j) {
+                    if t.is_punct('{') {
+                        break;
+                    }
+                    j += 1;
+                }
+                let mut depth = 0i64;
+                while let Some(t) = toks.get(j) {
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if is_estimator && t.is_ident("fn") {
+                        if let Some(name) = toks.get(j + 1) {
+                            if LEGACY_VERBS.contains(&name.text.as_str()) {
+                                out.push(Finding::new(
+                                    "L8",
+                                    &file.path,
+                                    name.line,
+                                    &format!("fn {} in estimator impl", name.text),
+                                    format!(
+                                        "estimator-trait impl re-defines legacy verb                                          `{}`; the unified vocabulary is                                          ingest/ingest_batch",
+                                        name.text
+                                    ),
+                                    Some(
+                                        "implement `ingest` (and optionally                                          `ingest_batch`) instead; the deprecated                                          shims delegate automatically"
+                                            .to_string(),
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                i = j.max(i + 1);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ws(sources: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(
+            sources.iter().map(|(p, c)| ((*p).to_string(), (*c).to_string())).collect(),
+        )
+    }
+
+    #[test]
+    fn l4_exempts_the_clock_seam_only() {
+        let ws = ws(&[
+            (CLOCK_SEAM, "#![forbid(unsafe_code)]\nuse std::time::Instant;\n"),
+            ("crates/core/src/bad.rs", "use std::time::Instant;\n"),
+        ]);
+        let mut findings = Vec::new();
+        crate::Lint::run(&ForbidNondeterminism, &ws, &mut findings);
+        let clocky: Vec<_> = findings
+            .iter()
+            .filter(|f| f.snippet.contains("Instant"))
+            .collect();
+        assert_eq!(clocky.len(), 1, "{findings:?}");
+        assert_eq!(clocky[0].file, "crates/core/src/bad.rs");
+    }
+
+    #[test]
+    fn l7_flags_unrecorded_variant_and_uncalled_hook() {
+        let ws = ws(&[
+            (
+                TRACE_FILE,
+                "pub enum EventKind { Flush, Ghost }\n",
+            ),
+            (
+                OBSERVER_FILE,
+                "pub fn on_flush(&self) { record(EventKind::Flush); }\n\
+                 pub fn on_orphan(&self) {}\n",
+            ),
+            (
+                "crates/engine/src/lib.rs",
+                "fn f(o: &EngineObserver) { o.on_flush(); }\n",
+            ),
+        ]);
+        let mut findings = Vec::new();
+        crate::Lint::run(&ObservabilityWiring, &ws, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("Ghost")));
+        assert!(findings.iter().any(|f| f.message.contains("on_orphan")));
+    }
+
+    #[test]
+    fn l7_scan_handles_the_real_trace_file() {
+        let contents = std::fs::read_to_string(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../obs/src/trace.rs"),
+        )
+        .unwrap();
+        let f = SourceFile::parse(TRACE_FILE.into(), &contents);
+        let names: Vec<String> =
+            event_kind_variants(&f).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 9, "{names:?}");
+        assert!(names.contains(&"PushBatch".to_string()));
+        assert!(names.contains(&"SnapshotDecode".to_string()));
+    }
+
+    #[test]
+    fn l7_event_variant_scan() {
+        let f = SourceFile::parse(
+            TRACE_FILE.into(),
+            "pub enum EventKind {\n    PushBatch,\n    Flush,\n    Merge,\n}\n\
+             pub struct Event { pub kind: EventKind }\n",
+        );
+        let names: Vec<String> =
+            event_kind_variants(&f).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["PushBatch", "Flush", "Merge"]);
+    }
+
+    #[test]
+    fn l8_flags_legacy_verbs_only_in_estimator_impls() {
+        let ws = ws(&[(
+            "crates/sketch/src/x.rs",
+            "impl AggregateEstimator for Foo {\n\
+                 fn ingest(&mut self, v: u64) {}\n\
+                 fn push(&mut self, v: u64) { self.ingest(v) }\n\
+             }\n\
+             impl Ring {\n\
+                 fn push(&mut self, v: u64) {}\n\
+             }\n\
+             impl Iterator for Foo {\n\
+                 fn update(&mut self) {}\n\
+             }\n",
+        )]);
+        let mut findings = Vec::new();
+        crate::Lint::run(&LegacyIngestVerbs, &ws, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].snippet.contains("fn push"));
+        assert_eq!(findings[0].line, 3);
+    }
 
     #[test]
     fn impl_scan_recovers_traits_and_types() {

@@ -9,7 +9,7 @@ use std::path::Path;
 /// The workspace's library crates: code that ships in the estimator
 /// stack and is held to the strictest lint rules (L1, L3, L4).
 pub const LIBRARY_CRATES: &[&str] = &[
-    "common", "hashing", "sketch", "stream", "core", "baseline", "engine",
+    "common", "hashing", "sketch", "stream", "core", "baseline", "engine", "obs",
 ];
 
 /// How a source file is classified for linting purposes.
@@ -158,6 +158,7 @@ mod tests {
         assert_eq!(classify("crates/sketch/src/l0.rs"), FileKind::Library);
         assert_eq!(classify("src/lib.rs"), FileKind::Library);
         assert_eq!(classify("crates/engine/src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("crates/obs/src/metrics.rs"), FileKind::Library);
         assert_eq!(classify("crates/cli/src/main.rs"), FileKind::Tool);
         assert_eq!(classify("crates/analysis/src/lib.rs"), FileKind::Tool);
         assert_eq!(classify("tests/space_contracts.rs"), FileKind::Test);

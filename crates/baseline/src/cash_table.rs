@@ -1,7 +1,7 @@
 //! Exact cash-register baseline.
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
-use hindex_common::{CashRegisterEstimator, Mergeable, SpaceUsage};
+use hindex_common::{CashRegisterEstimator, Estimate, Mergeable, SpaceUsage};
 use std::collections::HashMap;
 
 /// Exact cash-register H-index via a full paper → count table.
@@ -44,8 +44,14 @@ impl CashTable {
     }
 }
 
+impl Estimate for CashTable {
+    fn estimate(&self) -> u64 {
+        self.h
+    }
+}
+
 impl CashRegisterEstimator for CashTable {
-    fn update(&mut self, index: u64, delta: u64) {
+    fn ingest(&mut self, index: u64, delta: u64) {
         if delta == 0 {
             return;
         }
@@ -87,10 +93,6 @@ impl CashRegisterEstimator for CashTable {
             }
         }
     }
-
-    fn estimate(&self) -> u64 {
-        self.h
-    }
 }
 
 /// Merging the exact baseline replays `other`'s per-paper totals as
@@ -100,7 +102,7 @@ impl CashRegisterEstimator for CashTable {
 impl Mergeable for CashTable {
     fn merge(&mut self, other: &Self) {
         for (&paper, &count) in &other.counts {
-            self.update(paper, count);
+            self.ingest(paper, count);
         }
     }
 }
@@ -139,7 +141,7 @@ impl Snapshot for CashTable {
                 return Err(SnapshotError::Invalid("papers must be strictly increasing"));
             }
             prev = Some(paper);
-            table.update(paper, count);
+            table.ingest(paper, count);
         }
         Ok(table)
     }
@@ -160,7 +162,7 @@ mod tests {
         let mut t = CashTable::new();
         let mut truth: HashMap<u64, u64> = HashMap::new();
         for &(i, d) in updates {
-            t.update(i, d);
+            t.ingest(i, d);
             *truth.entry(i).or_default() += d;
         }
         let values: Vec<u64> = truth.values().copied().collect();
@@ -176,7 +178,7 @@ mod tests {
     fn unit_updates_single_paper() {
         let mut t = CashTable::new();
         for _ in 0..100 {
-            t.update(7, 1);
+            t.ingest(7, 1);
         }
         assert_eq!(t.estimate(), 1);
         assert_eq!(t.count(7), 100);
@@ -200,7 +202,7 @@ mod tests {
         // Interleaved unit updates over 20 papers.
         for step in 0..2000u64 {
             let paper = (step * 7) % 20;
-            t.update(paper, 1);
+            t.ingest(paper, 1);
             *truth.entry(paper).or_default() += 1;
             let values: Vec<u64> = truth.values().copied().collect();
             assert_eq!(t.estimate(), h_index(&values), "step {step}");
@@ -210,7 +212,7 @@ mod tests {
     #[test]
     fn zero_delta_ignored() {
         let mut t = CashTable::new();
-        t.update(3, 0);
+        t.ingest(3, 0);
         assert_eq!(t.distinct(), 0);
         assert_eq!(t.estimate(), 0);
     }
@@ -219,7 +221,7 @@ mod tests {
     fn space_tracks_distinct_papers() {
         let mut t = CashTable::new();
         for i in 0..100u64 {
-            t.update(i, 2);
+            t.ingest(i, 2);
         }
         assert!(t.space_words() >= 200);
     }
@@ -232,9 +234,9 @@ mod tests {
         let mut b = CashTable::new();
         for (n, &(i, d)) in updates.iter().enumerate() {
             if n % 2 == 0 {
-                a.update(i, d);
+                a.ingest(i, d);
             } else {
-                b.update(i, d);
+                b.ingest(i, d);
             }
         }
         a.merge(&b);
@@ -259,7 +261,7 @@ mod tests {
             let mut t = CashTable::new();
             let mut prev = 0;
             for &(i, d) in &updates {
-                t.update(i, d);
+                t.ingest(i, d);
                 let h = t.estimate();
                 proptest::prop_assert!(h >= prev, "h decreased");
                 prev = h;

@@ -1,7 +1,7 @@
 //! Store-everything aggregate baseline.
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
-use hindex_common::{h_index, AggregateEstimator, SpaceUsage};
+use hindex_common::{h_index, AggregateEstimator, Estimate, SpaceUsage};
 
 /// Exact aggregate-model baseline that stores every value — the
 /// strawman the paper's streaming algorithms are measured against.
@@ -27,13 +27,15 @@ impl FullStore {
     }
 }
 
-impl AggregateEstimator for FullStore {
-    fn push(&mut self, value: u64) {
-        self.values.push(value);
-    }
-
+impl Estimate for FullStore {
     fn estimate(&self) -> u64 {
         h_index(&self.values)
+    }
+}
+
+impl AggregateEstimator for FullStore {
+    fn ingest(&mut self, value: u64) {
+        self.values.push(value);
     }
 }
 
@@ -74,7 +76,7 @@ mod tests {
         let mut fs = FullStore::new();
         let vals = [5u64, 6, 5, 6, 5, 5, 5, 5, 5, 5];
         for &v in &vals {
-            fs.push(v);
+            fs.ingest(v);
         }
         assert_eq!(fs.estimate(), 5);
         assert_eq!(fs.space_words(), 10);

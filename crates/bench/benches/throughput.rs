@@ -24,7 +24,10 @@
 //! * `engine_scaling` — the sharded ingestion engine at 1/2/4/8 shards
 //!   on the `cash_update` workload, reporting speedup over one shard;
 //! * `engine_overheads` — the engine's fixed per-run costs (clone,
-//!   merge fan-in, spawn + join) at 8 shards.
+//!   merge fan-in, spawn + join) at 8 shards;
+//! * `obs_overhead` — the same engine workload with and without an
+//!   attached [`EngineObserver`], reporting the instrumentation
+//!   overhead (the observability layer's contract is < 5%).
 //!
 //! Each benchmark runs a fixed number of timed repetitions after a
 //! warm-up pass and reports the *median* wall time, ns per element,
@@ -42,14 +45,14 @@
 
 use hindex_baseline::{AuthorTable, CashTable, FullStore};
 use hindex_bench::workloads::{hh_corpus, zipf_counts};
-use hindex_common::{
-    AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, IncrementalHIndex,
-};
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Estimate, IncrementalHIndex};
 use hindex_core::{
     CashRegisterHIndex, CashRegisterParams, ExponentialHistogram, HeavyHitters,
     HeavyHittersParams, RandomOrderEstimator, RandomOrderParams, ShiftingWindow,
 };
 use hindex_engine::{EngineConfig, ShardedEngine};
+use hindex_obs::EngineObserver;
+use std::sync::Arc;
 use hindex_sketch::distinct::DistinctCounter;
 use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
 use rand::rngs::StdRng;
@@ -201,20 +204,20 @@ fn aggregate_push() {
     let delta = Delta::new(0.05).unwrap();
     bench("aggregate_push", "alg1_exp_histogram", N, 11, || {
         let mut est = ExponentialHistogram::new(eps);
-        est.push_batch(&values);
+        est.ingest_batch(&values);
         est.estimate()
     });
     bench("aggregate_push", "alg2_shifting_window", N, 11, || {
         let mut est = ShiftingWindow::new(eps);
         for &v in &values {
-            est.push(v);
+            est.ingest(v);
         }
         est.estimate()
     });
     bench("aggregate_push", "alg3_random_order", N, 5, || {
         let mut est = RandomOrderEstimator::new(RandomOrderParams::new(eps, delta, N));
         for &v in &values {
-            est.push(v);
+            est.ingest(v);
         }
         est.estimate()
     });
@@ -228,7 +231,7 @@ fn aggregate_push() {
     bench("aggregate_push", "full_store", N, 11, || {
         let mut est = FullStore::new();
         for &v in &values {
-            est.push(v);
+            est.ingest(v);
         }
         est.estimate()
     });
@@ -240,8 +243,8 @@ fn aggregate_query() {
     let mut hist = ExponentialHistogram::new(eps);
     let mut win = ShiftingWindow::new(eps);
     for &v in &values {
-        hist.push(v);
-        win.push(v);
+        hist.ingest(v);
+        win.ingest(v);
     }
     bench("aggregate_query", "alg1_estimate", 1, 101, || hist.estimate());
     bench("aggregate_query", "alg2_estimate", 1, 101, || win.estimate());
@@ -263,14 +266,14 @@ fn cash_update() {
     bench("cash_update", "alg6_l0_bank_x77", n, 5, || {
         let mut est = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3));
         for &(i, d) in &updates {
-            est.update(i, d);
+            est.ingest(i, d);
         }
         est.estimate()
     });
     bench("cash_update", "exact_table", n, 11, || {
         let mut est = CashTable::new();
         for &(i, d) in &updates {
-            est.update(i, d);
+            est.ingest(i, d);
         }
         est.estimate()
     });
@@ -336,14 +339,14 @@ fn extensions() {
     bench("extensions", "sliding_window_push", n, 5, || {
         let mut est = SlidingHIndex::new(eps, 4096, 0.1);
         for &v in &values {
-            est.push(v);
+            est.ingest(v);
         }
         est.estimate()
     });
     bench("extensions", "g_index_push", n, 5, || {
         let mut est = StreamingGIndex::new(eps);
         for &v in &values {
-            est.push(v);
+            est.ingest(v);
         }
         est.estimate()
     });
@@ -497,13 +500,13 @@ fn kernels(quick: bool) {
     bench("kernels", "turnstile_scalar_x27", tn_reps, runs.min(3), || {
         let mut est = tn_proto.clone();
         for &(i, d) in &tn_updates {
-            TurnstileEstimator::update(&mut est, black_box(i), d);
+            TurnstileEstimator::ingest(&mut est, black_box(i), d);
         }
         est.estimate()
     });
     bench("kernels", "turnstile_batch_x27", tn_reps, runs.min(3), || {
         let mut est = tn_proto.clone();
-        est.update_batch(black_box(&tn_updates));
+        est.ingest_batch(black_box(&tn_updates));
         est.estimate()
     });
 
@@ -512,7 +515,12 @@ fn kernels(quick: bool) {
     for shards in [1usize, 2, 4, 8] {
         let setup = || {
             ShardedEngine::new(
-                EngineConfig { shards, batch_size: 1024, queue_depth: 4 },
+                EngineConfig::builder()
+                    .shards(shards)
+                    .batch(1024)
+                    .queue_depth(4)
+                    .build()
+                    .unwrap(),
                 tn_proto.clone(),
             )
         };
@@ -523,7 +531,7 @@ fn kernels(quick: bool) {
             runs.min(3),
             setup,
             |mut engine: ShardedEngine<TurnstileHIndex, (u64, i64)>| {
-                engine.push_slice(&tn_updates);
+                engine.ingest_batch(&tn_updates);
                 engine.finish().unwrap().estimate()
             },
         );
@@ -552,7 +560,7 @@ fn engine_scaling() {
         // every shard count.
         let setup = || ShardedEngine::new(EngineConfig::with_shards(shards), prototype.clone());
         let ingest = |mut engine: ShardedEngine<CashRegisterHIndex, (u64, u64)>| {
-            engine.push_slice(&updates);
+            engine.ingest_batch(&updates);
             engine.finish().unwrap()
         };
         // Shared prototype + linear sketches: every shard count must
@@ -600,6 +608,40 @@ fn engine_overheads() {
     });
 }
 
+/// Instrumented-vs-plain engine on the `cash_update` workload: the
+/// observability layer's overhead, measured. Hooks fire at batch
+/// boundaries only, so the uninstrumented engine pays one
+/// branch-on-`None` per flush and the instrumented one a handful of
+/// relaxed atomic adds — the contract (held by the determinism suite
+/// and asserted in docs) is that this stays under 5%.
+fn obs_overhead() {
+    let updates: Vec<(u64, u64)> = (0..50_000u64).map(|i| (i % 700, 1)).collect();
+    let n = updates.len() as u64;
+    let run = |config: EngineConfig, updates: &[(u64, u64)]| {
+        let mut engine = ShardedEngine::new(config, CashTable::new());
+        engine.ingest_batch(updates);
+        engine.finish().unwrap().estimate()
+    };
+    let plain = bench("obs_overhead", "engine_plain", n, 7, || {
+        let config = EngineConfig::builder().shards(4).batch(256).build().unwrap();
+        run(config, &updates)
+    });
+    let observed = bench("obs_overhead", "engine_observed", n, 7, || {
+        let config = EngineConfig::builder()
+            .shards(4)
+            .batch(256)
+            .observer(Arc::new(EngineObserver::new(4)))
+            .build()
+            .unwrap();
+        run(config, &updates)
+    });
+    let overhead = observed.as_secs_f64() / plain.as_secs_f64() - 1.0;
+    println!(
+        "{:<18} {:<24} {:>10.2}% instrumentation overhead",
+        "", "", overhead * 100.0
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -625,6 +667,7 @@ fn main() {
         kernels(false);
         engine_scaling();
         engine_overheads();
+        obs_overhead();
     }
     if let Some(path) = json {
         write_json(&path);

@@ -25,8 +25,8 @@ pub fn e11() {
         let mut win = ShiftingWindow::new(eps);
         for &v in &values {
             heap.insert(v);
-            hist.push(v);
-            win.push(v);
+            hist.ingest(v);
+            win.ingest(v);
         }
         let (hw, h1, h2) = (heap.space_words(), hist.space_words(), win.space_words());
         let winner = if hw <= h1.min(h2) {

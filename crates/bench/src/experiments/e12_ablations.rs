@@ -12,7 +12,7 @@ use crate::stats::fraction;
 use crate::table::{f3, Table};
 use crate::workloads::ordered;
 use hindex_baseline::AuthorTable;
-use hindex_common::{h_index, AggregateEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{AggregateEstimator, Delta, Epsilon, Estimate, SpaceUsage, h_index};
 use hindex_core::{HeavyHitters, HeavyHittersParams, ShiftingWindow};
 use hindex_sketch::{CountMin, MisraGries};
 use hindex_stream::generator::planted_heavy_hitters;

@@ -11,7 +11,7 @@
 use crate::stats::{fraction, mean};
 use crate::table::{f3, Table};
 use hindex_baseline::TurnstileTable;
-use hindex_common::{h_index, AggregateEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{AggregateEstimator, Delta, Epsilon, Estimate, SpaceUsage, h_index};
 use hindex_core::{SlidingHIndex, TurnstileHIndex};
 use hindex_sketch::distinct::DistinctCounter;
 use hindex_sketch::{Bjkst, HyperLogLog, Kmv};
@@ -43,7 +43,7 @@ fn e13a() {
             } else {
                 rng.random_range(0..50)
             };
-            est.push(v);
+            est.ingest(v);
             buf.push_back(v);
             if buf.len() as u64 > w {
                 buf.pop_front();

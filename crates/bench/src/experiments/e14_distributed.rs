@@ -10,9 +10,7 @@
 //!   richer rather than shuffled.
 
 use crate::table::{f3, Table};
-use hindex_common::{
-    h_index, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Mergeable, SpaceUsage,
-};
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Estimate, Mergeable, SpaceUsage, h_index};
 use hindex_core::{CashRegisterHIndex, CashRegisterParams, ExponentialHistogram, ShiftingWindow};
 use hindex_stream::CareerModel;
 use rand::rngs::StdRng;
@@ -38,8 +36,8 @@ fn e14a() {
         let mut whole = proto.clone();
         let mut shards: Vec<CashRegisterHIndex> = (0..k).map(|_| proto.clone()).collect();
         for (i, u) in trace.updates.iter().enumerate() {
-            whole.update(u.paper.0, u.delta);
-            shards[i % k].update(u.paper.0, u.delta);
+            whole.ingest(u.paper.0, u.delta);
+            shards[i % k].ingest(u.paper.0, u.delta);
         }
         let mut merged = shards.remove(0);
         for s in &shards {
@@ -92,7 +90,7 @@ fn e14b() {
         let mut rng = StdRng::seed_from_u64(99);
         let mut cash = CashRegisterHIndex::new(params, &mut rng);
         for u in &trace.updates {
-            cash.update(u.paper.0, u.delta);
+            cash.ingest(u.paper.0, u.delta);
         }
         let cash_est = cash.estimate();
         let _ = cash.space_words();

@@ -8,9 +8,7 @@
 
 use crate::stats::fraction;
 use crate::table::{f3, Table};
-use hindex_common::{
-    h_index, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon,
-};
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Estimate, h_index};
 use hindex_core::{
     CashRegisterHIndex, CashRegisterParams, RandomOrderEstimator, RandomOrderParams,
 };
@@ -119,7 +117,7 @@ pub fn e15() {
                 let mut est = CashRegisterHIndex::new(params, &mut rng);
                 for u in (Unaggregator { max_batch: 4, shuffle: true }).stream(&corpus, &mut rng)
                 {
-                    est.update(u.paper.0, u.delta);
+                    est.ingest(u.paper.0, u.delta);
                 }
                 (est.estimate() as f64 - truth as f64).abs() > eps * d as f64
             })

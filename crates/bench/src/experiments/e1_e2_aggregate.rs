@@ -9,7 +9,7 @@
 use crate::stats::{fraction, max, mean};
 use crate::table::{f3, Table};
 use crate::workloads::{ordered, zipf_counts};
-use hindex_common::{h_index, AggregateEstimator, Epsilon, SpaceUsage};
+use hindex_common::{AggregateEstimator, Epsilon, Estimate, SpaceUsage, h_index};
 use hindex_core::{ExponentialHistogram, ShiftingWindow};
 use hindex_stream::StreamOrder;
 
@@ -20,8 +20,8 @@ fn run_one(values: &[u64], eps: f64) -> (u64, u64, usize, usize) {
     let mut hist = ExponentialHistogram::new(e);
     let mut win = ShiftingWindow::new(e);
     for &v in values {
-        hist.push(v);
-        win.push(v);
+        hist.ingest(v);
+        win.ingest(v);
     }
     (
         hist.estimate(),

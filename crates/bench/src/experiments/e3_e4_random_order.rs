@@ -9,7 +9,7 @@
 use crate::stats::{fraction, mean};
 use crate::table::{f3, Table};
 use crate::workloads::{ordered, planted_counts};
-use hindex_common::{AggregateEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{AggregateEstimator, Delta, Epsilon, Estimate, SpaceUsage};
 use hindex_core::{RandomOrderEstimator, RandomOrderParams};
 use hindex_stream::StreamOrder;
 

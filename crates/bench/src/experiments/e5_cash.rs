@@ -6,7 +6,7 @@
 
 use crate::stats::{fraction, mean};
 use crate::table::{f3, Table};
-use hindex_common::{CashRegisterEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{CashRegisterEstimator, Delta, Epsilon, Estimate, SpaceUsage};
 use hindex_core::{CashRegisterHIndex, CashRegisterParams};
 use hindex_stream::generator::planted_h_corpus;
 use hindex_stream::Unaggregator;
@@ -45,7 +45,7 @@ pub fn e5() {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xe5);
                 let mut est = CashRegisterHIndex::with_sampler_count(params, x, &mut rng);
                 for u in (Unaggregator { max_batch: 4, shuffle: true }).stream(&corpus, &mut rng) {
-                    est.update(u.paper.0, u.delta);
+                    est.ingest(u.paper.0, u.delta);
                 }
                 let got = est.estimate();
                 let err = (got as f64 - h as f64).abs();
@@ -82,7 +82,7 @@ pub fn e5() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xe55);
         let mut est = CashRegisterHIndex::new(params, &mut rng);
         for u in (Unaggregator { max_batch: 4, shuffle: true }).stream(&corpus, &mut rng) {
-            est.update(u.paper.0, u.delta);
+            est.ingest(u.paper.0, u.delta);
         }
         let got = est.estimate();
         let err = (got as f64 - h as f64).abs();

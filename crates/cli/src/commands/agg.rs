@@ -4,7 +4,7 @@ use crate::args::Parsed;
 use crate::io::read_counts;
 use hindex_baseline::FullStore;
 use hindex_common::{
-    AggregateEstimator, Delta, Epsilon, IncrementalHIndex, SpaceUsage,
+    AggregateEstimator, Delta, Epsilon, Estimate, IncrementalHIndex, SpaceUsage,
 };
 use hindex_core::{
     ExponentialHistogram, RandomOrderEstimator, RandomOrderParams, ShiftingWindow,

@@ -4,7 +4,7 @@
 use crate::args::Parsed;
 use crate::io::read_updates;
 use hindex_baseline::{CashTable, TurnstileTable};
-use hindex_common::{CashRegisterEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{CashRegisterEstimator, Delta, Epsilon, Estimate, SpaceUsage};
 use hindex_core::{CashRegisterHIndex, CashRegisterParams, TurnstileHIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +30,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
             let params = CashRegisterParams::Additive { epsilon: eps, delta };
             let mut est = CashRegisterHIndex::new(params, &mut rng);
             for &(p, d) in &updates {
-                est.update(p, d as u64);
+                est.ingest(p, d as u64);
             }
             (
                 format!("ℓ₀-sampling sketch (Alg 6, x = {})", est.num_samplers()),
@@ -52,7 +52,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
         ("exact", false) => {
             let mut est = CashTable::new();
             for &(p, d) in &updates {
-                est.update(p, d as u64);
+                est.ingest(p, d as u64);
             }
             ("exact table".into(), est.estimate(), est.space_words())
         }

@@ -4,16 +4,20 @@
 use crate::args::Parsed;
 use crate::io::read_updates;
 use hindex_baseline::CashTable;
-use hindex_common::{CashRegisterEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{ApproxKind, Delta, Epsilon, Guarantee};
 use hindex_core::{CashRegisterHIndex, CashRegisterParams};
-use hindex_engine::{EngineConfig, ShardedEngine};
+use hindex_engine::{EngineConfig, QueryReport, ShardedEngine};
+use hindex_obs::EngineObserver;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Read;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs the `engine` subcommand: partitions the update stream across
-/// worker shards, then answers from the merged shard states.
+/// worker shards, then answers from the merged shard states. With
+/// `--obs on`, an [`EngineObserver`] is attached and its metrics
+/// snapshot is appended to the report.
 ///
 /// # Errors
 ///
@@ -26,9 +30,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     let seed = parsed.u64_or("seed", 0)?;
     let shards = parsed.u64_or("shards", 4)? as usize;
     let batch = parsed.u64_or("batch", 1024)? as usize;
-    if shards == 0 || batch == 0 {
-        return Err("--shards and --batch must be at least 1".into());
-    }
+    let observe = matches!(parsed.str_or("obs", "off"), "on" | "true" | "1");
     let raw = read_updates(input)?;
     if raw.iter().any(|&(_, d)| d < 0) {
         return Err("engine ingests cash-register streams only (no negative deltas); \
@@ -36,35 +38,37 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
             .into());
     }
     let updates: Vec<(u64, u64)> = raw.iter().map(|&(p, d)| (p, d as u64)).collect();
-    let config = EngineConfig {
-        shards,
-        batch_size: batch,
-        ..EngineConfig::default()
-    };
+    let mut builder = EngineConfig::builder().shards(shards).batch(batch);
+    if observe {
+        builder = builder.observer(Arc::new(EngineObserver::new(shards)));
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
 
-    let (name, estimate, words, elapsed) = match algorithm {
+    let (name, report, elapsed) = match algorithm {
         "sketch" => {
             let params = CashRegisterParams::Additive { epsilon: eps, delta };
+            let contract = Guarantee::randomized(ApproxKind::Additive, eps, delta);
             let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
             let mut engine = ShardedEngine::new(config, prototype);
             let start = Instant::now();
-            engine.push_slice(&updates);
-            let merged = engine.finish().unwrap();
+            engine.ingest_batch(&updates);
+            let report = engine.report(Some(contract)).map_err(|e| e.to_string())?;
             let elapsed = start.elapsed();
+            let merged = engine.finish().map_err(|e| e.to_string())?;
             (
                 format!("sharded ℓ₀-sampling sketch (Alg 6, x = {})", merged.num_samplers()),
-                merged.estimate(),
-                merged.space_words(),
+                report,
                 elapsed,
             )
         }
         "exact" => {
             let mut engine = ShardedEngine::new(config, CashTable::new());
             let start = Instant::now();
-            engine.push_slice(&updates);
-            let merged = engine.finish().unwrap();
+            engine.ingest_batch(&updates);
+            let report = engine.report(None).map_err(|e| e.to_string())?;
             let elapsed = start.elapsed();
-            ("sharded exact table".into(), merged.estimate(), merged.space_words(), elapsed)
+            engine.finish().map_err(|e| e.to_string())?;
+            ("sharded exact table".into(), report, elapsed)
         }
         other => return Err(format!("unknown --algorithm `{other}` (sketch|exact)")),
     };
@@ -75,12 +79,42 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     } else {
         "inf".into()
     };
-    Ok(format!(
+    let mut out = format!(
         "algorithm : {name}\nupdates   : {}\nshards    : {shards} (batch {batch})\n\
-         h-index   : {estimate}\nspace     : {words} words (merged estimator)\n\
-         ingest    : {rate} updates/s\n",
+         h-index   : {}\nspace     : {} words (whole pipeline)\n\
+         contract  : {}\ndegraded  : {}\ningest    : {rate} updates/s\n",
         updates.len(),
-    ))
+        report.estimate,
+        report.space_words,
+        contract_line(&report),
+        if report.degraded.is_empty() {
+            "no".to_string()
+        } else {
+            format!("yes, dead shards {:?}", report.degraded)
+        },
+    );
+    if let Some(obs) = &report.obs {
+        out.push('\n');
+        out.push_str(&obs.render_text());
+    }
+    Ok(out)
+}
+
+/// Human-readable form of the report's approximation contract.
+fn contract_line(report: &QueryReport) -> String {
+    match &report.approx_contract {
+        None => "exact".to_string(),
+        Some(g) => {
+            let kind = match g.kind {
+                ApproxKind::Multiplicative => "multiplicative",
+                ApproxKind::Additive => "additive",
+            };
+            match g.delta {
+                Some(d) => format!("{kind} ε={} δ={}", g.epsilon.get(), d.get()),
+                None => format!("{kind} ε={} (deterministic)", g.epsilon.get()),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +132,8 @@ mod tests {
             )
             .unwrap();
             assert!(out.contains("h-index   : 3"), "shards {shards}: {out}");
+            assert!(out.contains("contract  : exact"), "{out}");
+            assert!(out.contains("degraded  : no"), "{out}");
         }
     }
 
@@ -111,6 +147,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("Alg 6"), "{out}");
         assert!(out.contains("shards    : 2"), "{out}");
+        assert!(out.contains("contract  : additive ε=0.3 δ=0.2"), "{out}");
         let h: u64 = out
             .lines()
             .find(|l| l.starts_with("h-index"))
@@ -121,35 +158,21 @@ mod tests {
     }
 
     #[test]
-    fn sharded_sketch_equals_unsharded_cash() {
-        // Same seed, same stream: the engine's merged estimate must be
-        // identical to `hindex cash`'s single-estimator answer.
-        let stream: String = (0..200u64).map(|k| format!("{} 1\n", k % 40)).collect();
-        let single = run_str(
-            &["cash", "--eps", "0.3", "--delta", "0.2", "--seed", "7"],
-            &stream,
-        )
-        .unwrap();
-        let sharded = run_str(
-            &["engine", "--eps", "0.3", "--delta", "0.2", "--seed", "7", "--shards", "4"],
-            &stream,
-        )
-        .unwrap();
-        let h = |out: &str| -> String {
-            out.lines().find(|l| l.starts_with("h-index")).unwrap().to_string()
-        };
-        assert_eq!(h(&single), h(&sharded), "single:\n{single}\nsharded:\n{sharded}");
-    }
-
-    #[test]
-    fn negative_deltas_rejected() {
-        let err = run_str(&["engine"], "1 5\n1 -2\n").unwrap_err();
-        assert!(err.contains("cash-register"), "{err}");
-    }
-
-    #[test]
-    fn zero_shards_rejected() {
+    fn zero_shards_rejected_by_builder() {
         let err = run_str(&["engine", "--shards", "0"], "1 1\n").unwrap_err();
-        assert!(err.contains("--shards"), "{err}");
+        assert!(err.contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn observed_engine_appends_metrics() {
+        let stream: String = (0..200u64).map(|k| format!("{} 1\n", k % 40)).collect();
+        let out = run_str(
+            &["engine", "--algorithm", "exact", "--shards", "2", "--batch", "16", "--obs", "on"],
+            &stream,
+        )
+        .unwrap();
+        assert!(out.contains("h-index   : "), "{out}");
+        assert!(out.contains("hindex_engine_items_total 200"), "{out}");
+        assert!(out.contains("hindex_engine_shard_items_total"), "{out}");
     }
 }

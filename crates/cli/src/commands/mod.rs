@@ -5,4 +5,5 @@ pub mod cash;
 pub mod engine;
 pub mod generate;
 pub mod hh;
+pub mod metrics;
 pub mod snapshot;

@@ -14,9 +14,11 @@ use hindex_common::snapshot::Snapshot;
 use hindex_common::{CashRegisterEstimator, Delta, Epsilon, Mergeable};
 use hindex_core::{CashRegisterHIndex, CashRegisterParams};
 use hindex_engine::{BatchIngest, EngineCheckpoint, EngineConfig, ShardedEngine};
+use hindex_obs::{EngineObserver, Stopwatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Read;
+use std::sync::Arc;
 
 /// Parses a non-negative cash-register update stream.
 fn read_stream(input: &mut dyn Read) -> Result<Vec<(u64, u64)>, String> {
@@ -42,9 +44,6 @@ pub fn run_snapshot(parsed: &Parsed, input: &mut dyn Read) -> Result<String, Str
     let seed = parsed.u64_or("seed", 0)?;
     let shards = parsed.u64_or("shards", 4)? as usize;
     let batch = parsed.u64_or("batch", 1024)? as usize;
-    if shards == 0 || batch == 0 {
-        return Err("--shards and --batch must be at least 1".into());
-    }
     let updates = read_stream(input)?;
     let cut = match parsed.u64_opt("cut")? {
         Some(c) => {
@@ -59,11 +58,13 @@ pub fn run_snapshot(parsed: &Parsed, input: &mut dyn Read) -> Result<String, Str
         }
         None => updates.len(),
     };
-    let config = EngineConfig {
-        shards,
-        batch_size: batch,
-        ..EngineConfig::default()
-    };
+    let observer = Arc::new(EngineObserver::new(shards));
+    let config = EngineConfig::builder()
+        .shards(shards)
+        .batch(batch)
+        .observer(Arc::clone(&observer))
+        .build()
+        .map_err(|e| e.to_string())?;
 
     let (bytes, offset) = match algorithm.as_str() {
         "sketch" => {
@@ -76,9 +77,11 @@ pub fn run_snapshot(parsed: &Parsed, input: &mut dyn Read) -> Result<String, Str
     };
     let len = bytes.len();
     std::fs::write(&out_path, bytes).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    let encode_ns = observer.snapshot().snapshot_ns.mean_ns;
     Ok(format!(
         "algorithm : {algorithm}\ningested  : {cut} of {} updates\n\
-         offset    : {offset}\ncheckpoint: {out_path} ({len} bytes)\n",
+         offset    : {offset}\ncheckpoint: {out_path} ({len} bytes)\n\
+         encode    : {encode_ns} ns\n",
         updates.len(),
     ))
 }
@@ -93,13 +96,19 @@ fn checkpoint_bytes<E>(
 where
     E: BatchIngest<(u64, u64)> + Clone + Mergeable + Snapshot + Send + 'static,
 {
+    let observer = config.observer().cloned();
     let mut engine = ShardedEngine::new(config, prototype);
-    engine.push_slice(prefix);
+    engine.ingest_batch(prefix);
     let checkpoint = engine.checkpoint().map_err(|e| e.to_string())?;
     let offset = checkpoint.stream_offset();
     // Retire the workers cleanly; the checkpoint already owns the state.
     engine.finish().map_err(|e| e.to_string())?;
-    Ok((checkpoint.to_bytes(), offset))
+    let sw = Stopwatch::start();
+    let bytes = checkpoint.to_bytes();
+    if let Some(o) = &observer {
+        o.on_snapshot_encode(offset, bytes.len() as u64, sw.elapsed_nanos());
+    }
+    Ok((bytes, offset))
 }
 
 /// Runs the `restore` subcommand: decode `--in`, respawn the engine,
@@ -137,8 +146,10 @@ fn restore_and_replay<E>(
 where
     E: BatchIngest<(u64, u64)> + CashRegisterEstimator + Clone + Mergeable + Snapshot + Send + 'static,
 {
+    let sw = Stopwatch::start();
     let (checkpoint, _) = EngineCheckpoint::<E>::read_from(bytes)
         .map_err(|e| format!("corrupt checkpoint: {e}"))?;
+    let decode_ns = sw.elapsed_nanos();
     let offset = checkpoint.stream_offset();
     let skip = usize::try_from(offset).map_err(|_| "checkpoint offset overflows usize")?;
     if skip > updates.len() {
@@ -149,9 +160,13 @@ where
         ));
     }
     let shards = checkpoint.config().shards;
-    let mut engine = ShardedEngine::restore(checkpoint);
+    // Observers are never serialised; re-attach a fresh one so the
+    // decode timing and the replay both land in instrumented state.
+    let observer = Arc::new(EngineObserver::new(shards));
+    observer.on_snapshot_decode(offset, bytes.len() as u64, decode_ns);
+    let mut engine = ShardedEngine::restore(checkpoint.with_observer(observer));
     let suffix = &updates[skip..];
-    engine.push_slice(suffix);
+    engine.ingest_batch(suffix);
     let merged = engine.finish().map_err(|e| e.to_string())?;
     Ok((merged.estimate(), offset, suffix.len(), shards))
 }

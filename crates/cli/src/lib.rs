@@ -3,7 +3,8 @@
 //! ```text
 //! hindex agg   [--eps 0.1] [--algorithm window|histogram|random|heap|store] [--n N] < counts.txt
 //! hindex cash  [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
-//! hindex engine [--shards 4] [--batch 1024] [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
+//! hindex engine [--shards 4] [--batch 1024] [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] [--obs on] < updates.txt
+//! hindex metrics [--shards 4] [--batch 64] [--n 10000] [--trace K] [< updates.txt]
 //! hindex hh    [--eps 0.2] [--delta 0.1] [--seed S] [--threshold T] < papers.txt
 //! hindex snapshot --out ckpt.bin [--cut K] [engine flags] < updates.txt
 //! hindex restore  --in ckpt.bin [--algorithm sketch|exact] < updates.txt
@@ -44,6 +45,7 @@ pub fn run(argv: &[String], input: &mut dyn Read) -> Result<String, String> {
         "cash" => commands::cash::run(&parsed, input),
         "engine" => commands::engine::run(&parsed, input),
         "hh" => commands::hh::run(&parsed, input),
+        "metrics" => commands::metrics::run(&parsed, input),
         "snapshot" => commands::snapshot::run_snapshot(&parsed, input),
         "restore" => commands::snapshot::run_restore(&parsed, input),
         "gen" => commands::generate::run(&parsed),
@@ -64,7 +66,10 @@ pub fn usage() -> &'static str {
               --eps E (0.2)  --delta D (0.1)  --algorithm sketch|exact (sketch)  --seed S (0)\n\
        engine sharded parallel ingestion of a cash-register stream\n\
               --shards S (4)  --batch B (1024)  --eps E (0.2)  --delta D (0.1)\n\
-              --algorithm sketch|exact (sketch)  --seed S (0)\n\
+              --algorithm sketch|exact (sketch)  --seed S (0)  --obs on|off (off)\n\
+       metrics run an instrumented engine, print Prometheus-style metrics\n\
+              --shards S (4)  --batch B (64)  --n N (10000, when stdin is empty)\n\
+              --trace K (0: append the last K trace events)\n\
        hh     find heavy hitters in H-index (`paper authors citations` lines)\n\
               --eps E (0.2)  --delta D (0.1)  --seed S (0)  --threshold T (auto)\n\
        snapshot  ingest a prefix of a cash-register stream, write a checkpoint\n\

@@ -178,13 +178,15 @@ impl SpaceUsage for IncrementalHIndex {
     }
 }
 
-impl crate::traits::AggregateEstimator for IncrementalHIndex {
-    fn push(&mut self, value: u64) {
-        self.insert(value);
-    }
-
+impl crate::traits::Estimate for IncrementalHIndex {
     fn estimate(&self) -> u64 {
         self.h_index()
+    }
+}
+
+impl crate::traits::AggregateEstimator for IncrementalHIndex {
+    fn ingest(&mut self, value: u64) {
+        self.insert(value);
     }
 }
 

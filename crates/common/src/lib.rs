@@ -38,6 +38,6 @@ pub use hindex::{h_index, h_index_sorted_desc, h_support, IncrementalHIndex};
 pub use params::{Delta, Epsilon};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use traits::{
-    AggregateEstimator, CashRegisterEstimator, EstimatorParams, Mergeable, SpaceUsage,
+    AggregateEstimator, CashRegisterEstimator, Estimate, EstimatorParams, Mergeable, SpaceUsage,
     TurnstileEstimator,
 };

@@ -13,14 +13,31 @@
 //! so experiments can compare measured space against the theorem bounds
 //! directly rather than against allocator noise.
 //!
+//! # The unified ingest verb
+//!
+//! Every estimator consumes its stream through **`ingest`** (one item)
+//! and **`ingest_batch`** (a slice), whatever the input model:
+//!
+//! | trait                     | `ingest` signature          |
+//! |---------------------------|-----------------------------|
+//! | [`AggregateEstimator`]    | `ingest(value)`             |
+//! | [`CashRegisterEstimator`] | `ingest(index, delta: u64)` |
+//! | [`TurnstileEstimator`]    | `ingest(index, delta: i64)` |
+//!
+//! and every estimator answers through [`Estimate::estimate`], the one
+//! query verb shared by all three traits (their supertrait). The
+//! historical verbs (`push`/`update`/`push_batch`/`update_batch`)
+//! survive one release as `#[deprecated]` default methods delegating to
+//! the new names; in-repo code must use the `ingest` spelling (enforced
+//! by analysis lint L8, see `docs/ANALYSIS.md`).
+//!
 //! Two additions support the sharded ingestion engine
 //! (`hindex-engine`):
 //!
-//! * batched ingestion ([`AggregateEstimator::push_batch`],
-//!   [`CashRegisterEstimator::update_batch`]) — default implementations
-//!   loop over the single-item methods, and estimators override them
-//!   where a batch admits a faster path (e.g. coalescing duplicate
-//!   indices before touching every sampler);
+//! * batched ingestion (`ingest_batch`) — default implementations loop
+//!   over the single-item methods, and estimators override them where a
+//!   batch admits a faster path (e.g. coalescing duplicate indices
+//!   before touching every sampler);
 //! * [`Mergeable`], the contract that two independently-fed estimators
 //!   built from **identical randomness** can be combined into the
 //!   estimator of the concatenated stream. Every linear sketch in the
@@ -33,23 +50,44 @@
 
 use rand::Rng;
 
+/// The one query verb every estimator answers: the current estimate of
+/// the quantity it tracks (H-index, g-index, window count, …).
+///
+/// Supertrait of all three ingestion traits, so generic plumbing — the
+/// sharded engine's [`QueryReport`-style](crate) boundaries in
+/// particular — can ask any estimator for its answer without knowing
+/// the input model.
+pub trait Estimate {
+    /// Current estimate over everything ingested so far.
+    fn estimate(&self) -> u64;
+}
+
 /// Streaming estimator over the aggregate model: one finished total per
 /// publication.
-pub trait AggregateEstimator {
+pub trait AggregateEstimator: Estimate {
     /// Feeds one aggregate value (e.g. the final citation count of one
     /// paper).
-    fn push(&mut self, value: u64);
-
-    /// Current estimate of the H-index of everything pushed so far.
-    fn estimate(&self) -> u64;
+    fn ingest(&mut self, value: u64);
 
     /// Feeds a batch of aggregate values. Semantically identical to
-    /// pushing each value in order; implementations may override for a
-    /// faster batch path.
-    fn push_batch(&mut self, values: &[u64]) {
+    /// ingesting each value in order; implementations may override for
+    /// a faster batch path.
+    fn ingest_batch(&mut self, values: &[u64]) {
         for &v in values {
-            self.push(v);
+            self.ingest(v);
         }
+    }
+
+    /// Deprecated spelling of [`AggregateEstimator::ingest`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
+    fn push(&mut self, value: u64) {
+        self.ingest(value);
+    }
+
+    /// Deprecated spelling of [`AggregateEstimator::ingest_batch`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
+    fn push_batch(&mut self, values: &[u64]) {
+        self.ingest_batch(values);
     }
 
     /// Convenience: consume an iterator of values.
@@ -58,28 +96,37 @@ pub trait AggregateEstimator {
         Self: Sized,
     {
         for v in values {
-            self.push(v);
+            self.ingest(v);
         }
     }
 }
 
 /// Streaming estimator over the cash-register model: updates `(index,
 /// delta)` to an underlying vector, `delta ≥ 1`.
-pub trait CashRegisterEstimator {
+pub trait CashRegisterEstimator: Estimate {
     /// Applies the update `V[index] += delta`.
-    fn update(&mut self, index: u64, delta: u64);
-
-    /// Current estimate of `h*(V)`.
-    fn estimate(&self) -> u64;
+    fn ingest(&mut self, index: u64, delta: u64);
 
     /// Applies a batch of updates. Semantically identical to applying
     /// each update in order; implementations may override for a faster
     /// batch path (cash-register state is order-insensitive, so
     /// overrides are free to coalesce duplicate indices).
-    fn update_batch(&mut self, updates: &[(u64, u64)]) {
+    fn ingest_batch(&mut self, updates: &[(u64, u64)]) {
         for &(i, z) in updates {
-            self.update(i, z);
+            self.ingest(i, z);
         }
+    }
+
+    /// Deprecated spelling of [`CashRegisterEstimator::ingest`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
+    fn update(&mut self, index: u64, delta: u64) {
+        self.ingest(index, delta);
+    }
+
+    /// Deprecated spelling of [`CashRegisterEstimator::ingest_batch`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
+    fn update_batch(&mut self, updates: &[(u64, u64)]) {
+        self.ingest_batch(updates);
     }
 }
 
@@ -90,22 +137,31 @@ pub trait CashRegisterEstimator {
 /// own trait (rather than a widening of that one) because the paper's
 /// cash-register algorithms are *not* deletion-tolerant — the type
 /// system should refuse to route a stream with retractions into them.
-pub trait TurnstileEstimator {
+pub trait TurnstileEstimator: Estimate {
     /// Applies the update `V[index] += delta` (`delta` may be
     /// negative).
-    fn update(&mut self, index: u64, delta: i64);
-
-    /// Current estimate.
-    fn estimate(&self) -> u64;
+    fn ingest(&mut self, index: u64, delta: i64);
 
     /// Applies a batch of updates. Semantically identical to applying
     /// each update in order; linear-sketch implementations override
     /// with coalescing/batched-kernel paths that stay state-identical
     /// (exact cancellation makes the state order-insensitive).
-    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+    fn ingest_batch(&mut self, updates: &[(u64, i64)]) {
         for &(i, d) in updates {
-            self.update(i, d);
+            self.ingest(i, d);
         }
+    }
+
+    /// Deprecated spelling of [`TurnstileEstimator::ingest`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
+    fn update(&mut self, index: u64, delta: i64) {
+        self.ingest(index, delta);
+    }
+
+    /// Deprecated spelling of [`TurnstileEstimator::ingest_batch`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
+    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+        self.ingest_batch(updates);
     }
 }
 
@@ -181,14 +237,17 @@ mod tests {
         count: u64,
     }
 
+    impl Estimate for CountAtLeast {
+        fn estimate(&self) -> u64 {
+            self.count
+        }
+    }
+
     impl AggregateEstimator for CountAtLeast {
-        fn push(&mut self, value: u64) {
+        fn ingest(&mut self, value: u64) {
             if value >= self.bar {
                 self.count += 1;
             }
-        }
-        fn estimate(&self) -> u64 {
-            self.count
         }
     }
 
@@ -200,39 +259,91 @@ mod tests {
     }
 
     #[test]
-    fn push_batch_default_matches_push_loop() {
+    fn ingest_batch_default_matches_ingest_loop() {
         let mut batched = CountAtLeast { bar: 3, count: 0 };
         let mut looped = CountAtLeast { bar: 3, count: 0 };
         let values = [1u64, 3, 5, 2, 9, 3];
-        batched.push_batch(&values);
+        batched.ingest_batch(&values);
         for &v in &values {
-            looped.push(v);
+            looped.ingest(v);
         }
         assert_eq!(batched.estimate(), looped.estimate());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aggregate_shims_delegate() {
+        let mut shimmed = CountAtLeast { bar: 3, count: 0 };
+        shimmed.push(5);
+        shimmed.push_batch(&[1, 9]);
+        assert_eq!(shimmed.estimate(), 2);
     }
 
     struct SumRegister {
         total: u64,
     }
 
-    impl CashRegisterEstimator for SumRegister {
-        fn update(&mut self, _index: u64, delta: u64) {
-            self.total += delta;
-        }
+    impl Estimate for SumRegister {
         fn estimate(&self) -> u64 {
             self.total
         }
     }
 
+    impl CashRegisterEstimator for SumRegister {
+        fn ingest(&mut self, _index: u64, delta: u64) {
+            self.total += delta;
+        }
+    }
+
     #[test]
-    fn update_batch_default_matches_update_loop() {
+    fn ingest_batch_default_matches_update_loop() {
         let mut batched = SumRegister { total: 0 };
         let mut looped = SumRegister { total: 0 };
         let updates = [(1u64, 2u64), (7, 1), (1, 3)];
-        batched.update_batch(&updates);
+        batched.ingest_batch(&updates);
         for &(i, z) in &updates {
-            looped.update(i, z);
+            looped.ingest(i, z);
         }
         assert_eq!(batched.estimate(), looped.estimate());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_cash_register_shims_delegate() {
+        let mut shimmed = SumRegister { total: 0 };
+        shimmed.update(1, 2);
+        shimmed.update_batch(&[(2, 3), (3, 4)]);
+        assert_eq!(shimmed.estimate(), 9);
+    }
+
+    /// The turnstile shims get the same treatment; a tiny signed
+    /// accumulator exercises them.
+    struct SignedSum {
+        total: i64,
+    }
+
+    impl Estimate for SignedSum {
+        fn estimate(&self) -> u64 {
+            self.total.max(0) as u64
+        }
+    }
+
+    impl TurnstileEstimator for SignedSum {
+        fn ingest(&mut self, _index: u64, delta: i64) {
+            self.total += delta;
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_turnstile_shims_delegate() {
+        let mut shimmed = SignedSum { total: 0 };
+        shimmed.update(1, 5);
+        shimmed.update_batch(&[(2, 3), (3, -4)]);
+        assert_eq!(shimmed.estimate(), 4);
+        let mut fresh = SignedSum { total: 0 };
+        fresh.ingest(1, 5);
+        fresh.ingest_batch(&[(2, 3), (3, -4)]);
+        assert_eq!(fresh.estimate(), shimmed.estimate());
     }
 }

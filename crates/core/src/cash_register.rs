@@ -28,7 +28,8 @@
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
-    CashRegisterEstimator, Delta, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage,
+    CashRegisterEstimator, Delta, Epsilon, Estimate, EstimatorParams, ExpGrid, Mergeable,
+    SpaceUsage,
 };
 use hindex_sketch::distinct::DistinctCounter;
 use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
@@ -299,8 +300,38 @@ impl EstimatorParams for CashRegisterParams {
     }
 }
 
+impl Estimate for CashRegisterHIndex {
+    fn estimate(&self) -> u64 {
+        let samples = self.draw_samples();
+        if samples.is_empty() {
+            return 0;
+        }
+        let x = samples.len() as f64;
+        let y = self.distinct.estimate() as f64;
+        let eps = self.params.epsilon().get();
+        // Scan levels from 0 while thresholds stay below the largest
+        // conceivable count; track the best qualifying threshold.
+        let max_count = samples.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        let mut best = 0u64;
+        let mut level = 0u32;
+        loop {
+            let t_int = self.grid.int_threshold(level);
+            if t_int > max_count {
+                break;
+            }
+            let hits = samples.iter().filter(|&&(_, v)| v >= t_int).count() as f64;
+            let r = hits * y / x;
+            if r >= self.grid.threshold(level) * (1.0 - eps) {
+                best = t_int;
+            }
+            level += 1;
+        }
+        best
+    }
+}
+
 impl CashRegisterEstimator for CashRegisterHIndex {
-    fn update(&mut self, index: u64, delta: u64) {
+    fn ingest(&mut self, index: u64, delta: u64) {
         if delta == 0 {
             return;
         }
@@ -321,7 +352,7 @@ impl CashRegisterEstimator for CashRegisterHIndex {
     /// hot papers heavily; collapsing them means each of the `x`
     /// samplers is touched once per *distinct* index instead of once
     /// per update.
-    fn update_batch(&mut self, updates: &[(u64, u64)]) {
+    fn ingest_batch(&mut self, updates: &[(u64, u64)]) {
         // `max_seen` tracks the largest *single-update* delta, so take
         // it from the raw deltas before coalescing sums them.
         for &(_, z) in updates {
@@ -352,34 +383,6 @@ impl CashRegisterEstimator for CashRegisterHIndex {
         for &(i, _) in &coalesced {
             self.distinct.observe(i);
         }
-    }
-
-    fn estimate(&self) -> u64 {
-        let samples = self.draw_samples();
-        if samples.is_empty() {
-            return 0;
-        }
-        let x = samples.len() as f64;
-        let y = self.distinct.estimate() as f64;
-        let eps = self.params.epsilon().get();
-        // Scan levels from 0 while thresholds stay below the largest
-        // conceivable count; track the best qualifying threshold.
-        let max_count = samples.iter().map(|&(_, v)| v).max().unwrap_or(0);
-        let mut best = 0u64;
-        let mut level = 0u32;
-        loop {
-            let t_int = self.grid.int_threshold(level);
-            if t_int > max_count {
-                break;
-            }
-            let hits = samples.iter().filter(|&&(_, v)| v >= t_int).count() as f64;
-            let r = hits * y / x;
-            if r >= self.grid.threshold(level) * (1.0 - eps) {
-                best = t_int;
-            }
-            level += 1;
-        }
-        best
     }
 }
 
@@ -416,7 +419,7 @@ mod tests {
         let mut est = CashRegisterHIndex::new(params, &mut rng);
         let updates = Unaggregator { max_batch: 3, shuffle: true }.stream(corpus, &mut rng);
         for u in &updates {
-            est.update(u.paper.0, u.delta);
+            est.ingest(u.paper.0, u.delta);
         }
         est
     }
@@ -513,7 +516,7 @@ mod tests {
         // 30 papers × 30 unit updates each, interleaved: h* = 30.
         for round in 0..30 {
             for paper in 0..30u64 {
-                est.update(paper, 1);
+                est.ingest(paper, 1);
                 let _ = round;
             }
         }
@@ -530,7 +533,7 @@ mod tests {
         let mut est = CashRegisterHIndex::new(additive(0.3, 0.3), &mut rng);
         for paper in 0..20u64 {
             for _ in 0..=paper {
-                est.update(paper, 1);
+                est.ingest(paper, 1);
             }
         }
         for (paper, value) in est.draw_samples() {
@@ -545,9 +548,9 @@ mod tests {
         let mut batched = proto.clone();
         let mut looped = proto;
         let updates: Vec<(u64, u64)> = (0..5_000u64).map(|k| (k % 70, 1 + k % 3)).collect();
-        batched.update_batch(&updates);
+        batched.ingest_batch(&updates);
         for &(i, z) in &updates {
-            looped.update(i, z);
+            looped.ingest(i, z);
         }
         assert_eq!(batched.estimate(), looped.estimate());
         assert_eq!(batched.draw_samples(), looped.draw_samples());

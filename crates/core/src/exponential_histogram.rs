@@ -18,7 +18,9 @@
 //!   `n` in advance while counting exactly the same quantities.
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
-use hindex_common::{AggregateEstimator, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage};
+use hindex_common::{
+    AggregateEstimator, Epsilon, Estimate, EstimatorParams, ExpGrid, Mergeable, SpaceUsage,
+};
 use rand::Rng;
 
 /// Parameters for [`ExponentialHistogram`], usable with
@@ -43,12 +45,12 @@ impl EstimatorParams for ExponentialHistogramParams {
 /// streams (Algorithm 1).
 ///
 /// ```
-/// use hindex_common::{AggregateEstimator, Epsilon};
+/// use hindex_common::{AggregateEstimator, Epsilon, Estimate};
 /// use hindex_core::ExponentialHistogram;
 ///
 /// let mut est = ExponentialHistogram::new(Epsilon::new(0.1).unwrap());
 /// for citations in [10u64, 8, 5, 4, 3] {
-///     est.push(citations);
+///     est.ingest(citations);
 /// }
 /// let h = est.estimate(); // true h-index is 4
 /// assert!(h <= 4 && h >= 3);
@@ -172,20 +174,7 @@ impl Snapshot for ExponentialHistogram {
     }
 }
 
-impl AggregateEstimator for ExponentialHistogram {
-    fn push(&mut self, value: u64) {
-        let Some(level) = self.grid.level_of(value) else {
-            return; // zero clears no threshold
-        };
-        let level = level as usize;
-        if level >= self.buckets.len() {
-            self.buckets.resize(level + 1, 0);
-        }
-        self.buckets[level] += 1;
-        #[cfg(feature = "debug_invariants")]
-        self.assert_buckets_consistent();
-    }
-
+impl Estimate for ExponentialHistogram {
     fn estimate(&self) -> u64 {
         // Scan levels from the top; the first (highest) level whose
         // suffix count reaches its integer threshold wins.
@@ -198,6 +187,21 @@ impl AggregateEstimator for ExponentialHistogram {
             }
         }
         0
+    }
+}
+
+impl AggregateEstimator for ExponentialHistogram {
+    fn ingest(&mut self, value: u64) {
+        let Some(level) = self.grid.level_of(value) else {
+            return; // zero clears no threshold
+        };
+        let level = level as usize;
+        if level >= self.buckets.len() {
+            self.buckets.resize(level + 1, 0);
+        }
+        self.buckets[level] += 1;
+        #[cfg(feature = "debug_invariants")]
+        self.assert_buckets_consistent();
     }
 }
 
@@ -285,7 +289,7 @@ mod tests {
     fn space_is_logarithmic_in_max_value() {
         let mut est = ExponentialHistogram::new(eps(0.1));
         for v in [1u64, 10, 100, 1_000_000] {
-            est.push(v);
+            est.ingest(v);
         }
         // levels ≈ log_{1.1}(1e6) ≈ 145.
         let words = est.space_words();
@@ -300,7 +304,7 @@ mod tests {
             let mut est = ExponentialHistogram::new(eps(e));
             let mut rng = StdRng::seed_from_u64(7);
             for _ in 0..n {
-                est.push(rng.random_range(0..=n));
+                est.ingest(rng.random_range(0..=n));
             }
             let bound = (2.0 / e) * (n as f64 + 1.0).ln() + 1.0;
             assert!(
@@ -333,7 +337,7 @@ mod tests {
             let mut est = ExponentialHistogram::new(eps(0.2));
             let mut prev = 0;
             for &v in &values {
-                est.push(v);
+                est.ingest(v);
                 let now = est.estimate();
                 proptest::prop_assert!(now >= prev, "estimate decreased");
                 prev = now;

@@ -15,7 +15,7 @@
 //!   (`α = 1` recovers the H-index exactly).
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer};
-use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, Mergeable, SpaceUsage};
+use hindex_common::{AggregateEstimator, Epsilon, Estimate, ExpGrid, Mergeable, SpaceUsage};
 
 /// Streaming `(1−O(ε))` g-index estimator over aggregate streams.
 #[derive(Debug, Clone)]
@@ -147,21 +147,7 @@ impl Snapshot for StreamingGIndex {
     }
 }
 
-impl AggregateEstimator for StreamingGIndex {
-    fn push(&mut self, value: u64) {
-        self.n_seen += 1;
-        let Some(level) = self.grid.level_of(value) else {
-            return;
-        };
-        let level = level as usize;
-        if level >= self.counts.len() {
-            self.counts.resize(level + 1, 0);
-            self.sums.resize(level + 1, 0);
-        }
-        self.counts[level] += 1;
-        self.sums[level] += u128::from(value);
-    }
-
+impl Estimate for StreamingGIndex {
     /// Estimates the g-index: the largest grid value `k` whose
     /// (under-approximated) top-k sum reaches `k²`. The result is
     /// `≤ g` and `≥ (1−O(ε))·g`.
@@ -182,6 +168,22 @@ impl AggregateEstimator for StreamingGIndex {
             level += 1;
         }
         best
+    }
+}
+
+impl AggregateEstimator for StreamingGIndex {
+    fn ingest(&mut self, value: u64) {
+        self.n_seen += 1;
+        let Some(level) = self.grid.level_of(value) else {
+            return;
+        };
+        let level = level as usize;
+        if level >= self.counts.len() {
+            self.counts.resize(level + 1, 0);
+            self.sums.resize(level + 1, 0);
+        }
+        self.counts[level] += 1;
+        self.sums[level] += u128::from(value);
     }
 }
 
@@ -263,18 +265,7 @@ impl StreamingAlphaIndex {
     }
 }
 
-impl AggregateEstimator for StreamingAlphaIndex {
-    fn push(&mut self, value: u64) {
-        let Some(level) = self.alpha_level_of(value) else {
-            return;
-        };
-        let level = level as usize;
-        if level >= self.buckets.len() {
-            self.buckets.resize(level + 1, 0);
-        }
-        self.buckets[level] += 1;
-    }
-
+impl Estimate for StreamingAlphaIndex {
     fn estimate(&self) -> u64 {
         let mut suffix = 0u64;
         for (level, &b) in self.buckets.iter().enumerate().rev() {
@@ -285,6 +276,19 @@ impl AggregateEstimator for StreamingAlphaIndex {
             }
         }
         0
+    }
+}
+
+impl AggregateEstimator for StreamingAlphaIndex {
+    fn ingest(&mut self, value: u64) {
+        let Some(level) = self.alpha_level_of(value) else {
+            return;
+        };
+        let level = level as usize;
+        if level >= self.buckets.len() {
+            self.buckets.resize(level + 1, 0);
+        }
+        self.buckets[level] += 1;
     }
 }
 
@@ -396,7 +400,7 @@ mod tests {
     fn g_space_logarithmic() {
         let mut est = StreamingGIndex::new(eps(0.1));
         for v in [1u64, 1000, 1_000_000] {
-            est.push(v);
+            est.ingest(v);
         }
         assert!(est.space_words() < 500);
     }

@@ -30,7 +30,7 @@
 //! experiment E3 measures how much smaller β can go in practice.
 
 use crate::shifting_window::ShiftingWindow;
-use hindex_common::{AggregateEstimator, Delta, Epsilon, SpaceUsage};
+use hindex_common::{AggregateEstimator, Delta, Epsilon, Estimate, SpaceUsage};
 
 /// Configuration for [`RandomOrderEstimator`].
 #[derive(Debug, Clone, Copy)]
@@ -157,9 +157,15 @@ impl RandomOrderEstimator {
     }
 }
 
+impl Estimate for RandomOrderEstimator {
+    fn estimate(&self) -> u64 {
+        self.accepted.max(self.small.estimate())
+    }
+}
+
 impl AggregateEstimator for RandomOrderEstimator {
-    fn push(&mut self, value: u64) {
-        self.small.push(value);
+    fn ingest(&mut self, value: u64) {
+        self.small.ingest(value);
         if !self.active {
             return;
         }
@@ -191,10 +197,6 @@ impl AggregateEstimator for RandomOrderEstimator {
                 self.active = false;
             }
         }
-    }
-
-    fn estimate(&self) -> u64 {
-        self.accepted.max(self.small.estimate())
     }
 }
 

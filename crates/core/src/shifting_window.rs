@@ -29,14 +29,14 @@
 //!
 //! Space: `r + 2` words, independent of `n` — the point of Theorem 6.
 
-use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{AggregateEstimator, Epsilon, Estimate, ExpGrid, SpaceUsage};
 use std::collections::VecDeque;
 
 /// Deterministic `(1−ε)`-approximate streaming H-index in
 /// `O(ε⁻¹ log ε⁻¹)` words (Algorithm 2).
 ///
 /// ```
-/// use hindex_common::{AggregateEstimator, Epsilon, SpaceUsage};
+/// use hindex_common::{AggregateEstimator, Epsilon, Estimate, SpaceUsage};
 /// use hindex_core::ShiftingWindow;
 ///
 /// let mut est = ShiftingWindow::new(Epsilon::new(0.1).unwrap());
@@ -135,8 +135,23 @@ impl ShiftingWindow {
     }
 }
 
+impl Estimate for ShiftingWindow {
+    fn estimate(&self) -> u64 {
+        let slack = 1.0 - self.eps_inner;
+        for idx in (0..self.counters.len()).rev() {
+            let level = self.lo + idx as u32;
+            let t = self.grid.threshold(level);
+            let bar = slack * t;
+            if self.counters[idx] as f64 >= bar {
+                return bar.ceil() as u64;
+            }
+        }
+        0
+    }
+}
+
 impl AggregateEstimator for ShiftingWindow {
-    fn push(&mut self, value: u64) {
+    fn ingest(&mut self, value: u64) {
         if self.saturated {
             return;
         }
@@ -151,19 +166,6 @@ impl AggregateEstimator for ShiftingWindow {
             self.counters[j] += 1;
         }
         self.shift_if_due();
-    }
-
-    fn estimate(&self) -> u64 {
-        let slack = 1.0 - self.eps_inner;
-        for idx in (0..self.counters.len()).rev() {
-            let level = self.lo + idx as u32;
-            let t = self.grid.threshold(level);
-            let bar = slack * t;
-            if self.counters[idx] as f64 >= bar {
-                return bar.ceil() as u64;
-            }
-        }
-        0
     }
 }
 
@@ -246,7 +248,7 @@ mod tests {
         let before = est.space_words();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100_000 {
-            est.push(rng.random_range(0..1_000_000));
+            est.ingest(rng.random_range(0..1_000_000));
         }
         assert_eq!(est.space_words(), before, "window grew");
     }
@@ -287,7 +289,7 @@ mod tests {
     fn cap_freezes_at_beta() {
         let mut est = ShiftingWindow::with_cap(eps(0.2), 50);
         for _ in 0..10_000u64 {
-            est.push(1_000_000);
+            est.ingest(1_000_000);
         }
         assert!(est.is_saturated());
         // Saturation implies the true h exceeded the cap region; the
@@ -299,7 +301,7 @@ mod tests {
     fn uncapped_never_saturates() {
         let mut est = ShiftingWindow::new(eps(0.2));
         for _ in 0..10_000u64 {
-            est.push(1_000_000);
+            est.ingest(1_000_000);
         }
         assert!(!est.is_saturated());
     }

@@ -15,7 +15,7 @@
 //! `(1−ε)(1−ε_w)·h_W ≲ ĥ ≲ (1+ε_w)·h_W` — in
 //! `O(ε⁻¹ ε_w⁻¹ log n log² W)` bits.
 
-use hindex_common::{AggregateEstimator, Epsilon, ExpGrid, SpaceUsage};
+use hindex_common::{AggregateEstimator, Epsilon, Estimate, ExpGrid, SpaceUsage};
 use hindex_sketch::Dgim;
 
 /// Approximate H-index of the most recent `W` stream elements.
@@ -65,8 +65,23 @@ impl SlidingHIndex {
     }
 }
 
+impl Estimate for SlidingHIndex {
+    /// Largest grid threshold whose (slack-adjusted) recent count
+    /// reaches it.
+    fn estimate(&self) -> u64 {
+        let slack = 1.0 - self.eps_window;
+        for (i, c) in self.counters.iter().enumerate().rev() {
+            let t = self.grid.threshold(i as u32);
+            if c.count() as f64 >= slack * t {
+                return (slack * t).ceil() as u64;
+            }
+        }
+        0
+    }
+}
+
 impl AggregateEstimator for SlidingHIndex {
-    fn push(&mut self, value: u64) {
+    fn ingest(&mut self, value: u64) {
         self.time += 1;
         let level = self.grid.level_of(value);
         // Extend to cover this value's level (new counters start at the
@@ -81,19 +96,6 @@ impl AggregateEstimator for SlidingHIndex {
         for (i, c) in self.counters.iter_mut().enumerate() {
             c.push(level.is_some_and(|l| l as usize >= i));
         }
-    }
-
-    /// Largest grid threshold whose (slack-adjusted) recent count
-    /// reaches it.
-    fn estimate(&self) -> u64 {
-        let slack = 1.0 - self.eps_window;
-        for (i, c) in self.counters.iter().enumerate().rev() {
-            let t = self.grid.threshold(i as u32);
-            if c.count() as f64 >= slack * t {
-                return (slack * t).ceil() as u64;
-            }
-        }
-        0
     }
 }
 
@@ -162,12 +164,12 @@ mod tests {
         let w = 200u64;
         let mut est = SlidingHIndex::new(eps(0.2), w, 0.1);
         for _ in 0..150 {
-            est.push(1_000);
+            est.ingest(1_000);
         }
         let peak = est.estimate();
         assert!(peak >= 100, "peak {peak}");
         for _ in 0..400 {
-            est.push(0);
+            est.ingest(0);
         }
         let decayed = est.estimate();
         assert_eq!(decayed, 0, "old impact did not expire");
@@ -185,7 +187,7 @@ mod tests {
         let mut worst_over = 0.0f64;
         for step in 0..3000 {
             let v = rng.random_range(0..400u64);
-            est.push(v);
+            est.ingest(v);
             exact.push(v);
             if step > 300 {
                 let truth = exact.h() as f64;
@@ -210,12 +212,12 @@ mod tests {
         let mut est = SlidingHIndex::new(eps(0.2), w, 0.05);
         let mut exact = Exact::new(w as usize);
         for _ in 0..1000 {
-            est.push(800);
+            est.ingest(800);
             exact.push(800);
         }
         assert!(est.estimate() as f64 >= 0.7 * exact.h() as f64);
         for _ in 0..1000 {
-            est.push(20);
+            est.ingest(20);
             exact.push(20);
         }
         let truth = exact.h(); // now 20
@@ -233,7 +235,7 @@ mod tests {
         let mut est = SlidingHIndex::new(eps(0.2), 1 << 14, 0.1);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..(1 << 15) {
-            est.push(rng.random_range(0..1_000_000));
+            est.ingest(rng.random_range(0..1_000_000));
         }
         // levels ≈ 76 at ε = 0.2 up to 1e6; each DGIM is O(k log W)
         // buckets ≈ 100 words.
@@ -259,7 +261,7 @@ mod tests {
             let mut est = SlidingHIndex::new(eps(e_grid), w, e_win);
             let mut exact = Exact::new(w as usize);
             for &v in &values {
-                est.push(v);
+                est.ingest(v);
                 exact.push(v);
             }
             let truth = exact.h() as f64;

@@ -94,7 +94,7 @@ impl SpaceUsage for Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hindex_common::{h_index, AggregateEstimator, Epsilon};
+    use hindex_common::{AggregateEstimator, Epsilon, Estimate, h_index};
 
     #[test]
     fn empty_timeline() {
@@ -161,7 +161,7 @@ mod tests {
         let mut t = Timeline::new(0.25);
         let values: Vec<u64> = (1..=5000).collect();
         for (step, &v) in values.iter().enumerate() {
-            est.push(v);
+            est.ingest(v);
             t.observe(step as u64, est.estimate());
         }
         let final_truth = h_index(&values);

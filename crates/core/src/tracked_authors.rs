@@ -20,7 +20,7 @@
 
 use crate::cash_register::{CashRegisterHIndex, CashRegisterParams};
 use crate::shifting_window::ShiftingWindow;
-use hindex_common::{AggregateEstimator, CashRegisterEstimator, Epsilon, SpaceUsage};
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Epsilon, Estimate, SpaceUsage};
 use hindex_stream::{AuthorId, Paper};
 use rand::Rng;
 use std::collections::HashMap;
@@ -48,7 +48,7 @@ impl TrackedAuthorsAggregate {
     pub fn push(&mut self, paper: &Paper) {
         for a in &paper.authors {
             if let Some(est) = self.estimators.get_mut(a) {
-                est.push(paper.citations);
+                est.ingest(paper.citations);
             }
         }
     }
@@ -56,7 +56,7 @@ impl TrackedAuthorsAggregate {
     /// The current estimate for a tracked author (`None` if untracked).
     #[must_use]
     pub fn estimate(&self, author: AuthorId) -> Option<u64> {
-        self.estimators.get(&author).map(ShiftingWindow::estimate)
+        self.estimators.get(&author).map(Estimate::estimate)
     }
 
     /// All tracked authors with their estimates, sorted descending.
@@ -116,7 +116,7 @@ impl TrackedAuthorsCash {
     pub fn update(&mut self, paper: u64, authors: &[AuthorId], delta: u64) {
         for a in authors {
             if let Some(est) = self.estimators.get_mut(a) {
-                est.update(paper, delta);
+                est.ingest(paper, delta);
             }
         }
     }
@@ -124,7 +124,7 @@ impl TrackedAuthorsCash {
     /// The current estimate for a tracked author (`None` if untracked).
     #[must_use]
     pub fn estimate(&self, author: AuthorId) -> Option<u64> {
-        self.estimators.get(&author).map(CashRegisterEstimator::estimate)
+        self.estimators.get(&author).map(Estimate::estimate)
     }
 
     /// Number of tracked authors.

@@ -20,7 +20,8 @@
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
-    Delta, Epsilon, EstimatorParams, ExpGrid, Mergeable, SpaceUsage, TurnstileEstimator,
+    Delta, Epsilon, Estimate, EstimatorParams, ExpGrid, Mergeable, SpaceUsage,
+    TurnstileEstimator,
 };
 use hindex_sketch::{L0Norm, L0Sampler, L0SamplerParams};
 use rand::Rng;
@@ -265,18 +266,20 @@ impl SpaceUsage for TurnstileHIndex {
     }
 }
 
-/// The trait face of the inherent methods, for generic turnstile
-/// plumbing (`hindex-engine`'s sharded ingestion in particular).
-impl TurnstileEstimator for TurnstileHIndex {
-    fn update(&mut self, index: u64, delta: i64) {
-        Self::update(self, index, delta);
-    }
-
+impl Estimate for TurnstileHIndex {
     fn estimate(&self) -> u64 {
         Self::estimate(self)
     }
+}
 
-    fn update_batch(&mut self, updates: &[(u64, i64)]) {
+/// The trait face of the inherent methods, for generic turnstile
+/// plumbing (`hindex-engine`'s sharded ingestion in particular).
+impl TurnstileEstimator for TurnstileHIndex {
+    fn ingest(&mut self, index: u64, delta: i64) {
+        Self::update(self, index, delta);
+    }
+
+    fn ingest_batch(&mut self, updates: &[(u64, i64)]) {
         Self::update_batch(self, updates);
     }
 }

@@ -15,8 +15,8 @@
 //! ```
 //!
 //! * The caller owns a [`ShardedEngine`] and feeds items one at a time
-//!   ([`ShardedEngine::push`]) or in slices
-//!   ([`ShardedEngine::push_slice`]). Items accumulate in per-shard
+//!   ([`ShardedEngine::ingest`]) or in slices
+//!   ([`ShardedEngine::ingest_batch`]). Items accumulate in per-shard
 //!   batches and are handed to worker threads over bounded channels,
 //!   so a slow shard exerts backpressure instead of ballooning memory.
 //! * Cash-register updates route by a hash of the paper index, so all
@@ -41,9 +41,8 @@
 //! [`TurnstileEstimator`](hindex_common::TurnstileEstimator) (over
 //! signed `(u64, i64)` items — retraction streams), and every
 //! [`AggregateEstimator`](hindex_common::AggregateEstimator) (over
-//! `u64` items) — including their batch fast paths
-//! (`update_batch`/`push_batch`), which is where the engine's
-//! throughput comes from on key-skewed streams.
+//! `u64` items) — including their `ingest_batch` fast paths, which is
+//! where the engine's throughput comes from on key-skewed streams.
 //!
 //! # Concurrency audit
 //!
@@ -84,15 +83,35 @@
 //! [`EngineCheckpoint::stream_offset`] then reproduces the never-killed
 //! run bit for bit (routing is a pure function of `(item, tick)` and
 //! the tick is part of the checkpoint).
+//!
+//! # Observability
+//!
+//! Attach an [`EngineObserver`](hindex_obs::EngineObserver) via
+//! [`EngineConfig::builder`] and the engine reports per-shard item
+//! counts and queue depths, batch-size statistics, routing skew,
+//! degraded-query counts, and checkpoint/restore timings — plus a
+//! deterministic event trace with logical timestamps. Every hook is
+//! fired from the router thread (never from workers), so for a fixed
+//! input and seed the counters and the event sequence are
+//! bit-reproducible; wall-clock durations live only in latency
+//! histograms, which the determinism suite ignores. An uninstrumented
+//! engine pays one branch-on-`None` per batch boundary — the
+//! `obs_overhead` bench group holds this under 5%.
+//! [`ShardedEngine::report`] packages a query, the approximation
+//! contract, space, degradation, and the metrics snapshot into one
+//! typed [`QueryReport`] for CLI/bench boundaries.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
-    AggregateEstimator, CashRegisterEstimator, Mergeable, SpaceUsage, TurnstileEstimator,
+    AggregateEstimator, CashRegisterEstimator, Estimate, Guarantee, Mergeable, SpaceUsage,
+    TurnstileEstimator,
 };
+use hindex_obs::{EngineObserver, MetricsSnapshot, Stopwatch};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A shard failure the engine surfaces instead of panicking.
@@ -107,6 +126,11 @@ pub enum EngineError {
     },
     /// Every worker thread died; not even a degraded answer exists.
     AllShardsDead,
+    /// An [`EngineConfig`] failed validation at build time.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -116,6 +140,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "shard worker {shard} died; its updates are lost")
             }
             EngineError::AllShardsDead => write!(f, "every shard worker died"),
+            EngineError::InvalidConfig { what } => {
+                write!(f, "invalid engine configuration: {what}")
+            }
         }
     }
 }
@@ -132,6 +159,27 @@ pub struct Degraded<E> {
     pub dead_shards: Vec<usize>,
 }
 
+/// Everything a caller at a reporting boundary (CLI, bench harness)
+/// wants from one query, in one typed value: the estimate, the
+/// approximation contract it was computed under, the space spent, how
+/// degraded the answer is, and — when the engine is instrumented — a
+/// full metrics snapshot. Produced by [`ShardedEngine::report`].
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The merged H-index estimate.
+    pub estimate: u64,
+    /// The `(kind, ε, δ)` guarantee the estimator was built under, as
+    /// supplied by the caller (`None` for exact baselines).
+    pub approx_contract: Option<Guarantee>,
+    /// Total pipeline space at query time, in words.
+    pub space_words: usize,
+    /// Dead shards whose updates are missing from `estimate` (empty
+    /// for a lossless answer).
+    pub degraded: Vec<usize>,
+    /// Metrics snapshot from the attached observer, if any.
+    pub obs: Option<Box<MetricsSnapshot>>,
+}
+
 /// Batched ingestion of stream items of type `T`.
 ///
 /// Blanket-implemented for the workspace's estimator traits; implement
@@ -139,24 +187,24 @@ pub struct Degraded<E> {
 pub trait BatchIngest<T> {
     /// Ingests one batch, semantically equivalent to ingesting each
     /// item in order.
-    fn ingest(&mut self, batch: &[T]);
+    fn apply_batch(&mut self, batch: &[T]);
 }
 
 impl<E: CashRegisterEstimator> BatchIngest<(u64, u64)> for E {
-    fn ingest(&mut self, batch: &[(u64, u64)]) {
-        self.update_batch(batch);
+    fn apply_batch(&mut self, batch: &[(u64, u64)]) {
+        self.ingest_batch(batch);
     }
 }
 
 impl<E: AggregateEstimator> BatchIngest<u64> for E {
-    fn ingest(&mut self, batch: &[u64]) {
-        self.push_batch(batch);
+    fn apply_batch(&mut self, batch: &[u64]) {
+        self.ingest_batch(batch);
     }
 }
 
 impl<E: TurnstileEstimator> BatchIngest<(u64, i64)> for E {
-    fn ingest(&mut self, batch: &[(u64, i64)]) {
-        self.update_batch(batch);
+    fn apply_batch(&mut self, batch: &[(u64, i64)]) {
+        self.ingest_batch(batch);
     }
 }
 
@@ -202,16 +250,23 @@ impl Routable for u64 {
     }
 }
 
-/// Engine geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Engine geometry plus optional instrumentation.
+///
+/// Construct via [`EngineConfig::builder`] (validated, and the only
+/// way to attach an [`EngineObserver`]), [`EngineConfig::with_shards`]
+/// for default batching, or [`EngineConfig::default`].
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of worker shards (threads). Must be ≥ 1.
     pub shards: usize,
     /// Items per batch handed to a worker. Must be ≥ 1.
     pub batch_size: usize,
-    /// Batches in flight per shard before `push` blocks
+    /// Batches in flight per shard before ingestion blocks
     /// (backpressure). Must be ≥ 1.
     pub queue_depth: usize,
+    /// Instrumentation sink driven by the engine's router thread;
+    /// `None` leaves every hot path a branch-on-`None`.
+    observer: Option<Arc<EngineObserver>>,
 }
 
 impl Default for EngineConfig {
@@ -220,6 +275,7 @@ impl Default for EngineConfig {
             shards: 4,
             batch_size: 1024,
             queue_depth: 4,
+            observer: None,
         }
     }
 }
@@ -233,6 +289,109 @@ impl EngineConfig {
             ..Self::default()
         }
     }
+
+    /// Starts a validated builder at the default geometry.
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// This config with `observer` attached (see
+    /// [`EngineConfigBuilder::observer`] for the sizing contract,
+    /// which [`EngineConfigBuilder::build`] enforces).
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<EngineObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached instrumentation sink, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&Arc<EngineObserver>> {
+        self.observer.as_ref()
+    }
+}
+
+/// Validated constructor for [`EngineConfig`].
+///
+/// ```
+/// use hindex_engine::EngineConfig;
+/// use hindex_obs::EngineObserver;
+/// use std::sync::Arc;
+///
+/// let obs = Arc::new(EngineObserver::new(8));
+/// let config = EngineConfig::builder()
+///     .shards(8)
+///     .batch(256)
+///     .observer(obs)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.shards, 8);
+/// assert!(EngineConfig::builder().shards(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the number of worker shards.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the items-per-batch handed to workers.
+    #[must_use]
+    pub fn batch(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the per-shard bounded-channel depth (backpressure).
+    #[must_use]
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Attaches an instrumentation sink. It must be sized to the same
+    /// shard count ([`EngineObserver::new`]) or [`Self::build`]
+    /// rejects the config.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<EngineObserver>) -> Self {
+        self.config.observer = Some(observer);
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when any geometry field
+    /// is zero or the observer's shard count disagrees with
+    /// [`EngineConfig::shards`].
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        let c = self.config;
+        if c.shards == 0 {
+            return Err(EngineError::InvalidConfig { what: "shards must be ≥ 1" });
+        }
+        if c.batch_size == 0 {
+            return Err(EngineError::InvalidConfig { what: "batch_size must be ≥ 1" });
+        }
+        if c.queue_depth == 0 {
+            return Err(EngineError::InvalidConfig { what: "queue_depth must be ≥ 1" });
+        }
+        if let Some(o) = &c.observer {
+            if o.shards() != c.shards {
+                return Err(EngineError::InvalidConfig {
+                    what: "observer sized for a different shard count",
+                });
+            }
+        }
+        Ok(c)
+    }
 }
 
 enum Command<E, T> {
@@ -244,19 +403,24 @@ enum Command<E, T> {
 /// estimator.
 ///
 /// ```
-/// use hindex_common::{CashRegisterEstimator, SpaceUsage};
+/// use hindex_common::{CashRegisterEstimator, Estimate, SpaceUsage};
 /// use hindex_baseline::CashTable;
 /// use hindex_engine::{EngineConfig, ShardedEngine};
 ///
-/// let mut engine = ShardedEngine::new(EngineConfig::with_shards(4), CashTable::new());
+/// let config = EngineConfig::builder().shards(4).build().unwrap();
+/// let mut engine = ShardedEngine::new(config, CashTable::new());
 /// for k in 0..10_000u64 {
-///     engine.push((k % 300, 1));
+///     engine.ingest((k % 300, 1));
 /// }
 /// let snapshot = engine.query().unwrap(); // anytime: ingestion keeps running
 /// assert!(snapshot.estimate() > 0);
 /// let exact = engine.finish().unwrap();
 /// assert_eq!(exact.estimate(), 34); // 100 papers at 34, 200 at 33
 /// ```
+///
+/// Attach an [`EngineObserver`] through the builder to get metrics,
+/// traces, and a [`QueryReport`] — see the crate docs and
+/// `docs/OBSERVABILITY.md`.
 pub struct ShardedEngine<E, T> {
     config: EngineConfig,
     senders: Vec<SyncSender<Command<E, T>>>,
@@ -297,7 +461,13 @@ where
     /// bit for bit.
     #[must_use]
     pub fn restore(checkpoint: EngineCheckpoint<E>) -> Self {
-        Self::spawn(checkpoint.config, checkpoint.shards, checkpoint.tick)
+        let sw = Stopwatch::start();
+        let shard_states = checkpoint.shards.len() as u64;
+        let engine = Self::spawn(checkpoint.config, checkpoint.shards, checkpoint.tick);
+        if let Some(o) = &engine.config.observer {
+            o.on_restore(engine.tick, shard_states, sw.elapsed_nanos());
+        }
+        engine
     }
 
     fn spawn(config: EngineConfig, states: Vec<E>, tick: u64) -> Self {
@@ -312,26 +482,28 @@ where
             handles.push(Some(std::thread::spawn(move || worker(estimator, &rx))));
             senders.push(tx);
         }
+        let buffers = (0..config.shards).map(|_| Vec::new()).collect();
+        let dead = vec![false; config.shards];
         Self {
             config,
             senders,
             handles,
-            buffers: (0..config.shards).map(|_| Vec::new()).collect(),
-            dead: vec![false; config.shards],
+            buffers,
+            dead,
             tick,
         }
     }
 
-    /// The geometry in effect.
+    /// The configuration in effect.
     #[must_use]
-    pub fn config(&self) -> EngineConfig {
-        self.config
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Routes one item to its shard; hands the shard's batch to the
     /// worker when it reaches `batch_size` (blocking if that shard's
     /// queue is full).
-    pub fn push(&mut self, item: T) {
+    pub fn ingest(&mut self, item: T) {
         let shard = item.route(self.config.shards, self.tick);
         self.tick += 1;
         let buf = &mut self.buffers[shard];
@@ -342,19 +514,41 @@ where
         }
     }
 
-    /// Pushes every item of a slice.
-    pub fn push_slice(&mut self, items: &[T])
+    /// Ingests every item of a slice, then notes the batch in the
+    /// observer (one `PushBatch` event per call, not per item).
+    pub fn ingest_batch(&mut self, items: &[T])
     where
         T: Copy,
     {
         for &item in items {
-            self.push(item);
+            self.ingest(item);
         }
+        if let Some(o) = &self.config.observer {
+            o.on_push_batch(self.tick, items.len() as u64);
+        }
+    }
+
+    /// Deprecated name for [`Self::ingest`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
+    pub fn push(&mut self, item: T) {
+        self.ingest(item);
+    }
+
+    /// Deprecated name for [`Self::ingest_batch`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
+    pub fn push_slice(&mut self, items: &[T])
+    where
+        T: Copy,
+    {
+        self.ingest_batch(items);
     }
 
     /// Sends all pending partial batches to their shards.
     pub fn flush(&mut self) {
         for shard in 0..self.config.shards {
+            if let Some(o) = &self.config.observer {
+                o.on_queue_depth(shard, self.buffers[shard].len() as u64);
+            }
             if !self.buffers[shard].is_empty() {
                 let batch = std::mem::take(&mut self.buffers[shard]);
                 self.send(shard, batch);
@@ -374,6 +568,9 @@ where
         if let Some(shard) = self.first_dead() {
             return Err(EngineError::ShardDead { shard });
         }
+        if let Some(o) = &self.config.observer {
+            o.on_merge(self.tick, self.config.shards as u64);
+        }
         merge_all(states).ok_or(EngineError::AllShardsDead)
     }
 
@@ -383,10 +580,38 @@ where
         self.flush();
         let states = self.snapshot_states();
         let dead_shards = self.dead_shard_indices();
+        if let Some(o) = &self.config.observer {
+            let live = self.config.shards - dead_shards.len();
+            o.on_merge(self.tick, live as u64);
+            if !dead_shards.is_empty() {
+                o.on_query_degraded(self.tick, dead_shards.len() as u64);
+            }
+        }
         match merge_all(states) {
             Some(estimator) => Ok(Degraded { estimator, dead_shards }),
             None => Err(EngineError::AllShardsDead),
         }
+    }
+
+    /// Lossy anytime query packaged as a typed [`QueryReport`]:
+    /// estimate, contract, space, degradation, and (when an observer
+    /// is attached) a metrics snapshot — the one value reporting
+    /// boundaries should hand on. `contract` is the guarantee the
+    /// prototype estimator was built under; pass `None` for exact
+    /// baselines.
+    pub fn report(&mut self, contract: Option<Guarantee>) -> Result<QueryReport, EngineError>
+    where
+        E: Estimate + SpaceUsage,
+    {
+        let degraded = self.query_degraded()?;
+        let space_words = self.space_words();
+        Ok(QueryReport {
+            estimate: degraded.estimator.estimate(),
+            approx_contract: contract,
+            space_words,
+            degraded: degraded.dead_shards,
+            obs: self.config.observer.as_ref().map(|o| Box::new(o.snapshot())),
+        })
     }
 
     /// Checkpoint for crash recovery: flushes, snapshots every shard,
@@ -395,6 +620,7 @@ where
     /// taken after a shard died would silently drop that shard's
     /// history on restore.
     pub fn checkpoint(&mut self) -> Result<EngineCheckpoint<E>, EngineError> {
+        let sw = Stopwatch::start();
         self.flush();
         let states = self.snapshot_states();
         if let Some(shard) = self.first_dead() {
@@ -402,8 +628,11 @@ where
         }
         let shards: Vec<E> = states.into_iter().flatten().collect();
         debug_assert_eq!(shards.len(), self.config.shards);
+        if let Some(o) = &self.config.observer {
+            o.on_checkpoint(self.tick, shards.len() as u64, sw.elapsed_nanos());
+        }
         Ok(EngineCheckpoint {
-            config: self.config,
+            config: self.config.clone(),
             tick: self.tick,
             shards,
         })
@@ -482,6 +711,10 @@ where
         if self.dead[shard] {
             return;
         }
+        if let Some(o) = &self.config.observer {
+            let len = batch.len() as u64;
+            o.on_flush(self.tick, shard, len, batch.len() >= self.config.batch_size);
+        }
         if self.senders[shard].send(Command::Batch(batch)).is_err() {
             self.dead[shard] = true;
         }
@@ -538,10 +771,20 @@ pub struct EngineCheckpoint<E> {
 }
 
 impl<E> EngineCheckpoint<E> {
-    /// The engine geometry the checkpoint was taken under.
+    /// The engine configuration the checkpoint was taken under.
     #[must_use]
-    pub fn config(&self) -> EngineConfig {
-        self.config
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Re-attaches an instrumentation sink before a
+    /// [`ShardedEngine::restore`]. Observers are never serialised
+    /// (a decoded checkpoint carries none), so recovery paths call
+    /// this to keep instrumenting across a crash boundary.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<EngineObserver>) -> Self {
+        self.config.observer = Some(observer);
+        self
     }
 
     /// Items the engine had routed when the checkpoint was taken;
@@ -592,7 +835,7 @@ impl<E: Snapshot> Snapshot for EngineCheckpoint<E> {
             states.push(r.get_nested::<E>()?);
         }
         Ok(Self {
-            config: EngineConfig { shards, batch_size, queue_depth },
+            config: EngineConfig { shards, batch_size, queue_depth, observer: None },
             tick,
             shards: states,
         })
@@ -648,7 +891,7 @@ where
 {
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            Command::Batch(batch) => estimator.ingest(&batch),
+            Command::Batch(batch) => estimator.apply_batch(&batch),
             Command::Snapshot(reply) => {
                 // The query side may have given up (dropped receiver);
                 // ingestion must not die with it.
@@ -663,7 +906,7 @@ where
 mod tests {
     use super::*;
     use hindex_baseline::CashTable;
-    use hindex_common::Epsilon;
+    use hindex_common::{Epsilon, Estimate};
     use hindex_core::ExponentialHistogram;
 
     fn staircase_updates(papers: u64, rounds: u64) -> Vec<(u64, u64)> {
@@ -678,16 +921,17 @@ mod tests {
         let updates = staircase_updates(50, 40); // h* = 40
         let mut serial = CashTable::new();
         for &(i, z) in &updates {
-            serial.update(i, z);
+            serial.ingest(i, z);
         }
         for shards in [1usize, 2, 3, 8] {
             let config = EngineConfig {
                 shards,
                 batch_size: 64,
                 queue_depth: 2,
+                observer: None,
             };
             let mut engine = ShardedEngine::new(config, CashTable::new());
-            engine.push_slice(&updates);
+            engine.ingest_batch(&updates);
             let merged = engine.finish().unwrap();
             assert_eq!(merged.estimate(), serial.estimate(), "{shards} shards");
             assert_eq!(merged.distinct(), serial.distinct(), "{shards} shards");
@@ -698,12 +942,12 @@ mod tests {
     fn aggregate_engine_matches_serial() {
         let values: Vec<u64> = (0..500u64).map(|k| k % 97).collect();
         let mut serial = ExponentialHistogram::new(Epsilon::new(0.2).unwrap());
-        serial.push_batch(&values);
+        serial.ingest_batch(&values);
         let mut engine = ShardedEngine::new(
             EngineConfig::with_shards(4),
             ExponentialHistogram::new(Epsilon::new(0.2).unwrap()),
         );
-        engine.push_slice(&values);
+        engine.ingest_batch(&values);
         let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate());
         assert_eq!(merged.counters(), serial.counters());
@@ -713,14 +957,14 @@ mod tests {
     fn anytime_query_sees_everything_pushed() {
         let mut engine = ShardedEngine::new(EngineConfig::with_shards(2), CashTable::new());
         for k in 0..990u64 {
-            engine.push((k % 30, 1));
+            engine.ingest((k % 30, 1));
         }
         let early = engine.query().unwrap();
         // 30 papers × 33 citations: h = 30.
         assert_eq!(early.estimate(), 30);
         // Engine still ingests after a query.
         for k in 0..2_000u64 {
-            engine.push((1_000 + k % 40, 1));
+            engine.ingest((1_000 + k % 40, 1));
         }
         let done = engine.finish().unwrap();
         assert_eq!(done.estimate(), 40); // 40 papers @ 50 + 30 @ 33 → h = 40
@@ -745,12 +989,12 @@ mod tests {
         updates.extend((0..10u64).map(|p| (p, -20)));
         let mut serial = proto.clone();
         for &(i, d) in &updates {
-            TurnstileEstimator::update(&mut serial, i, d);
+            TurnstileEstimator::ingest(&mut serial, i, d);
         }
         for shards in [1usize, 2, 4] {
-            let config = EngineConfig { shards, batch_size: 16, queue_depth: 2 };
+            let config = EngineConfig { shards, batch_size: 16, queue_depth: 2, observer: None };
             let mut engine = ShardedEngine::new(config, proto.clone());
-            engine.push_slice(&updates);
+            engine.ingest_batch(&updates);
             let merged = engine.finish().unwrap();
             // Linear sketches: merged state is bit-identical to the
             // serial stream, so estimates agree exactly.
@@ -788,10 +1032,11 @@ mod tests {
             shards: 2,
             batch_size: 8,
             queue_depth: 2,
+            observer: None,
         };
         let mut engine = ShardedEngine::new(config, CashTable::new());
         for k in 0..100u64 {
-            engine.push((k, 1));
+            engine.ingest((k, 1));
         }
         let words = engine.space_words();
         let merged = engine.finish().unwrap();
@@ -808,10 +1053,10 @@ mod tests {
     }
 
     impl BatchIngest<(u64, u64)> for Exploding {
-        fn ingest(&mut self, batch: &[(u64, u64)]) {
+        fn apply_batch(&mut self, batch: &[(u64, u64)]) {
             for &(i, z) in batch {
                 assert!(i != u64::MAX, "poison update");
-                self.table.update(i, z);
+                self.table.ingest(i, z);
             }
         }
     }
@@ -824,13 +1069,13 @@ mod tests {
 
     #[test]
     fn dead_shard_is_a_typed_error_not_a_panic() {
-        let config = EngineConfig { shards: 4, batch_size: 1, queue_depth: 1 };
+        let config = EngineConfig { shards: 4, batch_size: 1, queue_depth: 1, observer: None };
         let mut engine = ShardedEngine::new(config, Exploding::default());
         for k in 0..40u64 {
-            engine.push((k, 1));
+            engine.ingest((k, 1));
         }
         let poison_shard = (u64::MAX, 1u64).route(4, 0);
-        engine.push((u64::MAX, 1));
+        engine.ingest((u64::MAX, 1));
         // Strict query refuses; the degraded query answers and names
         // the lost shard.
         let err = engine.query().unwrap_err();
@@ -846,23 +1091,23 @@ mod tests {
 
     #[test]
     fn all_shards_dead_reported() {
-        let config = EngineConfig { shards: 1, batch_size: 1, queue_depth: 1 };
+        let config = EngineConfig { shards: 1, batch_size: 1, queue_depth: 1, observer: None };
         let mut engine = ShardedEngine::new(config, Exploding::default());
-        engine.push((u64::MAX, 1));
+        engine.ingest((u64::MAX, 1));
         assert_eq!(engine.query_degraded().unwrap_err(), EngineError::AllShardsDead);
         assert_eq!(engine.finish_degraded().unwrap_err(), EngineError::AllShardsDead);
     }
 
     #[test]
     fn pushes_after_death_do_not_panic() {
-        let config = EngineConfig { shards: 2, batch_size: 1, queue_depth: 1 };
+        let config = EngineConfig { shards: 2, batch_size: 1, queue_depth: 1, observer: None };
         let mut engine = ShardedEngine::new(config, Exploding::default());
-        engine.push((u64::MAX, 1));
+        engine.ingest((u64::MAX, 1));
         // Give the worker time to die, then keep pushing to both
         // shards: sends to the dead one are dropped, not panicked on.
         std::thread::sleep(std::time::Duration::from_millis(20));
         for k in 0..100u64 {
-            engine.push((k, 1));
+            engine.ingest((k, 1));
         }
         assert!(engine.finish().is_err());
     }
@@ -872,12 +1117,12 @@ mod tests {
         let updates = staircase_updates(40, 30);
         let mut serial = CashTable::new();
         for &(i, z) in &updates {
-            serial.update(i, z);
+            serial.ingest(i, z);
         }
-        let config = EngineConfig { shards: 3, batch_size: 32, queue_depth: 2 };
+        let config = EngineConfig { shards: 3, batch_size: 32, queue_depth: 2, observer: None };
         let mut engine = ShardedEngine::new(config, CashTable::new());
         let cut = updates.len() / 2;
-        engine.push_slice(&updates[..cut]);
+        engine.ingest_batch(&updates[..cut]);
         let checkpoint = engine.checkpoint().unwrap();
         assert_eq!(checkpoint.stream_offset(), cut as u64);
         drop(engine); // the crash
@@ -888,7 +1133,7 @@ mod tests {
         assert_eq!(used, bytes.len());
         let mut engine = ShardedEngine::restore(restored);
         assert_eq!(engine.stream_offset(), cut as u64);
-        engine.push_slice(&updates[cut..]);
+        engine.ingest_batch(&updates[cut..]);
         let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate());
         assert_eq!(merged.distinct(), serial.distinct());
@@ -902,6 +1147,7 @@ mod tests {
                 shards: 0,
                 batch_size: 1,
                 queue_depth: 1,
+                observer: None,
             },
             CashTable::new(),
         );

@@ -1,0 +1,417 @@
+//! The engine-facing hook object and its exportable snapshot.
+//!
+//! [`EngineObserver`] is what the sharded engine drives: one method
+//! per instrumentation point, all cheap, all callable from the
+//! engine's router thread. [`MetricsSnapshot`] is the frozen view a
+//! query or the CLI exports, with a Prometheus-style text exposition.
+//!
+//! Every hook takes the engine's logical `tick` so traces and
+//! counters are functions of the command sequence alone; wall-clock
+//! durations enter only through the `*_ns` histogram arguments, which
+//! callers obtain from [`crate::clock::Stopwatch`].
+
+use crate::metrics::{Counter, Gauge, LatencyHistogram, LatencySummary};
+use crate::rate::{BatchStats, RateMeter};
+use crate::trace::{Event, EventKind, Tracer};
+use crate::lock_or_recover;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Observation window for the full-batch rate meter, in flushes.
+const RATE_WINDOW: u64 = 1024;
+/// DGIM precision (buckets per size) for the rate meter.
+const RATE_K: usize = 4;
+
+/// Per-engine instrumentation sink.
+///
+/// Create one sized to the engine's shard count, share it (it is
+/// `Sync`; the engine takes it behind an `Arc`), and read it at any
+/// time with [`EngineObserver::snapshot`].
+#[derive(Debug)]
+pub struct EngineObserver {
+    shards: usize,
+    items: Counter,
+    push_batches: Counter,
+    flushes: Counter,
+    merges: Counter,
+    degraded_queries: Counter,
+    checkpoints: Counter,
+    restores: Counter,
+    per_shard_items: Vec<Counter>,
+    queue_depth: Vec<Gauge>,
+    batch_stats: Mutex<BatchStats>,
+    full_rate: Mutex<RateMeter>,
+    checkpoint_ns: LatencyHistogram,
+    restore_ns: LatencyHistogram,
+    snapshot_ns: LatencyHistogram,
+    tracer: Tracer,
+}
+
+impl EngineObserver {
+    /// An observer for an engine with `shards` shard workers
+    /// (`0` is clamped to 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards,
+            items: Counter::new(),
+            push_batches: Counter::new(),
+            flushes: Counter::new(),
+            merges: Counter::new(),
+            degraded_queries: Counter::new(),
+            checkpoints: Counter::new(),
+            restores: Counter::new(),
+            per_shard_items: (0..shards).map(|_| Counter::new()).collect(),
+            queue_depth: (0..shards).map(|_| Gauge::new()).collect(),
+            batch_stats: Mutex::new(BatchStats::new()),
+            full_rate: Mutex::new(RateMeter::new(RATE_WINDOW, RATE_K)),
+            checkpoint_ns: LatencyHistogram::new(),
+            restore_ns: LatencyHistogram::new(),
+            snapshot_ns: LatencyHistogram::new(),
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// The shard count this observer was sized for.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// A caller handed the engine `n` items in one `ingest_batch`
+    /// call. Items are *counted* at flush time (when they reach a
+    /// worker), so this hook only traces the caller-visible span.
+    pub fn on_push_batch(&self, tick: u64, n: u64) {
+        self.push_batches.inc();
+        self.tracer.record(EventKind::PushBatch, tick, None, n);
+    }
+
+    /// A per-shard buffer of `len` items was flushed and sent to
+    /// `shard`; `full` says whether it reached the configured batch
+    /// size.
+    pub fn on_flush(&self, tick: u64, shard: usize, len: u64, full: bool) {
+        self.flushes.inc();
+        self.items.add(len);
+        if let Some(c) = self.per_shard_items.get(shard) {
+            c.add(len);
+        }
+        lock_or_recover(&self.batch_stats).record(len);
+        lock_or_recover(&self.full_rate).record(full);
+        let shard_id = u32::try_from(shard).ok();
+        self.tracer.record(EventKind::Flush, tick, shard_id, len);
+        self.tracer.record(EventKind::ShardSend, tick, shard_id, len);
+    }
+
+    /// Router-side backlog for `shard` observed at a flush boundary
+    /// (items buffered, waiting for a batch to fill). Gauge-only: no
+    /// event, so it is cheap enough for the query path.
+    pub fn on_queue_depth(&self, shard: usize, depth: u64) {
+        if let Some(g) = self.queue_depth.get(shard) {
+            g.set(depth);
+        }
+    }
+
+    /// `shards_merged` shard states were merged to answer a query.
+    pub fn on_merge(&self, tick: u64, shards_merged: u64) {
+        self.merges.inc();
+        self.tracer.record(EventKind::Merge, tick, None, shards_merged);
+    }
+
+    /// A query fell back to degraded mode with `dead` dead shards.
+    pub fn on_query_degraded(&self, tick: u64, dead: u64) {
+        self.degraded_queries.inc();
+        self.tracer.record(EventKind::QueryDegraded, tick, None, dead);
+    }
+
+    /// An engine checkpoint capturing `shard_states` shards was
+    /// assembled in `nanos`.
+    pub fn on_checkpoint(&self, tick: u64, shard_states: u64, nanos: u64) {
+        self.checkpoints.inc();
+        self.checkpoint_ns.record(nanos);
+        self.tracer.record(EventKind::Checkpoint, tick, None, shard_states);
+    }
+
+    /// An engine was respawned from a checkpoint of `shard_states`
+    /// shards in `nanos`.
+    pub fn on_restore(&self, tick: u64, shard_states: u64, nanos: u64) {
+        self.restores.inc();
+        self.restore_ns.record(nanos);
+        self.tracer.record(EventKind::Restore, tick, None, shard_states);
+    }
+
+    /// A standalone estimator snapshot was encoded (`bytes` bytes,
+    /// `nanos` ns).
+    pub fn on_snapshot_encode(&self, tick: u64, bytes: u64, nanos: u64) {
+        self.snapshot_ns.record(nanos);
+        self.tracer.record(EventKind::SnapshotEncode, tick, None, bytes);
+    }
+
+    /// A standalone estimator snapshot was decoded (`bytes` bytes,
+    /// `nanos` ns).
+    pub fn on_snapshot_decode(&self, tick: u64, bytes: u64, nanos: u64) {
+        self.snapshot_ns.record(nanos);
+        self.tracer.record(EventKind::SnapshotDecode, tick, None, bytes);
+    }
+
+    /// Freezes the current state into an exportable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let per_shard_items: Vec<u64> = self.per_shard_items.iter().map(Counter::get).collect();
+        let queue_depths: Vec<u64> = self.queue_depth.iter().map(Gauge::get).collect();
+        let queue_depth_peaks: Vec<u64> = self.queue_depth.iter().map(Gauge::peak).collect();
+        let routing_skew = {
+            let max = per_shard_items.iter().copied().max().unwrap_or(0);
+            let total: u64 = per_shard_items.iter().sum();
+            if total == 0 {
+                1.0
+            } else {
+                let mean = total as f64 / per_shard_items.len().max(1) as f64;
+                max as f64 / mean
+            }
+        };
+        let (batch_h_index, batch_max, batch_mean) = {
+            let b = lock_or_recover(&self.batch_stats);
+            (b.h_index(), b.max(), b.mean())
+        };
+        MetricsSnapshot {
+            shards: self.shards,
+            items: self.items.get(),
+            push_batches: self.push_batches.get(),
+            flushes: self.flushes.get(),
+            merges: self.merges.get(),
+            degraded_queries: self.degraded_queries.get(),
+            checkpoints: self.checkpoints.get(),
+            restores: self.restores.get(),
+            per_shard_items,
+            queue_depths,
+            queue_depth_peaks,
+            routing_skew,
+            batch_h_index,
+            batch_max,
+            batch_mean,
+            full_batch_rate: lock_or_recover(&self.full_rate).rate(),
+            checkpoint_ns: self.checkpoint_ns.summary(),
+            restore_ns: self.restore_ns.summary(),
+            snapshot_ns: self.snapshot_ns.summary(),
+            events_recorded: self.tracer.recorded(),
+            events: self.tracer.events(),
+        }
+    }
+}
+
+/// A frozen, exportable view of an [`EngineObserver`].
+///
+/// Everything except the `*_ns` summaries is deterministic for a
+/// fixed seeded run (see the crate docs' determinism contract).
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Shard workers the observed engine runs.
+    pub shards: usize,
+    /// Total items ingested.
+    pub items: u64,
+    /// Caller-visible ingest calls.
+    pub push_batches: u64,
+    /// Per-shard buffer flushes.
+    pub flushes: u64,
+    /// Query-time merges.
+    pub merges: u64,
+    /// Queries answered in degraded mode.
+    pub degraded_queries: u64,
+    /// Engine checkpoints encoded.
+    pub checkpoints: u64,
+    /// Engine restores from checkpoints.
+    pub restores: u64,
+    /// Items routed to each shard.
+    pub per_shard_items: Vec<u64>,
+    /// Current buffered items per shard.
+    pub queue_depths: Vec<u64>,
+    /// High-water buffered items per shard.
+    pub queue_depth_peaks: Vec<u64>,
+    /// Max per-shard items over the mean (1.0 = perfectly balanced).
+    pub routing_skew: f64,
+    /// H-index of the batch-size stream (Algorithm 1 on telemetry).
+    pub batch_h_index: u64,
+    /// Largest flushed batch.
+    pub batch_max: u64,
+    /// Mean flushed batch length.
+    pub batch_mean: u64,
+    /// Fraction of recent flushes that were full batches (DGIM).
+    pub full_batch_rate: f64,
+    /// Checkpoint encode latency.
+    pub checkpoint_ns: LatencySummary,
+    /// Restore latency.
+    pub restore_ns: LatencySummary,
+    /// Standalone snapshot encode/decode latency.
+    pub snapshot_ns: LatencySummary,
+    /// Total events ever recorded (ring may have evicted some).
+    pub events_recorded: u64,
+    /// The retained event trace, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// Writes one metric: `# HELP` / `# TYPE` preamble plus the sample.
+fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+impl MetricsSnapshot {
+    /// Prometheus-style text exposition of every scalar metric, plus
+    /// per-shard series labelled `{shard="i"}`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        metric(&mut s, "hindex_engine_shards", "gauge",
+            "Shard workers in the observed engine.", self.shards);
+        metric(&mut s, "hindex_engine_items_total", "counter",
+            "Items ingested.", self.items);
+        metric(&mut s, "hindex_engine_push_batches_total", "counter",
+            "Caller-visible ingest calls.", self.push_batches);
+        metric(&mut s, "hindex_engine_flushes_total", "counter",
+            "Per-shard buffer flushes.", self.flushes);
+        metric(&mut s, "hindex_engine_merges_total", "counter",
+            "Query-time merges of shard states.", self.merges);
+        metric(&mut s, "hindex_engine_degraded_queries_total", "counter",
+            "Queries answered with dead shards missing.", self.degraded_queries);
+        metric(&mut s, "hindex_engine_checkpoints_total", "counter",
+            "Engine checkpoints encoded.", self.checkpoints);
+        metric(&mut s, "hindex_engine_restores_total", "counter",
+            "Engine restores from checkpoints.", self.restores);
+
+        let _ = writeln!(s, "# HELP hindex_engine_shard_items_total Items routed per shard.");
+        let _ = writeln!(s, "# TYPE hindex_engine_shard_items_total counter");
+        for (i, v) in self.per_shard_items.iter().enumerate() {
+            let _ = writeln!(s, "hindex_engine_shard_items_total{{shard=\"{i}\"}} {v}");
+        }
+        let _ = writeln!(s, "# HELP hindex_engine_queue_depth Buffered items per shard.");
+        let _ = writeln!(s, "# TYPE hindex_engine_queue_depth gauge");
+        for (i, v) in self.queue_depths.iter().enumerate() {
+            let _ = writeln!(s, "hindex_engine_queue_depth{{shard=\"{i}\"}} {v}");
+        }
+        for (i, v) in self.queue_depth_peaks.iter().enumerate() {
+            let _ = writeln!(s, "hindex_engine_queue_depth_peak{{shard=\"{i}\"}} {v}");
+        }
+
+        metric(&mut s, "hindex_engine_routing_skew", "gauge",
+            "Max per-shard items over the mean (1 = balanced).",
+            format_args!("{:.4}", self.routing_skew));
+        metric(&mut s, "hindex_engine_batch_size_hindex", "gauge",
+            "H-index of the flushed-batch-size stream (Algorithm 1).", self.batch_h_index);
+        metric(&mut s, "hindex_engine_batch_size_max", "gauge",
+            "Largest flushed batch.", self.batch_max);
+        metric(&mut s, "hindex_engine_batch_size_mean", "gauge",
+            "Mean flushed batch length.", self.batch_mean);
+        metric(&mut s, "hindex_engine_full_batch_rate", "gauge",
+            "Fraction of recent flushes that were full batches (DGIM window).",
+            format_args!("{:.4}", self.full_batch_rate));
+
+        for (name, sum) in [
+            ("hindex_engine_checkpoint", &self.checkpoint_ns),
+            ("hindex_engine_restore", &self.restore_ns),
+            ("hindex_engine_snapshot", &self.snapshot_ns),
+        ] {
+            metric(&mut s, &format!("{name}_count"), "counter",
+                "Operations timed.", sum.count);
+            metric(&mut s, &format!("{name}_mean_ns"), "gauge",
+                "Mean duration, nanoseconds.", sum.mean_ns);
+            metric(&mut s, &format!("{name}_p99_ns"), "gauge",
+                "p99 duration upper bound, nanoseconds.", sum.p99_ns);
+        }
+
+        metric(&mut s, "hindex_trace_events_total", "counter",
+            "Events recorded by the tracer.", self.events_recorded);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercised() -> EngineObserver {
+        let o = EngineObserver::new(2);
+        o.on_push_batch(1, 100);
+        o.on_flush(2, 0, 64, true);
+        o.on_flush(3, 1, 36, false);
+        o.on_queue_depth(1, 36);
+        o.on_merge(4, 2);
+        o.on_query_degraded(5, 1);
+        o.on_checkpoint(6, 512, 1_000);
+        o.on_restore(7, 512, 2_000);
+        o.on_snapshot_encode(8, 128, 500);
+        o.on_snapshot_decode(9, 128, 700);
+        o
+    }
+
+    #[test]
+    fn hooks_update_every_metric() {
+        let snap = exercised().snapshot();
+        assert_eq!(snap.items, 100);
+        assert_eq!(snap.push_batches, 1);
+        assert_eq!(snap.flushes, 2);
+        assert_eq!(snap.merges, 1);
+        assert_eq!(snap.degraded_queries, 1);
+        assert_eq!(snap.checkpoints, 1);
+        assert_eq!(snap.restores, 1);
+        assert_eq!(snap.per_shard_items, vec![64, 36]);
+        assert_eq!(snap.queue_depths, vec![0, 36]);
+        assert_eq!(snap.queue_depth_peaks, vec![0, 36]);
+        assert_eq!(snap.batch_max, 64);
+        assert_eq!(snap.batch_mean, 50);
+        assert!(snap.full_batch_rate > 0.0);
+        assert!(snap.routing_skew > 1.0);
+        assert_eq!(snap.checkpoint_ns.count, 1);
+        assert_eq!(snap.restore_ns.count, 1);
+        assert_eq!(snap.snapshot_ns.count, 2);
+        assert_eq!(snap.events_recorded, 11); // flush records 2 events
+    }
+
+    #[test]
+    fn event_trace_is_ordered_and_logical() {
+        let snap = exercised().snapshot();
+        let kinds: Vec<EventKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds[0], EventKind::PushBatch);
+        assert!(kinds.contains(&EventKind::QueryDegraded));
+        assert!(snap.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(snap.events.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn render_text_is_nonempty_and_structured() {
+        let text = exercised().snapshot().render_text();
+        assert!(text.contains("hindex_engine_items_total 100"));
+        assert!(text.contains("hindex_engine_shard_items_total{shard=\"0\"} 64"));
+        assert!(text.contains("# TYPE hindex_engine_routing_skew gauge"));
+        assert!(text.contains("hindex_engine_batch_size_hindex"));
+        assert!(text.lines().count() > 40);
+    }
+
+    #[test]
+    fn fresh_observer_renders_zeroes() {
+        let text = EngineObserver::new(4).snapshot().render_text();
+        assert!(text.contains("hindex_engine_items_total 0"));
+        assert!(text.contains("hindex_engine_shards 4"));
+    }
+
+    #[test]
+    fn out_of_range_shard_is_ignored() {
+        let o = EngineObserver::new(1);
+        o.on_flush(0, 99, 10, false);
+        o.on_queue_depth(99, 5);
+        let snap = o.snapshot();
+        assert_eq!(snap.per_shard_items, vec![0]);
+        assert_eq!(snap.flushes, 1);
+    }
+
+    #[test]
+    fn identical_call_sequences_snapshot_identically() {
+        let a = exercised().snapshot();
+        let b = exercised().snapshot();
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.per_shard_items, b.per_shard_items);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.batch_h_index, b.batch_h_index);
+    }
+}

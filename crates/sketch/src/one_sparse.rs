@@ -257,8 +257,7 @@ impl OneSparseRecovery {
                 (self.z as u128 >> 64) as u64,
                 self.fingerprint,
                 self.r,
-            ]
-            .into_iter(),
+            ],
         )
     }
 }

@@ -211,11 +211,11 @@ mod tests {
 
     #[test]
     fn updates_are_temporally_usable_by_cash_sketches() {
-        use hindex_common::{CashRegisterEstimator as _, h_index};
+        use hindex_common::{CashRegisterEstimator as _, Estimate, h_index};
         let trace = small().simulate();
         let mut exact = hindex_baseline_shim::CashTable::new();
         for u in &trace.updates {
-            exact.update(u.paper.0, u.delta);
+            exact.ingest(u.paper.0, u.delta);
         }
         assert_eq!(exact.estimate(), h_index(&trace.corpus.citation_counts()));
     }
@@ -237,13 +237,16 @@ mod tests {
             }
         }
 
-        impl CashRegisterEstimator for CashTable {
-            fn update(&mut self, index: u64, delta: u64) {
-                *self.counts.entry(index).or_default() += delta;
-            }
+        impl hindex_common::Estimate for CashTable {
             fn estimate(&self) -> u64 {
                 let values: Vec<u64> = self.counts.values().copied().collect();
                 hindex_common::h_index(&values)
+            }
+        }
+
+        impl CashRegisterEstimator for CashTable {
+            fn ingest(&mut self, index: u64, delta: u64) {
+                *self.counts.entry(index).or_default() += delta;
             }
         }
     }

@@ -15,6 +15,7 @@
 
 use hindex::prelude::*;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,7 +33,7 @@ fn main() {
         } else {
             rng.random_range(0..5)
         };
-        sliding.push(reactions);
+        sliding.ingest(reactions);
         if i % 400 == 399 {
             println!(
                 "  after {:>4} posts: windowed h ≈ {:>3}  ({} words)",

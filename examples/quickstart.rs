@@ -7,6 +7,7 @@
 
 use hindex::prelude::*;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 
 fn main() {
     // The aggregate stream: one finished citation total per paper, in
@@ -24,7 +25,7 @@ fn main() {
     let eps = Epsilon::new(0.1).expect("valid epsilon");
     let mut sketch = ShiftingWindow::new(eps);
     for &c in &citations {
-        sketch.push(c);
+        sketch.ingest(c);
     }
 
     let estimate = sketch.estimate();

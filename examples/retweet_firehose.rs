@@ -12,6 +12,7 @@
 use hindex::prelude::*;
 use hindex_baseline::CashTable;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,8 +43,8 @@ fn main() {
     let checkpoints = [events.len() / 4, events.len() / 2, events.len()];
     let mut next_cp = 0;
     for (i, ev) in events.iter().enumerate() {
-        sketch.update(ev.paper.0, ev.delta);
-        exact.update(ev.paper.0, ev.delta);
+        sketch.ingest(ev.paper.0, ev.delta);
+        exact.ingest(ev.paper.0, ev.delta);
         if next_cp < checkpoints.len() && i + 1 == checkpoints[next_cp] {
             println!(
                 "after {:>8} events: exact h = {:>3}, sketch h = {:>3} (D = {} tweets retweeted)",

@@ -13,6 +13,7 @@
 use hindex::prelude::*;
 use hindex_baseline::FullStore;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

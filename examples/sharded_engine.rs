@@ -14,6 +14,7 @@
 use hindex::prelude::*;
 use hindex_baseline::CashTable;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -47,14 +48,14 @@ fn main() {
     let mut serial = prototype.clone();
     let start = Instant::now();
     for &(p, z) in &updates {
-        serial.update(p, z);
+        serial.ingest(p, z);
     }
     let serial_time = start.elapsed();
 
     // Sharded: four workers behind bounded channels.
     let mut engine = ShardedEngine::new(EngineConfig::with_shards(4), prototype);
     let start = Instant::now();
-    engine.push_slice(&updates);
+    engine.ingest_batch(&updates);
 
     // Anytime query: ingestion keeps running afterwards.
     let snapshot = engine.query().unwrap();
@@ -65,7 +66,7 @@ fn main() {
 
     // Exact truth via the sharded exact baseline.
     let mut exact_engine = ShardedEngine::new(EngineConfig::with_shards(4), CashTable::new());
-    exact_engine.push_slice(&updates);
+    exact_engine.ingest_batch(&updates);
     let exact = exact_engine.finish().unwrap();
 
     println!("exact h-index    : {}", exact.estimate());

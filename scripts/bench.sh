@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the full throughput bench and writes a machine-readable summary
-# to BENCH_pr2.json at the repo root (override with $1).
+# to BENCH_pr6.json at the repo root (override with $1).
 #
 # JSON schema ("hindex-bench/v1"):
 #
@@ -37,7 +37,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_pr2.json"
+OUT="BENCH_pr6.json"
 EXTRA=()
 for arg in "$@"; do
     case "${arg}" in

@@ -16,12 +16,21 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> hindex-analysis (repo lints, deny mode)"
 cargo run -q --offline -p hindex-analysis -- --deny
 
+echo "==> observability layer (metrics, tracing, determinism)"
+cargo test -q --offline -p hindex-obs
+cargo test -q --offline -p hindex --test observability
+
+echo "==> hindex metrics smoke (non-empty Prometheus exposition)"
+cargo run -q --release --offline -p hindex-cli --bin hindex -- \
+    metrics --shards 4 --n 5000 < /dev/null \
+    | grep -q "hindex_engine_items_total 5000"
+
 echo "==> debug invariant layer (feature-gated assertions + proptests)"
 cargo test -q --offline -p hindex-hashing --features debug_invariants
 cargo test -q --offline -p hindex-sketch --features debug_invariants
 cargo test -q --offline -p hindex --features debug_invariants \
     --test invariants --test engine_schedules --test adversarial \
-    --test snapshot_roundtrip --test engine_recovery
+    --test snapshot_roundtrip --test engine_recovery --test observability
 
 echo "==> concurrency audit (best effort: miri / thread sanitizer)"
 # Both need a nightly toolchain; this gate must pass on a stock stable

@@ -25,7 +25,7 @@
 //! let eps = Epsilon::new(0.1).unwrap();
 //! let mut sketch = ShiftingWindow::new(eps);
 //! for citations in [12u64, 40, 3, 9, 27, 5, 11, 8, 19, 2] {
-//!     sketch.push(citations);
+//!     sketch.ingest(citations);
 //! }
 //! let estimate = sketch.estimate();
 //! let truth = h_index(&[12, 40, 3, 9, 27, 5, 11, 8, 19, 2]);
@@ -42,19 +42,18 @@ pub use hindex_common as common;
 pub use hindex_core as core;
 pub use hindex_engine as engine;
 pub use hindex_hashing as hashing;
+pub use hindex_obs as obs;
 pub use hindex_sketch as sketch;
 pub use hindex_stream as stream;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use hindex_common::{
-        h_index, h_support, AggregateEstimator, CashRegisterEstimator, Delta, Epsilon,
-        EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage, TurnstileEstimator,
-    };
+    pub use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Estimate, EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage, TurnstileEstimator, h_index, h_support};
     pub use hindex_core::prelude::*;
     pub use hindex_engine::{
-        BatchIngest, Degraded, EngineCheckpoint, EngineConfig, EngineError, Routable,
-        ShardedEngine,
+        BatchIngest, Degraded, EngineCheckpoint, EngineConfig, EngineError, QueryReport,
+        Routable, ShardedEngine,
     };
+    pub use hindex_obs::{EngineObserver, Event, EventKind, MetricsSnapshot, Tracer};
     pub use hindex_stream::prelude::*;
 }

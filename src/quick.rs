@@ -4,7 +4,7 @@
 //! cover the "just give me the number" path with sensible defaults and
 //! a single function call each.
 
-use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Result};
+use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Estimate, Result};
 use hindex_core::{
     CashRegisterHIndex, CashRegisterParams, HeavyHitterCandidate, HeavyHitters,
     HeavyHittersParams, ShiftingWindow,
@@ -59,7 +59,7 @@ pub fn h_index_updates<I: IntoIterator<Item = (u64, u64)>>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut est = CashRegisterHIndex::new(params, &mut rng);
     for (paper, d) in updates {
-        est.update(paper, d);
+        est.ingest(paper, d);
     }
     Ok(est.estimate())
 }

@@ -7,6 +7,7 @@
 
 use hindex::prelude::*;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -157,7 +158,7 @@ fn cash_register_adversarial_update_orders() {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut est = CashRegisterHIndex::new(params, &mut rng);
             for &(p, d) in &make_updates(order) {
-                est.update(p, d);
+                est.ingest(p, d);
             }
             let got = est.estimate();
             if (got as f64 - truth as f64).abs() <= 0.25 * n_papers as f64 {
@@ -202,16 +203,16 @@ fn sliding_window_adversarial_expiry_boundary() {
     let w = 100u64;
     let mut est = SlidingHIndex::new(eps(0.2), w, 0.05);
     for _ in 0..100 {
-        est.push(500);
+        est.ingest(500);
     }
     assert!(est.estimate() >= 70);
     // 99 junk items: one support element still inside the window.
     for _ in 0..99 {
-        est.push(0);
+        est.ingest(0);
     }
     let nearly = est.estimate();
     assert!(nearly <= 5, "stale impact lingers: {nearly}");
-    est.push(0);
+    est.ingest(0);
     assert_eq!(est.estimate(), 0);
 }
 
@@ -239,11 +240,11 @@ fn estimators_never_panic_on_fuzzed_inputs() {
         let mut a = StreamingAlphaIndex::new(eps(0.3), 2.5);
         let mut s = SlidingHIndex::new(eps(0.3), 64, 0.1);
         for &v in &values {
-            hist.push(v);
-            win.push(v);
-            g.push(v);
-            a.push(v);
-            s.push(v);
+            hist.ingest(v);
+            win.ingest(v);
+            g.ingest(v);
+            a.ingest(v);
+            s.ingest(v);
         }
         // Touch every estimate and space path.
         let _ = (
@@ -314,7 +315,7 @@ fn turnstile_batch_coalescing_handles_i64_min() {
     ];
     let mut serial = proto.clone();
     for &(i, d) in &updates {
-        TurnstileEstimator::update(&mut serial, i, d);
+        TurnstileEstimator::ingest(&mut serial, i, d);
     }
     let mut batched = proto.clone();
     batched.update_batch(&updates);

@@ -5,6 +5,7 @@
 use hindex::prelude::*;
 use hindex_baseline::FullStore;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -101,10 +102,10 @@ fn space_ordering_matches_theory_at_scale() {
     let mut hist = ExponentialHistogram::new(Epsilon::new(0.1).unwrap());
     let mut window = ShiftingWindow::new(Epsilon::new(0.1).unwrap());
     for &v in &values {
-        full.push(v);
+        full.ingest(v);
         heap.insert(v);
-        hist.push(v);
-        window.push(v);
+        hist.ingest(v);
+        window.ingest(v);
     }
     assert!(full.space_words() > heap.space_words());
     assert!(heap.space_words() > hist.space_words());
@@ -122,8 +123,8 @@ fn growing_stream_estimates_track_truth() {
     let mut seen: Vec<u64> = Vec::new();
     for chunk in values.chunks(1000) {
         for &v in chunk {
-            hist.push(v);
-            window.push(v);
+            hist.ingest(v);
+            window.ingest(v);
             seen.push(v);
         }
         let truth = h_index(&seen);

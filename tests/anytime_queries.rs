@@ -19,8 +19,8 @@ fn deterministic_sketches_valid_at_every_prefix() {
     let mut win = ShiftingWindow::new(eps(e));
     let mut exact = IncrementalHIndex::new();
     for &v in &values {
-        hist.push(v);
-        win.push(v);
+        hist.ingest(v);
+        win.ingest(v);
         exact.insert(v);
         let truth = exact.h_index();
         for (name, got) in [("hist", hist.estimate()), ("win", win.estimate())] {
@@ -43,8 +43,8 @@ fn estimates_monotone_under_growth() {
     let (mut ph, mut pw) = (0u64, 0u64);
     for _ in 0..5_000 {
         let v = rng.random_range(0..10_000u64);
-        hist.push(v);
-        win.push(v);
+        hist.ingest(v);
+        win.ingest(v);
         let (h, w) = (hist.estimate(), win.estimate());
         assert!(h >= ph, "histogram estimate decreased");
         assert!(w >= pw, "window estimate decreased");
@@ -71,8 +71,8 @@ fn cash_register_queries_mid_stream() {
         let mut exact = CashTable::new();
         for step in 0..1_500u64 {
             let paper = step % 60;
-            sketch.update(paper, 1);
-            exact.update(paper, 1);
+            sketch.ingest(paper, 1);
+            exact.ingest(paper, 1);
             if step % 300 == 299 {
                 total_checks += 1;
                 let truth = exact.estimate();
@@ -99,7 +99,7 @@ fn timeline_captures_the_trajectory() {
     let values: Vec<u64> = (1..=4_000).collect();
     let mut truths = Vec::new();
     for (step, &v) in values.iter().enumerate() {
-        est.push(v);
+        est.ingest(v);
         exact.insert(v);
         timeline.observe(step as u64, est.estimate());
         truths.push(exact.h_index());
@@ -115,6 +115,7 @@ fn timeline_captures_the_trajectory() {
         );
     }
     use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
     assert!(timeline.space_words() < 80);
 }
 

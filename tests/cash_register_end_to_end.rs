@@ -19,8 +19,8 @@ fn run_both(
     let mut exact = CashTable::new();
     let updates = Unaggregator { max_batch, shuffle: true }.stream(corpus, &mut rng);
     for u in &updates {
-        sketch.update(u.paper.0, u.delta);
-        exact.update(u.paper.0, u.delta);
+        sketch.ingest(u.paper.0, u.delta);
+        exact.ingest(u.paper.0, u.delta);
     }
     (sketch.estimate(), exact.estimate(), exact.distinct())
 }
@@ -62,7 +62,7 @@ fn exact_table_matches_aggregate_truth() {
         let mut rng = StdRng::seed_from_u64(max_batch);
         let mut exact = CashTable::new();
         for u in (Unaggregator { max_batch, shuffle: true }).stream(&corpus, &mut rng) {
-            exact.update(u.paper.0, u.delta);
+            exact.ingest(u.paper.0, u.delta);
         }
         assert_eq!(exact.estimate(), truth, "batch {max_batch}");
     }
@@ -100,8 +100,8 @@ fn sampler_values_match_exact_counts() {
     let mut sketch = CashRegisterHIndex::new(params, &mut rng);
     let mut exact = CashTable::new();
     for u in Unaggregator::default().stream(&corpus, &mut rng) {
-        sketch.update(u.paper.0, u.delta);
-        exact.update(u.paper.0, u.delta);
+        sketch.ingest(u.paper.0, u.delta);
+        exact.ingest(u.paper.0, u.delta);
     }
     let samples = sketch.draw_samples();
     assert!(!samples.is_empty());

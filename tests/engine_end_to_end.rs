@@ -7,6 +7,7 @@
 use hindex::prelude::*;
 use hindex_baseline::CashTable;
 use hindex_common::SpaceUsage;
+use hindex_common::Estimate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,11 +30,11 @@ fn exact_table_sharded_equals_serial() {
     let updates = cash_stream();
     let mut serial = CashTable::new();
     for &(p, z) in &updates {
-        serial.update(p, z);
+        serial.ingest(p, z);
     }
     for shards in [1, 2, 3, 8] {
         let mut engine = ShardedEngine::new(EngineConfig::with_shards(shards), CashTable::new());
-        engine.push_slice(&updates);
+        engine.ingest_batch(&updates);
         let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate(), "shards {shards}");
     }
@@ -48,16 +49,12 @@ fn sketch_sharded_state_identical_to_serial() {
     let prototype = sketch_prototype(11);
     let mut serial = prototype.clone();
     for &(p, z) in &updates {
-        serial.update(p, z);
+        serial.ingest(p, z);
     }
     for shards in [1, 2, 4] {
-        let config = EngineConfig {
-            shards,
-            batch_size: 512,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::builder().shards(shards).batch(512).build().unwrap();
         let mut engine = ShardedEngine::new(config, prototype.clone());
-        engine.push_slice(&updates);
+        engine.ingest_batch(&updates);
         let merged = engine.finish().unwrap();
         assert_eq!(merged.estimate(), serial.estimate(), "shards {shards}");
         assert_eq!(merged.draw_samples(), serial.draw_samples(), "shards {shards}");
@@ -72,13 +69,9 @@ fn batch_size_does_not_change_the_answer() {
     let prototype = sketch_prototype(23);
     let mut reference: Option<u64> = None;
     for batch_size in [1, 7, 256, 4096] {
-        let config = EngineConfig {
-            shards: 3,
-            batch_size,
-            queue_depth: 2,
-        };
+        let config = EngineConfig::builder().shards(3).batch(batch_size).queue_depth(2).build().unwrap();
         let mut engine = ShardedEngine::new(config, prototype.clone());
-        engine.push_slice(&updates);
+        engine.ingest_batch(&updates);
         let estimate = engine.finish().unwrap().estimate();
         match reference {
             None => reference = Some(estimate),
@@ -95,10 +88,10 @@ fn aggregate_round_robin_matches_serial() {
     let eps = Epsilon::new(0.2).unwrap();
     let values: Vec<u64> = (0..5_000u64).map(|i| (i * 37) % 4_000 + 1).collect();
     let mut serial = ExponentialHistogram::new(eps);
-    serial.push_batch(&values);
+    serial.ingest_batch(&values);
     let mut engine =
         ShardedEngine::new(EngineConfig::with_shards(4), ExponentialHistogram::new(eps));
-    engine.push_slice(&values);
+    engine.ingest_batch(&values);
     let merged = engine.finish().unwrap();
     assert_eq!(merged.counters(), serial.counters());
     assert_eq!(merged.estimate(), serial.estimate());
@@ -109,18 +102,18 @@ fn anytime_query_equals_prefix_and_ingestion_continues() {
     let updates = cash_stream();
     let (head, tail) = updates.split_at(3_000);
     let mut engine = ShardedEngine::new(EngineConfig::with_shards(2), CashTable::new());
-    engine.push_slice(head);
+    engine.ingest_batch(head);
     // query() flushes, so the snapshot covers exactly the prefix.
     let mut prefix = CashTable::new();
     for &(p, z) in head {
-        prefix.update(p, z);
+        prefix.ingest(p, z);
     }
     assert_eq!(engine.query().unwrap().estimate(), prefix.estimate());
     // The engine is still live: the tail lands on the same shards.
-    engine.push_slice(tail);
+    engine.ingest_batch(tail);
     let mut whole = CashTable::new();
     for &(p, z) in &updates {
-        whole.update(p, z);
+        whole.ingest(p, z);
     }
     assert_eq!(engine.finish().unwrap().estimate(), whole.estimate());
 }
@@ -130,7 +123,7 @@ fn same_stream_same_prototype_is_deterministic() {
     let updates = cash_stream();
     let run = || {
         let mut engine = ShardedEngine::new(EngineConfig::with_shards(4), sketch_prototype(5));
-        engine.push_slice(&updates);
+        engine.ingest_batch(&updates);
         engine.finish().unwrap()
     };
     let (a, b) = (run(), run());

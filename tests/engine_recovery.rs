@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn config(shards: usize) -> EngineConfig {
-    EngineConfig { shards, batch_size: 32, ..EngineConfig::default() }
+    EngineConfig::builder().shards(shards).batch(32).build().unwrap()
 }
 
 fn stream(n: u64) -> Vec<(u64, u64)> {
@@ -35,7 +35,7 @@ where
 {
     // Reference: one engine sees the whole stream, never interrupted.
     let mut reference = ShardedEngine::new(config(shards), proto.clone());
-    reference.push_slice(updates);
+    reference.ingest_batch(updates);
     let reference = reference.finish().expect("reference run");
 
     // Victim: ingests a prefix, checkpoints to *bytes* (as a real
@@ -44,11 +44,11 @@ where
     // lost, including any state still buffered in worker channels.
     let cut = updates.len() / 2;
     let mut victim = ShardedEngine::new(config(shards), proto);
-    victim.push_slice(&updates[..cut]);
+    victim.ingest_batch(&updates[..cut]);
     let checkpoint = victim.checkpoint().expect("checkpoint");
     assert_eq!(checkpoint.stream_offset(), cut as u64);
     let frame = checkpoint.to_bytes();
-    victim.push_slice(&updates[cut..cut + cut / 2]); // lost work
+    victim.ingest_batch(&updates[cut..cut + cut / 2]); // lost work
     drop(victim); // the crash
 
     // Recovery: decode the persisted frame, respawn, and replay the
@@ -59,7 +59,7 @@ where
     assert_eq!(restored_cp.stream_offset(), cut as u64);
     let mut recovered = ShardedEngine::restore(restored_cp);
     assert_eq!(recovered.stream_offset(), cut as u64);
-    recovered.push_slice(&updates[cut..]);
+    recovered.ingest_batch(&updates[cut..]);
     let recovered = recovered.finish().expect("recovered run");
     (reference, recovered)
 }
@@ -111,13 +111,13 @@ fn checkpoint_at_zero_replays_everything() {
     drop(victim);
 
     let mut reference = ShardedEngine::new(config(2), sketch_proto(7));
-    reference.push_slice(&updates);
+    reference.ingest_batch(&updates);
     let reference = reference.finish().unwrap();
 
     let (cp, _) =
         hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame).unwrap();
     let mut recovered = ShardedEngine::restore(cp);
-    recovered.push_slice(&updates);
+    recovered.ingest_batch(&updates);
     let recovered = recovered.finish().unwrap();
     assert_eq!(recovered.estimate(), reference.estimate());
     assert_eq!(recovered.draw_samples(), reference.draw_samples());
@@ -132,18 +132,18 @@ fn chained_checkpoints_recover_after_repeated_crashes() {
     let third = updates.len() / 3;
 
     let mut reference = ShardedEngine::new(config(3), sketch_proto(9));
-    reference.push_slice(&updates);
+    reference.ingest_batch(&updates);
     let reference = reference.finish().unwrap();
 
     let mut first = ShardedEngine::new(config(3), sketch_proto(9));
-    first.push_slice(&updates[..third]);
+    first.ingest_batch(&updates[..third]);
     let frame_a = first.checkpoint().unwrap().to_bytes();
     drop(first);
 
     let (cp_a, _) =
         hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame_a).unwrap();
     let mut second = ShardedEngine::restore(cp_a);
-    second.push_slice(&updates[third..2 * third]);
+    second.ingest_batch(&updates[third..2 * third]);
     let frame_b = second.checkpoint().unwrap().to_bytes();
     drop(second);
 
@@ -151,7 +151,7 @@ fn chained_checkpoints_recover_after_repeated_crashes() {
         hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame_b).unwrap();
     assert_eq!(cp_b.stream_offset(), 2 * third as u64);
     let mut third_run = ShardedEngine::restore(cp_b);
-    third_run.push_slice(&updates[2 * third..]);
+    third_run.ingest_batch(&updates[2 * third..]);
     let recovered = third_run.finish().unwrap();
 
     assert_eq!(recovered.estimate(), reference.estimate());
@@ -163,7 +163,7 @@ fn chained_checkpoints_recover_after_repeated_crashes() {
 #[test]
 fn restore_preserves_engine_geometry() {
     let mut engine = ShardedEngine::new(config(4), CashTable::new());
-    engine.push_slice(&stream(100));
+    engine.ingest_batch(&stream(100));
     let checkpoint = engine.checkpoint().unwrap();
     assert_eq!(checkpoint.config().shards, 4);
     assert_eq!(checkpoint.shard_states().len(), 4);

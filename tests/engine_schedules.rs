@@ -105,12 +105,12 @@ fn cash_table_bit_identical_across_schedules() {
         .collect();
     let mut serial = CashTable::new();
     for &(i, d) in &updates {
-        serial.update(i, d);
+        serial.ingest(i, d);
     }
 
-    let config = EngineConfig { shards: SHARDS, batch_size: BATCH, queue_depth: 2 };
+    let config = EngineConfig::builder().shards(SHARDS).batch(BATCH).queue_depth(2).build().unwrap();
     let mut engine = ShardedEngine::new(config, CashTable::new());
-    engine.push_slice(&updates);
+    engine.ingest_batch(&updates);
     let threaded = engine.finish().unwrap();
     assert_eq!(threaded.estimate(), serial.estimate());
     assert_eq!(threaded.distinct(), serial.distinct());
@@ -123,7 +123,7 @@ fn cash_table_bit_identical_across_schedules() {
             &queues,
             |e, batch| {
                 for &(i, d) in batch {
-                    e.update(i, d);
+                    e.ingest(i, d);
                 }
             },
             &mut rng,
@@ -142,14 +142,14 @@ fn cash_table_bit_identical_across_schedules() {
 fn exponential_histogram_bit_identical_across_schedules() {
     let values: Vec<u64> = (0..3_000u64).map(|k| (k * 7919) % 50_000).collect();
     let mut serial = ExponentialHistogram::new(Epsilon::new(0.2).unwrap());
-    serial.push_batch(&values);
+    serial.ingest_batch(&values);
 
-    let config = EngineConfig { shards: SHARDS, batch_size: BATCH, queue_depth: 2 };
+    let config = EngineConfig::builder().shards(SHARDS).batch(BATCH).queue_depth(2).build().unwrap();
     let mut engine = ShardedEngine::new(
         config,
         ExponentialHistogram::new(Epsilon::new(0.2).unwrap()),
     );
-    engine.push_slice(&values);
+    engine.ingest_batch(&values);
     let threaded = engine.finish().unwrap();
     assert_eq!(threaded.counters(), serial.counters());
 
@@ -159,7 +159,7 @@ fn exponential_histogram_bit_identical_across_schedules() {
         let states = replay_schedule(
             &ExponentialHistogram::new(Epsilon::new(0.2).unwrap()),
             &queues,
-            |e, batch| e.push_batch(batch),
+            |e, batch| e.ingest_batch(batch),
             &mut rng,
         );
         let merged = merge_in_order(&states, &shuffled_order(SHARDS, &mut rng));
@@ -189,12 +189,12 @@ fn turnstile_bit_identical_across_schedules_with_retractions() {
     );
     let mut serial = proto.clone();
     for &(i, d) in &updates {
-        TurnstileEstimator::update(&mut serial, i, d);
+        TurnstileEstimator::ingest(&mut serial, i, d);
     }
 
-    let config = EngineConfig { shards: SHARDS, batch_size: BATCH, queue_depth: 2 };
+    let config = EngineConfig::builder().shards(SHARDS).batch(BATCH).queue_depth(2).build().unwrap();
     let mut engine = ShardedEngine::new(config, proto.clone());
-    engine.push_slice(&updates);
+    engine.ingest_batch(&updates);
     let threaded = engine.finish().unwrap();
     assert_eq!(threaded.estimate(), serial.estimate());
 

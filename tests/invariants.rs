@@ -23,7 +23,7 @@ proptest::proptest! {
     ) {
         let mut eh = ExponentialHistogram::new(Epsilon::new(0.15).unwrap());
         for &v in &values {
-            eh.push(v);
+            eh.ingest(v);
         }
         let counters = eh.counters();
         for pair in counters.windows(2) {
@@ -46,7 +46,7 @@ proptest::proptest! {
         );
         let mut state = proto.clone();
         for &(i, d) in &updates {
-            TurnstileEstimator::update(&mut state, i, d);
+            TurnstileEstimator::ingest(&mut state, i, d);
         }
         let before = state.state_digest();
         state.merge(&proto);
@@ -70,10 +70,10 @@ proptest::proptest! {
         let mut a = proto.clone();
         let mut b = proto.clone();
         for &(i, d) in &updates[..cut] {
-            TurnstileEstimator::update(&mut a, i, d);
+            TurnstileEstimator::ingest(&mut a, i, d);
         }
         for &(i, d) in &updates[cut..] {
-            TurnstileEstimator::update(&mut b, i, d);
+            TurnstileEstimator::ingest(&mut b, i, d);
         }
         let mut ab = a.clone();
         ab.merge(&b);
@@ -119,7 +119,7 @@ proptest::proptest! {
         updates in proptest::collection::vec((0u64..1_000, 1i64..1_000), 1..60),
     ) {
         let empty = OneSparseRecovery::with_point(987_654_321);
-        let mut cell = empty.clone();
+        let mut cell = empty;
         for &(i, d) in &updates {
             cell.update(i, d);
         }

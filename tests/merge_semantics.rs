@@ -249,8 +249,8 @@ fn g_index_sharded_equals_single_stream() {
     let mut whole = StreamingGIndex::new(eps);
     let mut shards: Vec<StreamingGIndex> = (0..4).map(|_| StreamingGIndex::new(eps)).collect();
     for (k, &v) in values.iter().enumerate() {
-        whole.push(v);
-        shards[k % 4].push(v);
+        whole.ingest(v);
+        shards[k % 4].ingest(v);
     }
     let merged = merge_shards(shards);
     assert_eq!(merged.estimate(), whole.estimate());
@@ -270,12 +270,12 @@ fn cash_register_sharded_equals_single_stream() {
     // Single-stream reference.
     let mut whole = proto.clone();
     for u in &updates {
-        whole.update(u.paper.0, u.delta);
+        whole.ingest(u.paper.0, u.delta);
     }
     // Four shards, round-robin.
     let mut shards: Vec<CashRegisterHIndex> = (0..4).map(|_| proto.clone()).collect();
     for (i, u) in updates.iter().enumerate() {
-        shards[i % 4].update(u.paper.0, u.delta);
+        shards[i % 4].ingest(u.paper.0, u.delta);
     }
     let mut merged = shards.remove(0);
     for s in &shards {
@@ -345,8 +345,8 @@ fn cash_table_merge_equals_concatenation_exactly() {
     let mut whole = CashTable::new();
     let mut shards: Vec<CashTable> = (0..3).map(|_| CashTable::new()).collect();
     for (k, &(i, d)) in updates.iter().enumerate() {
-        whole.update(i, d);
-        shards[k % 3].update(i, d);
+        whole.ingest(i, d);
+        shards[k % 3].ingest(i, d);
     }
     let merged = merge_shards(shards);
     assert_eq!(merged.estimate(), whole.estimate());

@@ -17,6 +17,7 @@ use hindex::prelude::*;
 use hindex_baseline::{CashTable, FullStore};
 use hindex_common::snapshot::{Snapshot, SnapshotError};
 use hindex_common::ExpGrid;
+use hindex_common::Estimate;
 use hindex_hashing::{PairwiseHash, PolynomialHash, PowerLadder, TabulationHash};
 use hindex_sketch::{
     Bjkst, Dgim, DistinctCounter, Kmv, L0Norm, L0Sampler, OneSparseRecovery, SparseRecovery,
@@ -117,7 +118,7 @@ fn all_cases() -> Vec<(&'static str, Vec<u8>, Decoder)> {
     let params = CashRegisterParams::Additive { epsilon: eps, delta };
     let mut cash = CashRegisterHIndex::new(params, &mut rng);
     for i in 0..1_500u64 {
-        cash.update(i % 200, 1 + i % 3);
+        cash.ingest(i % 200, 1 + i % 3);
     }
     cases.push(case("cash_register_h_index", &cash));
 
@@ -142,14 +143,14 @@ fn all_cases() -> Vec<(&'static str, Vec<u8>, Decoder)> {
 
     let mut g_index = StreamingGIndex::new(eps);
     for v in (0..1_000u64).map(|i| (i * 7) % 400 + 1) {
-        g_index.push(v);
+        g_index.ingest(v);
     }
     cases.push(case("streaming_g_index", &g_index));
 
     // Baselines.
     let mut table = CashTable::new();
     for i in 0..600u64 {
-        table.update(i % 97, 1 + i % 4);
+        table.ingest(i % 97, 1 + i % 4);
     }
     cases.push(case("cash_table", &table));
 
@@ -158,10 +159,10 @@ fn all_cases() -> Vec<(&'static str, Vec<u8>, Decoder)> {
     cases.push(case("full_store", &store));
 
     // Engine checkpoint (nested frames all the way down).
-    let config = EngineConfig { shards: 3, batch_size: 16, ..EngineConfig::default() };
+    let config = EngineConfig::builder().shards(3).batch(16).build().unwrap();
     let mut engine = ShardedEngine::new(config, CashTable::new());
     let updates: Vec<(u64, u64)> = (0..300u64).map(|k| (k % 40, 1)).collect();
-    engine.push_slice(&updates);
+    engine.ingest_batch(&updates);
     let checkpoint = engine.checkpoint().expect("no shard died");
     engine.finish().expect("clean finish");
     cases.push(case("engine_checkpoint", &checkpoint));
@@ -188,7 +189,7 @@ fn roundtrip_preserves_estimates_and_decodes() {
     let params = CashRegisterParams::Additive { epsilon: eps, delta };
     let mut cash = CashRegisterHIndex::new(params, &mut rng);
     for i in 0..2_000u64 {
-        cash.update(i % 150, 1);
+        cash.ingest(i % 150, 1);
     }
     let cash2 = roundtrip("cash_register_h_index", &cash);
     assert_eq!(cash2.estimate(), cash.estimate());
@@ -210,7 +211,7 @@ fn roundtrip_preserves_estimates_and_decodes() {
 
     let mut g_index = StreamingGIndex::new(eps);
     for v in 1..=500u64 {
-        g_index.push(v);
+        g_index.ingest(v);
     }
     let g2 = roundtrip("streaming_g_index", &g_index);
     assert_eq!(g2.estimate(), g_index.estimate());
@@ -229,7 +230,7 @@ fn roundtrip_preserves_estimates_and_decodes() {
 
     let mut table = CashTable::new();
     for i in 0..400u64 {
-        table.update(i % 61, 1 + i % 5);
+        table.ingest(i % 61, 1 + i % 5);
     }
     let table2 = roundtrip("cash_table", &table);
     assert_eq!(table2.estimate(), table.estimate());
@@ -267,8 +268,8 @@ fn roundtrip_preserves_state_digests() {
     let mut cash = CashRegisterHIndex::new(params, &mut rng);
     let mut turnstile = TurnstileHIndex::with_sampler_count(eps, delta, 9, &mut rng);
     for i in 0..600u64 {
-        cash.update(i % 90, 1);
-        turnstile.update(i % 90, 1);
+        cash.ingest(i % 90, 1);
+        turnstile.ingest(i % 90, 1);
     }
     assert_eq!(
         roundtrip("cash_register_h_index", &cash).state_digest(),
@@ -350,7 +351,7 @@ fn hostile_length_prefix_rejected_without_allocation() {
 #[test]
 fn foreign_frames_and_future_versions_rejected() {
     let mut store = FullStore::new();
-    store.push(42);
+    store.ingest(42);
     let bytes = store.to_bytes();
 
     // Another implementor's frame: tag mismatch, typed error.
@@ -384,7 +385,7 @@ proptest::proptest! {
     ) {
         let mut table = CashTable::new();
         for &(p, d) in &updates {
-            table.update(p, d);
+            table.ingest(p, d);
         }
         let back = roundtrip("cash_table", &table);
         proptest::prop_assert_eq!(back.estimate(), table.estimate());

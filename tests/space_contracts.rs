@@ -13,7 +13,7 @@ fn theorem_5_space_bound() {
         let mut est = ExponentialHistogram::new(Epsilon::new(eps).unwrap());
         let mut rng = StdRng::seed_from_u64(n);
         for _ in 0..n.min(200_000) {
-            est.push(rng.random_range(0..=n));
+            est.ingest(rng.random_range(0..=n));
         }
         let bound = 2.0 / eps * (n as f64).ln() + 2.0;
         assert!(
@@ -32,7 +32,7 @@ fn theorem_6_space_independent_of_n() {
             let mut est = ShiftingWindow::new(Epsilon::new(eps).unwrap());
             let mut rng = StdRng::seed_from_u64(n);
             for _ in 0..n {
-                est.push(rng.random_range(0..u64::from(u32::MAX)));
+                est.ingest(rng.random_range(0..u64::from(u32::MAX)));
             }
             est.space_words()
         };
@@ -57,7 +57,7 @@ fn theorem_9_constant_space() {
     let before = est.space_words();
     let mut rng = StdRng::seed_from_u64(0);
     for _ in 0..100_000u64 {
-        est.push(rng.random_range(0..1_000_000));
+        est.ingest(rng.random_range(0..1_000_000));
     }
     // Space never grows with the stream.
     assert_eq!(est.space_words(), before);
@@ -75,7 +75,7 @@ fn theorem_14_space_stream_independent() {
     let mut est = CashRegisterHIndex::new(params, &mut rng);
     let empty_words = est.space_words();
     for i in 0..20_000u64 {
-        est.update(i % 500, 1);
+        est.ingest(i % 500, 1);
     }
     let full_words = est.space_words();
     // Linear sketches: size fixed at construction up to the BJKST
@@ -153,14 +153,10 @@ fn engine_space_accounts_shards_and_channels() {
     };
     let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(8));
     let proto_words = prototype.space_words();
-    let config = hindex_engine::EngineConfig {
-        shards: 3,
-        batch_size: 64,
-        queue_depth: 2,
-    };
+    let config = hindex_engine::EngineConfig::builder().shards(3).batch(64).queue_depth(2).build().unwrap();
     let mut engine = ShardedEngine::new(config, prototype);
     for i in 0..5_000u64 {
-        engine.push((i % 200, 1));
+        engine.ingest((i % 200, 1));
     }
     // (u64, u64) items occupy two words per slot.
     let channel_words = 3 * 2 * 64 * 2;
@@ -187,15 +183,11 @@ fn exact_engine_space_partitions_keys() {
     use hindex_baseline::CashTable;
     use hindex_common::CashRegisterEstimator as _;
     let mut single = CashTable::new();
-    let config = hindex_engine::EngineConfig {
-        shards: 4,
-        batch_size: 32,
-        queue_depth: 2,
-    };
+    let config = hindex_engine::EngineConfig::builder().shards(4).batch(32).queue_depth(2).build().unwrap();
     let mut engine = ShardedEngine::new(config, CashTable::new());
     for i in 0..3_000u64 {
-        single.update(i % 500, 2);
-        engine.push((i % 500, 2));
+        single.ingest(i % 500, 2);
+        engine.ingest((i % 500, 2));
     }
     engine.flush();
     let channel_words = 4 * 2 * 32 * 2;
@@ -220,9 +212,9 @@ fn extension_estimators_space_value_range_bounded() {
         let mut sliding = SlidingHIndex::new(eps, 256, 0.1);
         for i in 0..n {
             let v = (i * 31) % 1_000 + 1; // gcd(31, 1000) = 1: full range every 1 000 steps
-            g.push(v);
-            alpha.push(v);
-            sliding.push(v);
+            g.ingest(v);
+            alpha.ingest(v);
+            sliding.ingest(v);
         }
         (g.space_words(), alpha.space_words(), sliding.space_words())
     };
@@ -255,8 +247,8 @@ fn baselines_pay_linear_space() {
     let mut full = FullStore::new();
     let mut table = CashTable::new();
     for i in 0..10_000u64 {
-        full.push(i);
-        table.update(i, 1);
+        full.ingest(i);
+        table.ingest(i, 1);
     }
     assert!(full.space_words() >= 10_000);
     assert!(table.space_words() >= 10_000);
