@@ -729,7 +729,10 @@ impl crate::Lint for ObservabilityWiring {
 ///
 /// Approximation: brace-matched scan of `impl <EstimatorTrait> for ..`
 /// blocks; `fn push` on inherent impls or non-estimator traits (ring
-/// buffers, `Vec` wrappers) is deliberately not flagged.
+/// buffers, `Vec` wrappers) is deliberately not flagged — except in
+/// `crates/baseline/`, where the exact reference tables *are* the
+/// estimators and an inherent `fn update`/`fn push` masquerades as the
+/// legacy API, so there every non-test impl block is checked.
 pub struct LegacyIngestVerbs;
 
 /// The banned method names inside estimator-trait impl blocks.
@@ -747,6 +750,7 @@ impl crate::Lint for LegacyIngestVerbs {
             if file.kind != FileKind::Library {
                 continue;
             }
+            let in_baseline = file.path.contains("crates/baseline/");
             let toks = &file.tokens;
             let mut i = 0usize;
             while i < toks.len() {
@@ -796,18 +800,32 @@ impl crate::Lint for LegacyIngestVerbs {
                         if depth == 0 {
                             break;
                         }
-                    } else if is_estimator && t.is_ident("fn") {
+                    } else if (is_estimator || in_baseline) && t.is_ident("fn") {
                         if let Some(name) = toks.get(j + 1) {
                             if LEGACY_VERBS.contains(&name.text.as_str()) {
+                                let (snippet, message) = if is_estimator {
+                                    (
+                                        format!("fn {} in estimator impl", name.text),
+                                        format!(
+                                            "estimator-trait impl re-defines legacy verb                                              `{}`; the unified vocabulary is                                              ingest/ingest_batch",
+                                            name.text
+                                        ),
+                                    )
+                                } else {
+                                    (
+                                        format!("fn {} in baseline impl", name.text),
+                                        format!(
+                                            "baseline table defines legacy verb `{}`;                                              the exact references use the same                                              ingest/ingest_batch vocabulary as the                                              sketches they calibrate",
+                                            name.text
+                                        ),
+                                    )
+                                };
                                 out.push(Finding::new(
                                     "L8",
                                     &file.path,
                                     name.line,
-                                    &format!("fn {} in estimator impl", name.text),
-                                    format!(
-                                        "estimator-trait impl re-defines legacy verb                                          `{}`; the unified vocabulary is                                          ingest/ingest_batch",
-                                        name.text
-                                    ),
+                                    &snippet,
+                                    message,
                                     Some(
                                         "implement `ingest` (and optionally                                          `ingest_batch`) instead; the deprecated                                          shims delegate automatically"
                                             .to_string(),
@@ -883,9 +901,10 @@ mod tests {
         let f = SourceFile::parse(TRACE_FILE.into(), &contents);
         let names: Vec<String> =
             event_kind_variants(&f).into_iter().map(|(n, _)| n).collect();
-        assert_eq!(names.len(), 9, "{names:?}");
+        assert_eq!(names.len(), 10, "{names:?}");
         assert!(names.contains(&"PushBatch".to_string()));
         assert!(names.contains(&"SnapshotDecode".to_string()));
+        assert!(names.contains(&"BankBatch".to_string()));
     }
 
     #[test]
@@ -920,6 +939,33 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].snippet.contains("fn push"));
         assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn l8_flags_inherent_legacy_verbs_in_baseline() {
+        let ws = ws(&[
+            (
+                "crates/baseline/src/table.rs",
+                "impl Table {\n\
+                     pub fn update(&mut self, i: u64, d: i64) {}\n\
+                     pub fn h_index(&self) -> u64 { 0 }\n\
+                 }\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                     impl Helper { fn push(&mut self, v: u64) {} }\n\
+                 }\n",
+            ),
+            // The same inherent verb outside baseline stays legal.
+            (
+                "crates/sketch/src/ring.rs",
+                "impl Ring { pub fn push(&mut self, v: u64) {} }\n",
+            ),
+        ]);
+        let mut findings = Vec::new();
+        crate::Lint::run(&LegacyIngestVerbs, &ws, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].snippet.contains("fn update in baseline impl"));
+        assert_eq!(findings[0].line, 2);
     }
 
     #[test]

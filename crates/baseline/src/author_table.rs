@@ -24,7 +24,7 @@ impl AuthorTable {
     }
 
     /// Feeds one paper tuple; the paper counts toward each author.
-    pub fn push(&mut self, paper: &Paper) {
+    pub fn ingest(&mut self, paper: &Paper) {
         self.total_citations += paper.citations;
         for &a in &paper.authors {
             self.authors.entry(a).or_default().insert(paper.citations);
@@ -89,7 +89,7 @@ mod tests {
     fn feed(corpus: &Corpus) -> AuthorTable {
         let mut t = AuthorTable::new();
         for p in corpus.papers() {
-            t.push(p);
+            t.ingest(p);
         }
         t
     }
@@ -129,7 +129,7 @@ mod tests {
         use hindex_stream::Paper;
         let mut t = AuthorTable::new();
         for i in 0..100u64 {
-            t.push(&Paper::solo(i, i % 10, 1000));
+            t.ingest(&Paper::solo(i, i % 10, 1000));
         }
         // 10 authors with h = 10 each: ~10·(10+2) words.
         let w = t.space_words();

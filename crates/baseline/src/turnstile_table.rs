@@ -24,7 +24,7 @@ impl TurnstileTable {
     }
 
     /// Applies `V[index] += delta`.
-    pub fn update(&mut self, index: u64, delta: i64) {
+    pub fn ingest(&mut self, index: u64, delta: i64) {
         if delta == 0 {
             return;
         }
@@ -36,7 +36,7 @@ impl TurnstileTable {
             self.counts.remove(&index);
         }
         if old > 0 {
-            // Same lockstep argument as `CashTable::update`: degrade
+            // Same lockstep argument as `CashTable::ingest`: degrade
             // instead of panicking (lint L3), with the invariant layer
             // asserting sync in debug runs.
             hindex_common::debug_invariant!(
@@ -107,7 +107,7 @@ mod tests {
     fn insert_only_matches_offline() {
         let mut t = TurnstileTable::new();
         for (i, c) in [(0u64, 10i64), (1, 5), (2, 3), (3, 3), (4, 1)] {
-            t.update(i, c);
+            t.ingest(i, c);
         }
         assert_eq!(t.h_index(), 3);
     }
@@ -116,11 +116,11 @@ mod tests {
     fn retraction_decreases_h() {
         let mut t = TurnstileTable::new();
         for p in 0..10u64 {
-            t.update(p, 10);
+            t.ingest(p, 10);
         }
         assert_eq!(t.h_index(), 10);
         for p in 0..6u64 {
-            t.update(p, -10);
+            t.ingest(p, -10);
         }
         assert_eq!(t.h_index(), 4);
     }
@@ -128,9 +128,9 @@ mod tests {
     #[test]
     fn negative_counts_clamped() {
         let mut t = TurnstileTable::new();
-        t.update(1, 5);
-        t.update(1, -8); // net −3
-        t.update(2, 2);
+        t.ingest(1, 5);
+        t.ingest(1, -8); // net −3
+        t.ingest(2, 2);
         assert_eq!(t.count(1), -3);
         assert_eq!(t.h_index(), 1); // only paper 2 counts
         assert_eq!(t.l0(), 2); // both are non-zero coordinates
@@ -139,8 +139,8 @@ mod tests {
     #[test]
     fn exact_zero_coordinates_leave_table() {
         let mut t = TurnstileTable::new();
-        t.update(7, 4);
-        t.update(7, -4);
+        t.ingest(7, 4);
+        t.ingest(7, -4);
         assert_eq!(t.l0(), 0);
         assert_eq!(t.h_index(), 0);
     }
@@ -153,7 +153,7 @@ mod tests {
             let mut t = TurnstileTable::new();
             let mut truth: HashMap<u64, i64> = HashMap::new();
             for &(i, d) in &updates {
-                t.update(i, d);
+                t.ingest(i, d);
                 let e = truth.entry(i).or_insert(0);
                 *e += d;
                 if *e == 0 {
@@ -170,7 +170,7 @@ mod tests {
         ) {
             let mut t = TurnstileTable::new();
             for &(i, d) in &updates {
-                t.update(i, d);
+                t.ingest(i, d);
             }
             // Histogram multiplicities must sum to the number of
             // positive coordinates.

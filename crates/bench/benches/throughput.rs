@@ -38,10 +38,12 @@
 //! ```
 //!
 //! Flags (after `--`): `--quick` runs a reduced `kernels`-only smoke
-//! pass (CI); `--json PATH` writes every recorded measurement plus
-//! derived shard-scaling ratios as JSON (schema documented in
-//! `scripts/bench.sh`). Unrecognized flags (e.g. the `--bench` cargo
-//! injects) are ignored.
+//! pass (CI); `--only GROUP` runs a single group at full size (the
+//! perf-regression gate in `scripts/check.sh` uses
+//! `--only cash_update`); `--json PATH` writes every recorded
+//! measurement plus derived shard-scaling ratios as JSON (schema
+//! documented in `scripts/bench.sh`). Unrecognized flags (e.g. the
+//! `--bench` cargo injects) are ignored.
 
 use hindex_baseline::{AuthorTable, CashTable, FullStore};
 use hindex_bench::workloads::{hh_corpus, zipf_counts};
@@ -263,7 +265,17 @@ fn cash_update() {
         epsilon: Epsilon::new(0.3).unwrap(),
         delta: Delta::new(0.2).unwrap(),
     };
+    // The production ingestion path: one `ingest_batch` call, which
+    // coalesces the raw updates and drives the bank-wide tile kernel
+    // (shared hashes, survivor-only level dispatch).
     bench("cash_update", "alg6_l0_bank_x77", n, 5, || {
+        let mut est = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3));
+        est.ingest_batch(&updates);
+        est.estimate()
+    });
+    // Reference: the same bank driven one scalar update at a time —
+    // what every update paid before the bank kernel existed.
+    bench("cash_update", "alg6_scalar_x77", n, 3, || {
         let mut est = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(3));
         for &(i, d) in &updates {
             est.ingest(i, d);
@@ -296,7 +308,7 @@ fn heavy_hitters_push() {
     bench("heavy_hitters", "exact_author_table", n, 11, || {
         let mut t = AuthorTable::new();
         for p in papers {
-            t.push(p);
+            t.ingest(p);
         }
         t.heavy_hitters(0.2).len()
     });
@@ -331,7 +343,7 @@ fn substrates() {
 }
 
 fn extensions() {
-    use hindex_core::{SlidingHIndex, StreamingGIndex, TurnstileHIndex};
+    use hindex_core::{ShiftingWindow, SlidingHIndex, StreamingGIndex, TurnstileHIndex};
     use hindex_sketch::{Dgim, HyperLogLog};
     let values = zipf_counts(50_000, 2.0, 9);
     let n = values.len() as u64;
@@ -341,6 +353,23 @@ fn extensions() {
         for &v in &values {
             est.ingest(v);
         }
+        est.estimate()
+    });
+    bench("extensions", "sliding_window_batch", n, 5, || {
+        let mut est = SlidingHIndex::new(eps, 4096, 0.1);
+        est.ingest_batch(&values);
+        est.estimate()
+    });
+    bench("extensions", "shifting_window_push", n, 5, || {
+        let mut est = ShiftingWindow::new(eps);
+        for &v in &values {
+            est.ingest(v);
+        }
+        est.estimate()
+    });
+    bench("extensions", "shifting_window_batch", n, 5, || {
+        let mut est = ShiftingWindow::new(eps);
+        est.ingest_batch(&values);
         est.estimate()
     });
     bench("extensions", "g_index_push", n, 5, || {
@@ -650,6 +679,11 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     println!(
         "{:<18} {:<24} {:>13}  {:>17}  {:>15}",
         "group", "benchmark", "median", "per element", "throughput"
@@ -657,6 +691,25 @@ fn main() {
     if quick {
         // CI smoke: the kernel comparisons only, at ~10× reduced sizes.
         kernels(true);
+    } else if let Some(group) = only {
+        // One group at full size, for targeted runs (`--only cash_update`
+        // backs the perf-regression gate in `scripts/check.sh`).
+        match group.as_str() {
+            "aggregate_push" => aggregate_push(),
+            "aggregate_query" => aggregate_query(),
+            "cash_update" => cash_update(),
+            "heavy_hitters" => heavy_hitters_push(),
+            "substrates" => substrates(),
+            "extensions" => extensions(),
+            "kernels" => kernels(false),
+            "engine_scaling" => engine_scaling(),
+            "engine_overheads" => engine_overheads(),
+            "obs_overhead" => obs_overhead(),
+            other => {
+                eprintln!("unknown --only group `{other}`");
+                std::process::exit(2);
+            }
+        }
     } else {
         aggregate_push();
         aggregate_query();

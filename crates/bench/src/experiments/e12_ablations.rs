@@ -94,7 +94,7 @@ fn e12b() {
     let mut table = AuthorTable::new();
     for p in corpus.papers() {
         hh.push(p);
-        table.push(p);
+        table.ingest(p);
         for a in &p.authors {
             cm.add(a.0, p.citations);
             mg.add(a.0, p.citations);

@@ -82,7 +82,7 @@ fn e13b() {
             Box::new(|s, e| {
                 for p in 0..40u64 {
                     s.update(p, 50);
-                    e.update(p, 50);
+                    e.ingest(p, 50);
                 }
             }),
         ),
@@ -91,7 +91,7 @@ fn e13b() {
             Box::new(|s, e| {
                 for p in 0..25u64 {
                     s.update(p, -50);
-                    e.update(p, -50);
+                    e.ingest(p, -50);
                 }
             }),
         ),
@@ -100,7 +100,7 @@ fn e13b() {
             Box::new(|s, e| {
                 for p in 0..10u64 {
                     s.update(p, 60);
-                    e.update(p, 60);
+                    e.ingest(p, 60);
                 }
             }),
         ),

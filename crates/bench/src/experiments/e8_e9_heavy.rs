@@ -127,7 +127,7 @@ pub fn e9() {
         }
         let mut table = AuthorTable::new();
         for p in corpus.papers() {
-            table.push(p);
+            table.ingest(p);
         }
         t.row(vec![
             format!("{heavy:?}"),
@@ -163,7 +163,7 @@ pub fn e9() {
         let mut table = AuthorTable::new();
         for p in corpus.papers() {
             hh.push(p);
-            table.push(p);
+            table.ingest(p);
         }
         t.row(vec![
             (n_noise + 2).to_string(),

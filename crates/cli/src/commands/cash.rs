@@ -59,7 +59,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
         ("exact", true) => {
             let mut est = TurnstileTable::new();
             for &(p, d) in &updates {
-                est.update(p, d);
+                est.ingest(p, d);
             }
             ("exact turnstile table".into(), est.h_index(), est.space_words())
         }

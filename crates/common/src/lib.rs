@@ -28,6 +28,7 @@ pub mod hindex;
 pub mod invariants;
 pub mod params;
 pub mod snapshot;
+pub mod telemetry;
 pub mod traits;
 pub mod variants;
 
@@ -37,6 +38,7 @@ pub use grid::ExpGrid;
 pub use hindex::{h_index, h_index_sorted_desc, h_support, IncrementalHIndex};
 pub use params::{Delta, Epsilon};
 pub use snapshot::{Snapshot, SnapshotError};
+pub use telemetry::BankCounters;
 pub use traits::{
     AggregateEstimator, CashRegisterEstimator, Estimate, EstimatorParams, Mergeable, SpaceUsage,
     TurnstileEstimator,

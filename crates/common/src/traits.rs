@@ -117,6 +117,15 @@ pub trait CashRegisterEstimator: Estimate {
         }
     }
 
+    /// Bank-batching telemetry accumulated by this estimator's ingest
+    /// kernel, if it exposes any (see
+    /// [`BankCounters`](crate::telemetry::BankCounters)). The engine
+    /// surfaces this through the observability layer after merging
+    /// shards; estimators without a bank kernel report `None`.
+    fn bank_counters(&self) -> Option<crate::telemetry::BankCounters> {
+        None
+    }
+
     /// Deprecated spelling of [`CashRegisterEstimator::ingest`].
     #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
     fn update(&mut self, index: u64, delta: u64) {

@@ -28,12 +28,18 @@
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
-    CashRegisterEstimator, Delta, Epsilon, Estimate, EstimatorParams, ExpGrid, Mergeable,
-    SpaceUsage,
+    BankCounters, CashRegisterEstimator, Delta, Epsilon, Estimate, EstimatorParams, ExpGrid,
+    Mergeable, SpaceUsage,
 };
+use hindex_hashing::{from_i64, mersenne_mul, PowerLadder};
 use hindex_sketch::distinct::DistinctCounter;
-use hindex_sketch::{Bjkst, L0Sampler, L0SamplerParams};
+use hindex_sketch::{BankScratch, Bjkst, L0Sampler, L0SamplerParams};
 use rand::Rng;
+use std::sync::Arc;
+
+/// Tile size of the bank ingest kernel: matches the sparse-recovery
+/// batch tile, so one column-hash sweep per row serves a whole tile.
+const BANK_TILE: usize = 256;
 
 /// Which guarantee the sampler count is sized for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,6 +118,12 @@ pub struct CashRegisterHIndex {
     distinct: Bjkst,
     /// Largest value a single update has carried (caps the level scan).
     max_seen: u64,
+    /// Working buffers for the bank tile kernel — derived scratch, not
+    /// sketch state (excluded from snapshots and digests).
+    scratch: BankScratch,
+    /// Bank-batching telemetry — operational counters, not sketch
+    /// state (excluded from snapshots and digests; summed on merge).
+    counters: BankCounters,
 }
 
 impl CashRegisterHIndex {
@@ -138,7 +150,22 @@ impl CashRegisterHIndex {
         // the Chernoff estimate over x samplers absorbs that, so default
         // per-sampler parameters suffice.
         let sampler_params = L0SamplerParams::default();
-        let samplers = (0..x).map(|_| L0Sampler::new(sampler_params, rng)).collect();
+        // One fingerprint ladder serves the whole bank: the bank
+        // kernel then evaluates each update's fingerprint term once
+        // for all x samplers. `with_shared_ladder` burns the point
+        // draw `new` would make, so the bank consumes the same RNG
+        // stream as independent per-sampler construction.
+        let mut samplers = Vec::with_capacity(x);
+        let first = L0Sampler::new(sampler_params, rng);
+        let ladder = Arc::clone(first.ladder_arc());
+        samplers.push(first);
+        for _ in 1..x {
+            samplers.push(L0Sampler::with_shared_ladder(
+                sampler_params,
+                Arc::clone(&ladder),
+                rng,
+            ));
+        }
         let distinct = Bjkst::new(
             params.epsilon().get().min(0.25),
             params.delta().split(2).get(),
@@ -150,7 +177,21 @@ impl CashRegisterHIndex {
             samplers,
             distinct,
             max_seen: 0,
+            scratch: BankScratch::default(),
+            counters: BankCounters::default(),
         }
+    }
+
+    /// The bank-wide shared ladder, when every sampler still shares
+    /// one — always true for freshly built estimators. Snapshots
+    /// written before bank sharing restore per-sampler points; those
+    /// banks return `None` and take the per-sampler batch path.
+    fn bank_ladder(&self) -> Option<Arc<PowerLadder>> {
+        let first = self.samplers.first()?.ladder_arc();
+        self.samplers[1..]
+            .iter()
+            .all(|s| Arc::ptr_eq(s.ladder_arc(), first))
+            .then(|| Arc::clone(first))
     }
 
     /// The configured parameters.
@@ -260,6 +301,22 @@ impl Snapshot for CashRegisterHIndex {
         for _ in 0..count {
             samplers.push(r.get_nested::<L0Sampler>()?);
         }
+        // Re-establish bank-wide ladder sharing when the snapshot's
+        // samplers carry one fingerprint point (anything this version
+        // writes). Older snapshots with per-sampler points decode
+        // unchanged and take the per-sampler batch path.
+        if let Some(first) = samplers.first() {
+            let ladder = Arc::clone(first.ladder_arc());
+            if samplers[1..]
+                .iter()
+                .all(|s| s.ladder_arc().same_base(&ladder))
+            {
+                for s in &mut samplers[1..] {
+                    let shared = s.share_ladder(&ladder);
+                    debug_assert!(shared);
+                }
+            }
+        }
         let distinct = r.get_nested::<Bjkst>()?;
         let max_seen = r.get_u64()?;
         Ok(Self {
@@ -268,6 +325,8 @@ impl Snapshot for CashRegisterHIndex {
             samplers,
             distinct,
             max_seen,
+            scratch: BankScratch::default(),
+            counters: BankCounters::default(),
         })
     }
 }
@@ -289,6 +348,9 @@ impl Mergeable for CashRegisterHIndex {
         }
         self.distinct.merge(&other.distinct);
         self.max_seen = self.max_seen.max(other.max_seen);
+        // Telemetry sums across shards so a merged estimator reports
+        // the whole run's bank totals.
+        self.counters.absorb(&other.counters);
     }
 }
 
@@ -355,6 +417,7 @@ impl CashRegisterEstimator for CashRegisterHIndex {
     fn ingest_batch(&mut self, updates: &[(u64, u64)]) {
         // `max_seen` tracks the largest *single-update* delta, so take
         // it from the raw deltas before coalescing sums them.
+        self.counters.raw_updates += updates.len() as u64;
         for &(_, z) in updates {
             self.max_seen = self.max_seen.max(z);
         }
@@ -372,17 +435,53 @@ impl CashRegisterEstimator for CashRegisterHIndex {
         if coalesced.is_empty() {
             return;
         }
-        // The sampler bank takes the coalesced batch through the
-        // batched kernel path (one level-hash Horner sweep, one ladder
-        // pow per distinct index per sampler); BJKST stays per-index.
         let signed: Vec<(u64, i64)> =
             coalesced.iter().map(|&(i, z)| (i, z as i64)).collect();
-        for s in &mut self.samplers {
-            s.update_batch(&signed);
+        if let Some(ladder) = self.bank_ladder() {
+            // Bank kernel: tile the coalesced batch, evaluate each
+            // item's fingerprint term `z · r^i` once at the
+            // bank-shared point, and let every sampler dispatch the
+            // tile through survivor-only level batching. State stays
+            // bit-identical to the scalar loop — the kernels reorder
+            // only commutative exact additions.
+            let mut idx: Vec<u64> = Vec::with_capacity(BANK_TILE.min(signed.len()));
+            let mut del: Vec<i64> = Vec::with_capacity(idx.capacity());
+            let mut terms: Vec<u64> = Vec::with_capacity(idx.capacity());
+            for chunk in signed.chunks(BANK_TILE) {
+                idx.clear();
+                del.clear();
+                terms.clear();
+                for &(i, z) in chunk {
+                    idx.push(i);
+                    del.push(z);
+                    terms.push(mersenne_mul(from_i64(z), ladder.pow(i)));
+                }
+                let mut touches = 0u64;
+                for s in &mut self.samplers {
+                    touches += s.ingest_tile_with_terms(&idx, &del, &terms, &mut self.scratch);
+                }
+                self.counters.tiles += 1;
+                self.counters.tile_items += chunk.len() as u64;
+                self.counters.tile_capacity += BANK_TILE as u64;
+                self.counters.level_touches += touches;
+                self.counters.pow_evals += chunk.len() as u64;
+                self.counters.pow_reused +=
+                    (chunk.len() * (self.samplers.len() - 1)) as u64;
+            }
+        } else {
+            // Per-sampler fallback (restored pre-bank snapshots): the
+            // batched kernel path inside each sampler, own ladders.
+            for s in &mut self.samplers {
+                s.update_batch(&signed);
+            }
         }
         for &(i, _) in &coalesced {
             self.distinct.observe(i);
         }
+    }
+
+    fn bank_counters(&self) -> Option<BankCounters> {
+        Some(self.counters)
     }
 }
 
@@ -393,7 +492,20 @@ impl SpaceUsage for CashRegisterHIndex {
     }
 
     fn scratch_words(&self) -> usize {
-        self.samplers.iter().map(SpaceUsage::scratch_words).sum()
+        // The bank shares one power ladder: count the table once, not
+        // once per sampler. Samplers that kept their own ladder (old
+        // snapshots) still report individually.
+        let Some(first) = self.samplers.first() else {
+            return 0;
+        };
+        let shared = first.ladder_arc();
+        let mut words = first.scratch_words();
+        for s in &self.samplers[1..] {
+            if !Arc::ptr_eq(s.ladder_arc(), shared) {
+                words += s.scratch_words();
+            }
+        }
+        words
     }
 }
 
@@ -554,6 +666,65 @@ mod tests {
         }
         assert_eq!(batched.estimate(), looped.estimate());
         assert_eq!(batched.draw_samples(), looped.draw_samples());
+    }
+
+    #[test]
+    fn bank_batch_matches_scalar_loop_state() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let proto = CashRegisterHIndex::new(additive(0.3, 0.2), &mut rng);
+        let mut batched = proto.clone();
+        let mut looped = proto;
+        let updates: Vec<(u64, u64)> = (0..3_000u64).map(|k| (k % 333, 1 + k % 4)).collect();
+        // Odd chunking so tiles run partially full and straddle
+        // coalescing boundaries.
+        for chunk in updates.chunks(701) {
+            batched.ingest_batch(chunk);
+        }
+        for &(i, z) in &updates {
+            looped.ingest(i, z);
+        }
+        assert_eq!(batched.estimate(), looped.estimate());
+        assert_eq!(batched.draw_samples(), looped.draw_samples());
+        #[cfg(feature = "debug_invariants")]
+        assert_eq!(batched.state_digest(), looped.state_digest());
+        let c = batched.bank_counters().expect("bank estimator reports counters");
+        assert!(c.tiles >= 5, "tiles {}", c.tiles);
+        assert_eq!(c.raw_updates, 3_000);
+        assert!(c.level_touches > 0);
+        // Every term computed once is reused by the other x−1 samplers.
+        assert_eq!(c.pow_reused, c.pow_evals * (batched.num_samplers() as u64 - 1));
+        // The scalar path never enters the bank kernel.
+        let scalar_counters = looped.bank_counters().unwrap();
+        assert_eq!(scalar_counters.tiles, 0);
+    }
+
+    #[test]
+    fn scratch_words_counts_bank_ladder_once() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let est = CashRegisterHIndex::new(additive(0.3, 0.2), &mut rng);
+        assert!(est.num_samplers() > 10);
+        // One shared ladder table (~2049 words) for the whole bank,
+        // not one per sampler.
+        assert!(est.scratch_words() < 2 * 2050, "{}", est.scratch_words());
+        assert!(est.scratch_words() > 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_bank_sharing() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut est = CashRegisterHIndex::new(additive(0.4, 0.3), &mut rng);
+        est.ingest_batch(&(0..500u64).map(|k| (k % 90, 1 + k % 2)).collect::<Vec<_>>());
+        let bytes = est.to_bytes();
+        let (mut back, _) = CashRegisterHIndex::read_from(&bytes).unwrap();
+        // Decode re-points every sampler at one ladder, so the
+        // restored estimator keeps the bank fast path (and the
+        // deduplicated scratch accounting).
+        assert!(back.bank_ladder().is_some());
+        assert_eq!(back.scratch_words(), est.scratch_words());
+        back.ingest_batch(&[(7, 3), (11, 2)]);
+        est.ingest_batch(&[(7, 3), (11, 2)]);
+        assert_eq!(back.estimate(), est.estimate());
+        assert_eq!(back.draw_samples(), est.draw_samples());
     }
 
     #[test]

@@ -167,6 +167,62 @@ impl AggregateEstimator for ShiftingWindow {
         }
         self.shift_if_due();
     }
+
+    /// Batched ingest via headroom segmentation. A shift can only fire
+    /// once `counters[1]` reaches the next level's threshold, and each
+    /// item raises it by at most one — so the next
+    /// `threshold − counters[1]` items are guaranteed shift-free, the
+    /// window bounds `[lo, hi]` are constant across them, and their
+    /// prefix increments commute into one difference-array sweep. The
+    /// shift cascade (and any cap saturation) then runs at the segment
+    /// boundary, exactly where the scalar path would have run it, so
+    /// the final state is bit-identical.
+    fn ingest_batch(&mut self, values: &[u64]) {
+        // Scratch difference array, zeroed incrementally: only the
+        // prefix a segment actually touched is swept and re-cleared,
+        // so light segments (few or low-level items) stay near the
+        // scalar path's cost.
+        let mut diff = vec![0i64; self.counters.len() + 1];
+        let mut pos = 0;
+        while pos < values.len() {
+            if self.saturated {
+                return;
+            }
+            let headroom = self
+                .grid
+                .int_threshold(self.lo + 1)
+                .saturating_sub(self.counters[1])
+                .max(1) as usize;
+            let seg = headroom.min(values.len() - pos);
+            let hi = self.hi();
+            let mut hi_idx = 0usize; // one past the largest touched index
+            for &value in &values[pos..pos + seg] {
+                let Some(level) = self.grid.level_of(value) else {
+                    continue;
+                };
+                if level < self.lo {
+                    continue;
+                }
+                let top_idx = (level.min(hi) - self.lo) as usize;
+                diff[0] += 1;
+                diff[top_idx + 1] -= 1;
+                hi_idx = hi_idx.max(top_idx + 1);
+            }
+            if hi_idx > 0 {
+                let mut run = 0i64;
+                for (j, d) in diff[..hi_idx].iter_mut().enumerate() {
+                    run += *d;
+                    *d = 0;
+                    // `run` counts segment items whose clamped level is
+                    // ≥ lo + j; never negative, zero beyond `hi_idx`.
+                    self.counters[j] += run as u64;
+                }
+                diff[hi_idx] = 0;
+                self.shift_if_due();
+            }
+            pos += seg;
+        }
+    }
 }
 
 impl SpaceUsage for ShiftingWindow {
@@ -295,6 +351,64 @@ mod tests {
         // Saturation implies the true h exceeded the cap region; the
         // frozen estimate is still a valid lower bound.
         assert!(est.estimate() >= 50 / 2);
+    }
+
+    fn assert_same_state(batched: &ShiftingWindow, scalar: &ShiftingWindow) {
+        assert_eq!(batched.counters, scalar.counters);
+        assert_eq!(batched.lo, scalar.lo);
+        assert_eq!(batched.saturated, scalar.saturated);
+        assert_eq!(batched.estimate(), scalar.estimate());
+    }
+
+    #[test]
+    fn batch_ingest_is_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Heavy tail so the window shifts many times mid-stream.
+        let values: Vec<u64> = (0..6000)
+            .map(|_| match rng.random_range(0..4u32) {
+                0 => 0,
+                1 => rng.random_range(1..50),
+                _ => rng.random_range(50..200_000),
+            })
+            .collect();
+        for e in [0.08, 0.2, 0.5] {
+            let mut scalar = ShiftingWindow::new(eps(e));
+            let mut batched = ShiftingWindow::new(eps(e));
+            for &v in &values {
+                scalar.ingest(v);
+            }
+            for chunk in values.chunks(997) {
+                batched.ingest_batch(chunk);
+            }
+            assert_same_state(&batched, &scalar);
+        }
+    }
+
+    #[test]
+    fn batch_ingest_saturates_at_the_same_item() {
+        // All-huge input drives the cascade into the cap; the batch
+        // path must freeze with the identical counter image.
+        let values = vec![1_000_000u64; 5000];
+        let mut scalar = ShiftingWindow::with_cap(eps(0.2), 40);
+        let mut batched = ShiftingWindow::with_cap(eps(0.2), 40);
+        for &v in &values {
+            scalar.ingest(v);
+        }
+        batched.ingest_batch(&values);
+        assert!(batched.is_saturated());
+        assert_same_state(&batched, &scalar);
+    }
+
+    #[test]
+    fn batch_ingest_single_items_match_scalar() {
+        // Degenerate batches of one exercise the headroom clamp.
+        let mut scalar = ShiftingWindow::new(eps(0.3));
+        let mut batched = ShiftingWindow::new(eps(0.3));
+        for v in (0..500u64).map(|i| (i * 31) % 700) {
+            scalar.ingest(v);
+            batched.ingest_batch(&[v]);
+        }
+        assert_same_state(&batched, &scalar);
     }
 
     #[test]

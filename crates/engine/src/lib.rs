@@ -106,8 +106,8 @@
 
 use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
 use hindex_common::{
-    AggregateEstimator, CashRegisterEstimator, Estimate, Guarantee, Mergeable, SpaceUsage,
-    TurnstileEstimator,
+    AggregateEstimator, BankCounters, CashRegisterEstimator, Estimate, Guarantee, Mergeable,
+    SpaceUsage, TurnstileEstimator,
 };
 use hindex_obs::{EngineObserver, MetricsSnapshot, Stopwatch};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
@@ -188,11 +188,22 @@ pub trait BatchIngest<T> {
     /// Ingests one batch, semantically equivalent to ingesting each
     /// item in order.
     fn apply_batch(&mut self, batch: &[T]);
+
+    /// Bank-kernel telemetry the estimator accumulated, if it exposes
+    /// any — surfaced through the attached [`EngineObserver`] when a
+    /// query merges shard states. Default: none.
+    fn bank_counters(&self) -> Option<BankCounters> {
+        None
+    }
 }
 
 impl<E: CashRegisterEstimator> BatchIngest<(u64, u64)> for E {
     fn apply_batch(&mut self, batch: &[(u64, u64)]) {
         self.ingest_batch(batch);
+    }
+
+    fn bank_counters(&self) -> Option<BankCounters> {
+        CashRegisterEstimator::bank_counters(self)
     }
 }
 
@@ -528,21 +539,6 @@ where
         }
     }
 
-    /// Deprecated name for [`Self::ingest`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
-    pub fn push(&mut self, item: T) {
-        self.ingest(item);
-    }
-
-    /// Deprecated name for [`Self::ingest_batch`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
-    pub fn push_slice(&mut self, items: &[T])
-    where
-        T: Copy,
-    {
-        self.ingest_batch(items);
-    }
-
     /// Sends all pending partial batches to their shards.
     pub fn flush(&mut self) {
         for shard in 0..self.config.shards {
@@ -571,7 +567,22 @@ where
         if let Some(o) = &self.config.observer {
             o.on_merge(self.tick, self.config.shards as u64);
         }
-        merge_all(states).ok_or(EngineError::AllShardsDead)
+        let merged = merge_all(states).ok_or(EngineError::AllShardsDead)?;
+        self.observe_bank(&merged);
+        Ok(merged)
+    }
+
+    /// Surfaces the merged estimator's bank-kernel totals to the
+    /// observer (router thread, query boundary). A no-op for
+    /// estimators without a bank path or when the kernel never ran.
+    fn observe_bank(&self, merged: &E) {
+        if let Some(o) = &self.config.observer {
+            if let Some(bank) = merged.bank_counters() {
+                if !bank.is_empty() {
+                    o.on_bank_batch(self.tick, &bank);
+                }
+            }
+        }
     }
 
     /// Lossy anytime query: merges whatever shards still live and
@@ -588,7 +599,10 @@ where
             }
         }
         match merge_all(states) {
-            Some(estimator) => Ok(Degraded { estimator, dead_shards }),
+            Some(estimator) => {
+                self.observe_bank(&estimator);
+                Ok(Degraded { estimator, dead_shards })
+            }
             None => Err(EngineError::AllShardsDead),
         }
     }

@@ -14,6 +14,7 @@ use crate::metrics::{Counter, Gauge, LatencyHistogram, LatencySummary};
 use crate::rate::{BatchStats, RateMeter};
 use crate::trace::{Event, EventKind, Tracer};
 use crate::lock_or_recover;
+use hindex_common::BankCounters;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
@@ -44,6 +45,9 @@ pub struct EngineObserver {
     checkpoint_ns: LatencyHistogram,
     restore_ns: LatencyHistogram,
     snapshot_ns: LatencyHistogram,
+    /// Latest bank-kernel totals reported by the merged estimator at a
+    /// query boundary (absolute values, not increments).
+    bank: Mutex<BankCounters>,
     tracer: Tracer,
 }
 
@@ -69,6 +73,7 @@ impl EngineObserver {
             checkpoint_ns: LatencyHistogram::new(),
             restore_ns: LatencyHistogram::new(),
             snapshot_ns: LatencyHistogram::new(),
+            bank: Mutex::new(BankCounters::default()),
             tracer: Tracer::default(),
         }
     }
@@ -154,6 +159,16 @@ impl EngineObserver {
         self.tracer.record(EventKind::SnapshotDecode, tick, None, bytes);
     }
 
+    /// The engine surfaced the merged estimator's bank-kernel totals
+    /// at a query boundary. `counters` carries absolute values since
+    /// estimator construction (summed across shards by the merge), so
+    /// the observer stores the latest report rather than accumulating.
+    pub fn on_bank_batch(&self, tick: u64, counters: &BankCounters) {
+        *lock_or_recover(&self.bank) = *counters;
+        self.tracer
+            .record(EventKind::BankBatch, tick, None, counters.tile_items);
+    }
+
     /// Freezes the current state into an exportable snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -174,6 +189,7 @@ impl EngineObserver {
             let b = lock_or_recover(&self.batch_stats);
             (b.h_index(), b.max(), b.mean())
         };
+        let bank = *lock_or_recover(&self.bank);
         MetricsSnapshot {
             shards: self.shards,
             items: self.items.get(),
@@ -194,6 +210,7 @@ impl EngineObserver {
             checkpoint_ns: self.checkpoint_ns.summary(),
             restore_ns: self.restore_ns.summary(),
             snapshot_ns: self.snapshot_ns.summary(),
+            bank,
             events_recorded: self.tracer.recorded(),
             events: self.tracer.events(),
         }
@@ -244,6 +261,12 @@ pub struct MetricsSnapshot {
     pub restore_ns: LatencySummary,
     /// Standalone snapshot encode/decode latency.
     pub snapshot_ns: LatencySummary,
+    /// Bank-kernel totals from the last query merge (zeroes when the
+    /// estimator has no bank path or it never ran). Derived rates:
+    /// [`MetricsSnapshot::bank_tile_fill`],
+    /// [`MetricsSnapshot::bank_survivor_touches_per_item`],
+    /// [`MetricsSnapshot::bank_hash_reuse`].
+    pub bank: BankCounters,
     /// Total events ever recorded (ring may have evicted some).
     pub events_recorded: u64,
     /// The retained event trace, oldest first.
@@ -258,6 +281,39 @@ fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: impl std:
 }
 
 impl MetricsSnapshot {
+    /// Fraction of bank tile capacity actually filled (`0.0` when the
+    /// bank never ran).
+    #[must_use]
+    pub fn bank_tile_fill(&self) -> f64 {
+        if self.bank.tile_capacity == 0 {
+            return 0.0;
+        }
+        self.bank.tile_items as f64 / self.bank.tile_capacity as f64
+    }
+
+    /// Mean (item, level) touches dispatched per sampler-item — the
+    /// survivor rate of the level dispatch, ≈ 2 for a geometric level
+    /// hash. Reported per *bank* item here, summed over samplers, so
+    /// divide by the sampler count for the per-sampler figure.
+    #[must_use]
+    pub fn bank_survivor_touches_per_item(&self) -> f64 {
+        if self.bank.tile_items == 0 {
+            return 0.0;
+        }
+        self.bank.level_touches as f64 / self.bank.tile_items as f64
+    }
+
+    /// Fraction of fingerprint-term evaluations avoided by the shared
+    /// bank ladder.
+    #[must_use]
+    pub fn bank_hash_reuse(&self) -> f64 {
+        let total = self.bank.pow_evals + self.bank.pow_reused;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bank.pow_reused as f64 / total as f64
+    }
+
     /// Prometheus-style text exposition of every scalar metric, plus
     /// per-shard series labelled `{shard="i"}`.
     #[must_use]
@@ -320,6 +376,25 @@ impl MetricsSnapshot {
                 "p99 duration upper bound, nanoseconds.", sum.p99_ns);
         }
 
+        metric(&mut s, "hindex_bank_tiles_total", "counter",
+            "Tiles dispatched through the bank ingest kernel.", self.bank.tiles);
+        metric(&mut s, "hindex_bank_tile_items_total", "counter",
+            "Coalesced items carried by bank tiles.", self.bank.tile_items);
+        metric(&mut s, "hindex_bank_raw_updates_total", "counter",
+            "Raw updates offered to the bank before coalescing.", self.bank.raw_updates);
+        metric(&mut s, "hindex_bank_level_touches_total", "counter",
+            "(item, level) touches dispatched across the sampler bank.",
+            self.bank.level_touches);
+        metric(&mut s, "hindex_bank_tile_fill", "gauge",
+            "Fraction of bank tile capacity filled.",
+            format_args!("{:.4}", self.bank_tile_fill()));
+        metric(&mut s, "hindex_bank_survivor_touches_per_item", "gauge",
+            "Level touches dispatched per bank item (survivor rate).",
+            format_args!("{:.4}", self.bank_survivor_touches_per_item()));
+        metric(&mut s, "hindex_bank_hash_reuse", "gauge",
+            "Fraction of fingerprint evaluations saved by the shared bank ladder.",
+            format_args!("{:.4}", self.bank_hash_reuse()));
+
         metric(&mut s, "hindex_trace_events_total", "counter",
             "Events recorded by the tracer.", self.events_recorded);
         s
@@ -342,6 +417,18 @@ mod tests {
         o.on_restore(7, 512, 2_000);
         o.on_snapshot_encode(8, 128, 500);
         o.on_snapshot_decode(9, 128, 700);
+        o.on_bank_batch(
+            10,
+            &BankCounters {
+                tiles: 4,
+                tile_items: 900,
+                tile_capacity: 1024,
+                raw_updates: 10_000,
+                level_touches: 1800 * 77,
+                pow_evals: 900,
+                pow_reused: 900 * 76,
+            },
+        );
         o
     }
 
@@ -365,7 +452,12 @@ mod tests {
         assert_eq!(snap.checkpoint_ns.count, 1);
         assert_eq!(snap.restore_ns.count, 1);
         assert_eq!(snap.snapshot_ns.count, 2);
-        assert_eq!(snap.events_recorded, 11); // flush records 2 events
+        assert_eq!(snap.bank.tiles, 4);
+        assert_eq!(snap.bank.raw_updates, 10_000);
+        assert!((snap.bank_tile_fill() - 900.0 / 1024.0).abs() < 1e-9);
+        assert!((snap.bank_survivor_touches_per_item() - 154.0).abs() < 1e-9);
+        assert!(snap.bank_hash_reuse() > 0.98);
+        assert_eq!(snap.events_recorded, 12); // flush records 2 events
     }
 
     #[test]
@@ -385,6 +477,8 @@ mod tests {
         assert!(text.contains("hindex_engine_shard_items_total{shard=\"0\"} 64"));
         assert!(text.contains("# TYPE hindex_engine_routing_skew gauge"));
         assert!(text.contains("hindex_engine_batch_size_hindex"));
+        assert!(text.contains("hindex_bank_tiles_total 4"));
+        assert!(text.contains("hindex_bank_hash_reuse"));
         assert!(text.lines().count() > 40);
     }
 

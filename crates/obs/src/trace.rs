@@ -36,6 +36,9 @@ pub enum EventKind {
     SnapshotEncode,
     /// A standalone estimator snapshot was decoded (`value` = bytes).
     SnapshotDecode,
+    /// Bank-kernel telemetry surfaced at a query merge (`value` =
+    /// tile items dispatched through the bank so far).
+    BankBatch,
 }
 
 impl EventKind {
@@ -52,6 +55,7 @@ impl EventKind {
             EventKind::QueryDegraded => "query_degraded",
             EventKind::SnapshotEncode => "snapshot_encode",
             EventKind::SnapshotDecode => "snapshot_decode",
+            EventKind::BankBatch => "bank_batch",
         }
     }
 }

@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 /// let c = d.count();
 /// assert!((90..=110).contains(&c));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dgim {
     window: u64,
     /// Max buckets per size before two merge (`k + 1` allowed, merge at
@@ -126,6 +126,17 @@ impl Dgim {
             self.buckets.remove(oldest);
             size *= 2;
         }
+    }
+
+    /// Consumes `n` zero bits at once. A zero only advances time and
+    /// expires old buckets, and expiry is monotone in time, so the run
+    /// collapses to one time jump plus one expiry sweep —
+    /// state-identical to calling [`Self::push`]`(false)` `n` times.
+    /// This is what lets batched callers keep per-level counters lazy:
+    /// only the levels an item actually hits pay a real push.
+    pub fn push_zeros(&mut self, n: u64) {
+        self.time += n;
+        self.expire();
     }
 
     fn expire(&mut self) {
@@ -229,6 +240,28 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::collections::VecDeque as Window;
+
+    #[test]
+    fn push_zeros_is_identical_to_repeated_false_pushes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut batched = Dgim::new(128, 3);
+        let mut serial = Dgim::new(128, 3);
+        // Interleave true pushes with zero runs of every interesting
+        // length: 0, 1, below / at / beyond the window.
+        for run in [0u64, 1, 2, 7, 64, 127, 128, 129, 300] {
+            for _ in 0..rng.random_range(1..10) {
+                batched.push(true);
+                serial.push(true);
+            }
+            batched.push_zeros(run);
+            for _ in 0..run {
+                serial.push(false);
+            }
+            assert_eq!(batched, serial, "diverged after zero run {run}");
+        }
+        assert_eq!(batched.count(), serial.count());
+        assert_eq!(batched.time(), serial.time());
+    }
 
     /// Reference: exact sliding-window count.
     struct Exact {

@@ -67,6 +67,32 @@ impl L0SamplerParams {
     }
 }
 
+/// Reusable buffers for [`L0Sampler::ingest_tile_with_terms`]. One
+/// instance serves every sampler in a bank, so the tile-kernel
+/// working set (hashes, sort buffers, the sparse-recovery column
+/// scratch) is allocated once per estimator, not once per sampler.
+#[derive(Debug, Default, Clone)]
+pub struct BankScratch {
+    /// Batched level-hash outputs for the tile.
+    hashes: Vec<u64>,
+    /// Per-item top level.
+    tops: Vec<u32>,
+    /// Per-level item counts (`counts[t]` = items whose top is `t`).
+    counts: Vec<u32>,
+    /// Per-level surviving-prefix lengths (`lens[j]` = items with top
+    /// ≥ `j`).
+    lens: Vec<u32>,
+    /// Gather cursors for the counting sort.
+    cursor: Vec<u32>,
+    /// Tile items sorted by descending top level.
+    idx: Vec<u64>,
+    del: Vec<i64>,
+    term: Vec<u64>,
+    /// Column scratch passed through to
+    /// [`SparseRecovery::update_batch_with_terms`].
+    cols: Vec<u64>,
+}
+
 /// A linear-sketch ℓ₀-sampler over `u64` indices with exact value
 /// recovery.
 ///
@@ -117,6 +143,66 @@ impl L0Sampler {
     #[must_use]
     pub fn with_defaults<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self::new(L0SamplerParams::default(), rng)
+    }
+
+    /// Creates a sampler whose fingerprint ladder is shared with an
+    /// existing one — the across-the-bank extension of the per-level
+    /// sharing above. Consumes exactly the same RNG stream as
+    /// [`Self::new`] (the would-be point draw is made and discarded),
+    /// so a bank built as one `new` plus x−1 `with_shared_ladder`
+    /// calls draws identical per-sampler level hashes and row seeds
+    /// to the old all-`new` construction.
+    ///
+    /// Sharing one fingerprint point across a bank is sound for the
+    /// same reason it is across a sampler's levels: every cell's
+    /// Schwartz–Zippel test is an evaluation at the shared point, and
+    /// a union bound over the whole bank adds only `O(x·s·2⁻⁶¹)` to
+    /// the failure probability (cf. Bhattacharyya–Dey–Woodruff's
+    /// amortization of shared randomness across sub-sketches).
+    #[must_use]
+    pub fn with_shared_ladder<R: Rng + ?Sized>(
+        params: L0SamplerParams,
+        ladder: Arc<PowerLadder>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(params.levels >= 1 && params.levels <= 64, "levels in 1..=64");
+        let level_hash = PolynomialHash::new(params.hash_independence.max(2), rng);
+        // Burn the point draw `new` would have made so both
+        // constructors advance the caller's RNG identically.
+        let _unused_point = rng.random_range(1..MERSENNE_P);
+        let levels = (0..params.levels)
+            .map(|_| {
+                SparseRecovery::with_shared_ladder(
+                    params.sparsity.max(1),
+                    params.rows.max(1),
+                    Arc::clone(&ladder),
+                    rng,
+                )
+            })
+            .collect();
+        Self { level_hash, levels, ladder }
+    }
+
+    /// The fingerprint power ladder backing every level.
+    #[must_use]
+    pub fn ladder_arc(&self) -> &Arc<PowerLadder> {
+        &self.ladder
+    }
+
+    /// Re-points every level (and the sampler itself) at `ladder` if
+    /// it carries the same fingerprint point; returns whether sharing
+    /// succeeded. Used to re-establish bank-wide ladder sharing after
+    /// snapshot decode.
+    pub fn share_ladder(&mut self, ladder: &Arc<PowerLadder>) -> bool {
+        if !self.ladder.same_base(ladder) {
+            return false;
+        }
+        for level in &mut self.levels {
+            let shared = level.share_ladder(ladder);
+            debug_assert!(shared, "levels must match the sampler's own point");
+        }
+        self.ladder = Arc::clone(ladder);
+        true
     }
 
     /// The geometric level of an index: `Pr[level ≥ j] = 2⁻ʲ`.
@@ -173,6 +259,106 @@ impl L0Sampler {
                 level.update_with_term(index, delta, term);
             }
         }
+    }
+
+    /// Bank-kernel tile ingest: applies `x[indices[k]] += deltas[k]`
+    /// for one tile whose fingerprint terms the caller computed once —
+    /// the terms depend only on the shared ladder point and the
+    /// update, so one field evaluation per tile item serves every
+    /// sampler in a bank built over one ladder.
+    ///
+    /// The tile's level hashes run through the 4-lane batched Horner
+    /// kernel, and the items are then counting-sorted by top level
+    /// (stable, descending) so each geometric level receives exactly
+    /// its surviving prefix — the `E[top+1] = 2` expected (item,
+    /// level) touches per update — through one
+    /// [`SparseRecovery::update_batch_with_terms`] call, instead of
+    /// walking the level stack per item. The sort reorders items
+    /// within a level relative to the scalar path, but only
+    /// commutative exact additions (cell counts, field sums) are
+    /// reordered: states stay bit-identical to looping
+    /// [`Self::update`].
+    ///
+    /// Returns the number of (item, level) touches dispatched, for
+    /// bank telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn ingest_tile_with_terms(
+        &mut self,
+        indices: &[u64],
+        deltas: &[i64],
+        terms: &[u64],
+        scratch: &mut BankScratch,
+    ) -> u64 {
+        assert_eq!(indices.len(), deltas.len(), "index/delta length mismatch");
+        assert_eq!(indices.len(), terms.len(), "index/term length mismatch");
+        let n = indices.len();
+        if n == 0 {
+            return 0;
+        }
+        #[cfg(feature = "debug_invariants")]
+        for k in 0..n {
+            debug_assert_eq!(
+                terms[k],
+                mersenne_mul(from_i64(deltas[k]), self.ladder.pow(indices[k])),
+                "caller-supplied term disagrees with the shared ladder"
+            );
+        }
+        let num_levels = self.levels.len();
+        self.level_hash.hash_batch(indices, &mut scratch.hashes);
+        scratch.tops.clear();
+        scratch.counts.clear();
+        scratch.counts.resize(num_levels, 0);
+        for &h in &scratch.hashes {
+            let top = self.level_from_hash(h) as u32;
+            scratch.tops.push(top);
+            scratch.counts[top as usize] += 1;
+        }
+        // Prefix lengths: level j touches exactly the items whose top
+        // is ≥ j, i.e. the first `lens[j]` items once sorted by
+        // descending top.
+        scratch.lens.clear();
+        scratch.lens.resize(num_levels, 0);
+        let mut seen = 0u32;
+        for j in (0..num_levels).rev() {
+            seen += scratch.counts[j];
+            scratch.lens[j] = seen;
+        }
+        // Stable counting sort, descending by top: group t starts
+        // where the strictly-higher tops end.
+        scratch.cursor.clear();
+        scratch
+            .cursor
+            .extend((0..num_levels).map(|t| scratch.lens[t] - scratch.counts[t]));
+        scratch.idx.resize(n, 0);
+        scratch.del.resize(n, 0);
+        scratch.term.resize(n, 0);
+        for k in 0..n {
+            let t = scratch.tops[k] as usize;
+            let pos = scratch.cursor[t] as usize;
+            scratch.cursor[t] += 1;
+            scratch.idx[pos] = indices[k];
+            scratch.del[pos] = deltas[k];
+            scratch.term[pos] = terms[k];
+        }
+        let mut touches = 0u64;
+        for (j, level) in self.levels.iter_mut().enumerate() {
+            let nj = scratch.lens[j] as usize;
+            if nj == 0 {
+                // Deeper levels only see subsets of this one's items.
+                break;
+            }
+            touches += nj as u64;
+            level.update_batch_with_terms(
+                &scratch.idx[..nj],
+                &scratch.del[..nj],
+                &scratch.term[..nj],
+                &mut scratch.cols,
+            );
+        }
+        touches
     }
 
     /// Merges another sampler built with identical randomness (clone of
@@ -616,6 +802,66 @@ mod tests {
         batched.update_batch(&updates);
         assert_eq!(scalar.sample(), batched.sample());
         assert_eq!(scalar.l0_estimate(), batched.l0_estimate());
+    }
+
+    #[test]
+    fn tile_kernel_matches_scalar_updates() {
+        let proto = sampler(78);
+        for tile in [1usize, 7, 255, 256, 257] {
+            let mut scalar = proto.clone();
+            let mut tiled = proto.clone();
+            let updates: Vec<(u64, i64)> = (0..tile as u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100_000, (i % 9) as i64 - 4))
+                .filter(|&(_, d)| d != 0)
+                .collect();
+            for &(i, d) in &updates {
+                scalar.update(i, d);
+            }
+            let indices: Vec<u64> = updates.iter().map(|&(i, _)| i).collect();
+            let deltas: Vec<i64> = updates.iter().map(|&(_, d)| d).collect();
+            let terms: Vec<u64> = updates
+                .iter()
+                .map(|&(i, d)| mersenne_mul(from_i64(d), tiled.ladder_arc().pow(i)))
+                .collect();
+            let mut scratch = BankScratch::default();
+            let touches = tiled.ingest_tile_with_terms(&indices, &deltas, &terms, &mut scratch);
+            assert!(touches >= updates.len() as u64, "tile {tile}");
+            assert_eq!(scalar.sample(), tiled.sample(), "tile {tile}");
+            #[cfg(feature = "debug_invariants")]
+            assert_eq!(scalar.state_digest(), tiled.state_digest(), "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn with_shared_ladder_consumes_same_rng_stream() {
+        // A bank of one `new` + shared-ladder samplers must leave the
+        // RNG exactly where a bank of plain `new` calls would.
+        let params = L0SamplerParams::default();
+        let mut rng_a = StdRng::seed_from_u64(91);
+        let mut rng_b = StdRng::seed_from_u64(91);
+        let first = L0Sampler::new(params, &mut rng_a);
+        let shared = L0Sampler::with_shared_ladder(
+            params,
+            Arc::clone(first.ladder_arc()),
+            &mut rng_a,
+        );
+        let _ = L0Sampler::new(params, &mut rng_b);
+        let _ = L0Sampler::new(params, &mut rng_b);
+        assert_eq!(
+            rng_a.random_range(0..u64::MAX),
+            rng_b.random_range(0..u64::MAX),
+            "constructors diverged in RNG consumption"
+        );
+        assert!(Arc::ptr_eq(first.ladder_arc(), shared.ladder_arc()));
+    }
+
+    #[test]
+    fn share_ladder_rejects_foreign_point() {
+        let mut a = sampler(12);
+        let b = sampler(13);
+        assert!(!a.share_ladder(b.ladder_arc()));
+        let own = Arc::clone(a.ladder_arc());
+        assert!(a.share_ladder(&own));
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn main() {
     // --- Exact baseline for comparison ---
     let mut table = AuthorTable::new();
     for p in corpus.papers() {
-        table.push(p);
+        table.ingest(p);
     }
     println!(
         "\nexact per-author table would use {} words for {} authors",

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the full throughput bench and writes a machine-readable summary
-# to BENCH_pr6.json at the repo root (override with $1).
+# to BENCH_pr7.json at the repo root (override with $1).
 #
 # JSON schema ("hindex-bench/v1"):
 #
@@ -33,15 +33,19 @@
 # of entries named `<base>_shards_<n>`, normalised to the 1-shard run.
 #
 # Pass --quick to run only the kernels group at reduced scale (smoke
-# mode, used by scripts/check.sh).
+# mode, used by scripts/check.sh). Pass `bank` to run only the
+# `cash_update` group (the Alg 6 ℓ₀-bank ingest paths) at full size —
+# the quick way to re-measure the bank kernel against the recorded
+# baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_pr6.json"
+OUT="BENCH_pr7.json"
 EXTRA=()
 for arg in "$@"; do
     case "${arg}" in
         --quick) EXTRA+=("--quick") ;;
+        bank) EXTRA+=("--only" "cash_update") ;;
         *) OUT="${arg}" ;;
     esac
 done

@@ -56,4 +56,28 @@ cargo bench -p hindex-bench --offline --no-run
 echo "==> bench smoke (kernels group, reduced scale)"
 scripts/bench.sh /tmp/bench_smoke.json --quick
 
+echo "==> perf smoke (Alg 6 bank kernel vs recorded baseline)"
+# Re-times the cash_update group and fails if the bank ingest path
+# regressed more than 25% against the ns_per_elem recorded in the
+# committed BENCH_pr7.json. Skipped (with a note) if no baseline is
+# committed yet — the gate only bites once a baseline exists.
+if [ -f BENCH_pr7.json ]; then
+    scripts/bench.sh /tmp/bench_bank.json bank
+    baseline=$(grep -o '"group": "cash_update", "name": "alg6_l0_bank_x77"[^}]*' \
+        BENCH_pr7.json | grep -o '"ns_per_elem": [0-9.]*' | grep -o '[0-9.]*')
+    current=$(grep -o '"group": "cash_update", "name": "alg6_l0_bank_x77"[^}]*' \
+        /tmp/bench_bank.json | grep -o '"ns_per_elem": [0-9.]*' | grep -o '[0-9.]*')
+    echo "    baseline ${baseline} ns/elem, current ${current} ns/elem"
+    awk -v b="${baseline}" -v c="${current}" 'BEGIN {
+        if (b + 0 == 0) { print "    empty baseline; skipping"; exit 0 }
+        if (c > 1.25 * b) {
+            printf "    FAIL: bank path regressed %.1f%% (limit 25%%)\n", (c / b - 1) * 100
+            exit 1
+        }
+        printf "    ok (%.1f%% of baseline)\n", c / b * 100
+    }'
+else
+    echo "    no BENCH_pr7.json baseline committed; skipping"
+fi
+
 echo "All checks passed."

@@ -318,10 +318,98 @@ fn turnstile_batch_coalescing_handles_i64_min() {
         TurnstileEstimator::ingest(&mut serial, i, d);
     }
     let mut batched = proto.clone();
-    batched.update_batch(&updates);
+    batched.ingest_batch(&updates);
     assert_eq!(batched.estimate(), serial.estimate());
     #[cfg(feature = "debug_invariants")]
     assert_eq!(batched.state_digest(), serial.state_digest());
+}
+
+/// The Alg 6 bank kernel (tile → one hash pass per substrate →
+/// survivor-only level dispatch) promises bit-identical sampler state
+/// to the scalar path. Hit the tile boundaries around the 256-item
+/// tile and the top of the index domain in the same batches.
+#[test]
+fn cash_register_bank_tiles_at_boundaries_and_max_index() {
+    use hindex_sketch::one_sparse::MAX_INDEX;
+    let params = CashRegisterParams::Additive {
+        epsilon: eps(0.3),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    for size in [1usize, 255, 256, 257, 700] {
+        // Distinct indices (so coalescing is the identity and the tile
+        // count is driven by `size`), every 7th at the domain ceiling.
+        let updates: Vec<(u64, u64)> = (0..size as u64)
+            .map(|i| {
+                let p = if i % 7 == 0 { MAX_INDEX - i } else { i * 977 + 1 };
+                (p, i % 5 + 1)
+            })
+            .collect();
+        let mut scalar = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(77));
+        let mut batched = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(77));
+        for &(p, d) in &updates {
+            scalar.ingest(p, d);
+        }
+        batched.ingest_batch(&updates);
+        assert_eq!(batched.estimate(), scalar.estimate(), "size {size}");
+        #[cfg(feature = "debug_invariants")]
+        assert_eq!(batched.state_digest(), scalar.state_digest(), "size {size}");
+    }
+}
+
+/// Sharding the bank path across engine workers and merging back must
+/// land on the serial stream's exact state: the samplers are linear
+/// over the exact field, so the fan-out is invisible in the digest.
+#[test]
+fn cash_register_engine_sharded_state_matches_serial() {
+    use hindex_engine::{EngineConfig, ShardedEngine};
+    let params = CashRegisterParams::Additive {
+        epsilon: eps(0.3),
+        delta: Delta::new(0.2).unwrap(),
+    };
+    let proto = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(5));
+    let updates: Vec<(u64, u64)> = (0..2000u64).map(|i| (i % 331, i % 7 + 1)).collect();
+    let mut serial = proto.clone();
+    serial.ingest_batch(&updates);
+    let config = EngineConfig::builder()
+        .shards(4)
+        .batch(64)
+        .build()
+        .unwrap();
+    let mut engine = ShardedEngine::new(config, proto);
+    engine.ingest_batch(&updates);
+    let merged = engine.finish().unwrap();
+    assert_eq!(merged.estimate(), serial.estimate());
+    #[cfg(feature = "debug_invariants")]
+    assert_eq!(merged.state_digest(), serial.state_digest());
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Any update multiset, any chunking: the bank batch path must
+    /// reproduce the scalar path's sampler state exactly.
+    #[test]
+    fn prop_bank_batch_bit_identical_to_scalar(
+        updates in proptest::collection::vec((0u64..100_000, 1u64..50), 1..300),
+        chunk in 1usize..300,
+        seed in 0u64..8,
+    ) {
+        let params = CashRegisterParams::Additive {
+            epsilon: eps(0.3),
+            delta: Delta::new(0.2).unwrap(),
+        };
+        let mut scalar = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
+        let mut batched = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
+        for &(p, d) in &updates {
+            scalar.ingest(p, d);
+        }
+        for c in updates.chunks(chunk) {
+            batched.ingest_batch(c);
+        }
+        proptest::prop_assert_eq!(batched.estimate(), scalar.estimate());
+        #[cfg(feature = "debug_invariants")]
+        proptest::prop_assert_eq!(batched.state_digest(), scalar.state_digest());
+    }
 }
 
 /// Regression: field helpers at the domain extremes. `from_i64` must

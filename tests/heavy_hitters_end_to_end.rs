@@ -69,7 +69,7 @@ fn agrees_with_exact_author_table() {
     let corpus = planted_heavy_hitters(&[70, 50], 80, 4, 3, 3);
     let mut table = AuthorTable::new();
     for p in corpus.papers() {
-        table.push(p);
+        table.ingest(p);
     }
     let eps = 0.2;
     let exact_heavy = table.heavy_hitters(eps);

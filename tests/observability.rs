@@ -96,6 +96,33 @@ fn identical_seeded_runs_have_identical_metrics_and_traces() {
 }
 
 #[test]
+fn bank_counters_flow_from_estimator_to_observer() {
+    // The Alg 6 bank kernel's telemetry must survive the whole relay:
+    // estimator accumulation → shard merge at query → engine
+    // `on_bank_batch` → observer snapshot + `BankBatch` trace event.
+    let updates = stream(2_000);
+    let (snap, _) = instrumented_run(&updates, 7);
+    let bank = snap.bank;
+    assert!(bank.tiles > 0, "no tiles reported: {bank:?}");
+    // Every coalesced item passed through exactly one tile; raw
+    // updates count the pre-coalescing stream.
+    assert_eq!(bank.raw_updates, updates.len() as u64);
+    assert!(bank.tile_items <= bank.raw_updates);
+    assert!(bank.tile_items <= bank.tile_capacity);
+    assert!(bank.level_touches > 0);
+    // Term sharing covers the whole bank: x−1 reuses per evaluation.
+    assert!(bank.pow_evals > 0);
+    assert_eq!(bank.pow_reused % bank.pow_evals, 0);
+    assert!(snap.bank_tile_fill() > 0.0 && snap.bank_tile_fill() <= 1.0);
+    assert!(snap.bank_hash_reuse() > 0.9, "{}", snap.bank_hash_reuse());
+    assert!(snap
+        .events
+        .iter()
+        .any(|e| e.kind == hindex_obs::EventKind::BankBatch));
+    assert!(snap.render_text().contains("hindex_bank_tiles_total"));
+}
+
+#[test]
 fn observer_never_perturbs_the_estimator() {
     let updates = stream(3_000);
     let plain_config = EngineConfig::builder().shards(3).batch(32).build().unwrap();
