@@ -10,8 +10,10 @@
 //! is a **mandatory justification**. Keys are content-derived (no line
 //! numbers), so entries survive edits elsewhere in the file; a key that
 //! no longer matches any finding is reported as *stale* so the file
-//! cannot silently rot. `--deny` fails on unjustified entries but only
-//! warns on stale ones (a fix landing should not break CI twice).
+//! cannot silently rot. Stale entries are a **hard error** on full
+//! runs — fixing a finding and deleting its suppression are one
+//! change, not two — and a warning under `--quick`, where cross-file
+//! findings are invisible and their entries would always look stale.
 
 use crate::Finding;
 

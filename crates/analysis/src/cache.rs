@@ -1,0 +1,311 @@
+//! The incremental analysis cache (`target/analysis-cache.json`).
+//!
+//! A full lint pass lexes, parses, and scans every file in the
+//! workspace; most CI and pre-commit runs touch a handful. The cache
+//! records, per source file, the FNV-1a hash of its bytes and the
+//! file-local findings (L1/L4/L8/L10) the last full run produced, so
+//! the next run only re-lints files whose bytes changed and *replays*
+//! the recorded findings for everything else. Cross-file lints
+//! (L2/L7/L9/L11/L12) correlate facts across files — a clean file can
+//! join a new violation — so they re-run every time; their findings
+//! are cached only for the **full-hit** fast path, where no file
+//! changed at all and the whole prior report (including parsing) can
+//! be skipped.
+//!
+//! Three safety valves keep replay honest:
+//!
+//! * [`registry_hash`] folds the lint catalogue and
+//!   [`LINT_REVISION`] into the cache key, so editing lint *logic*
+//!   (bump the revision) or the registry invalidates everything.
+//! * Hashes are stored as hex strings — JSON numbers are doubles and
+//!   would silently truncate them (see [`crate::json`]).
+//! * Any structural problem reading the file — missing field, unknown
+//!   lint id, parse error — degrades to "no cache" rather than
+//!   guessing.
+//!
+//! `--quick` runs skip cross-file lints, so they never *write* the
+//! cache (a later full run must not replay a partial report).
+
+use crate::json::{self, Value};
+use crate::{all_lints, Finding};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bump when the on-disk layout changes shape.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Bump when any lint's *logic* changes without its id or summary
+/// changing — this is what invalidates stale caches after a lint edit.
+pub const LINT_REVISION: u32 = 3;
+
+/// Per-file cache record: content hash plus the file-local findings
+/// the last full run attributed to this file.
+#[derive(Debug, Clone, Default)]
+pub struct CachedFile {
+    /// FNV-1a of the file's bytes at record time.
+    pub hash: u64,
+    /// File-local findings recorded for this file (possibly empty).
+    pub findings: Vec<Finding>,
+}
+
+/// The whole cache document.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// [`registry_hash`] at record time; a mismatch discards the file.
+    pub registry_hash: u64,
+    /// Every workspace source (`.rs` **and** `Cargo.toml` — manifests
+    /// feed L12, so a manifest edit must break the full-hit path).
+    pub files: BTreeMap<String, CachedFile>,
+    /// Cross-file findings from the last full run, replayed only when
+    /// every file hash matches.
+    pub cross: Vec<Finding>,
+}
+
+/// Digest of the lint catalogue: version, revision, and each lint's
+/// id / summary / scope. Changing any of these orphans old caches.
+#[must_use]
+pub fn registry_hash() -> u64 {
+    let mut text = format!("v{CACHE_VERSION}.r{LINT_REVISION}");
+    for lint in all_lints() {
+        text.push_str(lint.id());
+        text.push('\x1f');
+        text.push_str(lint.summary());
+        text.push(if lint.cross_file() { 'X' } else { 'L' });
+    }
+    crate::workspace::fnv1a_bytes(text.as_bytes())
+}
+
+/// Where the cache lives for a given workspace root.
+#[must_use]
+pub fn default_path(root: &Path) -> PathBuf {
+    root.join("target").join("analysis-cache.json")
+}
+
+/// Interns a lint id back to its `&'static str` registry spelling;
+/// `None` for ids the current registry does not know (stale cache).
+fn intern_lint(id: &str) -> Option<&'static str> {
+    all_lints().iter().find(|l| l.id() == id).map(|l| l.id())
+}
+
+fn finding_to_json(f: &Finding) -> Value {
+    Value::Obj(vec![
+        ("lint".into(), json::s(f.lint)),
+        ("file".into(), json::s(&f.file)),
+        ("line".into(), json::n(f.line as usize)),
+        ("message".into(), json::s(&f.message)),
+        ("snippet".into(), json::s(&f.snippet)),
+        (
+            "suggestion".into(),
+            f.suggestion.as_ref().map_or(Value::Null, json::s),
+        ),
+    ])
+}
+
+fn finding_from_json(v: &Value) -> Option<Finding> {
+    let lint = intern_lint(v.get("lint")?.as_str()?)?;
+    Some(Finding {
+        lint,
+        file: v.get("file")?.as_str()?.to_string(),
+        line: v.get("line")?.as_u32()?,
+        message: v.get("message")?.as_str()?.to_string(),
+        snippet: v.get("snippet")?.as_str()?.to_string(),
+        suggestion: match v.get("suggestion")? {
+            Value::Null => None,
+            other => Some(other.as_str()?.to_string()),
+        },
+    })
+}
+
+impl Cache {
+    /// Reads and validates a cache file. Returns `None` — never an
+    /// error — when the file is absent, malformed, from a different
+    /// layout version, or from a different lint registry: every such
+    /// case simply means "run everything fresh".
+    #[must_use]
+    pub fn load(path: &Path) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("version")?.as_u32()? != CACHE_VERSION {
+            return None;
+        }
+        let registry = doc.get("registry_hash")?.as_u64_hex()?;
+        if registry != registry_hash() {
+            return None;
+        }
+        let mut files = BTreeMap::new();
+        for (path, entry) in doc.get("files")?.as_obj()? {
+            let findings = entry
+                .get("findings")?
+                .as_arr()?
+                .iter()
+                .map(finding_from_json)
+                .collect::<Option<Vec<_>>>()?;
+            files.insert(
+                path.clone(),
+                CachedFile {
+                    hash: entry.get("hash")?.as_u64_hex()?,
+                    findings,
+                },
+            );
+        }
+        let cross = doc
+            .get("cross")?
+            .as_arr()?
+            .iter()
+            .map(finding_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            registry_hash: registry,
+            files,
+            cross,
+        })
+    }
+
+    /// Writes the cache, creating `target/` if needed.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let files = self
+            .files
+            .iter()
+            .map(|(p, entry)| {
+                (
+                    p.clone(),
+                    Value::Obj(vec![
+                        ("hash".into(), json::hex(entry.hash)),
+                        (
+                            "findings".into(),
+                            Value::Arr(entry.findings.iter().map(finding_to_json).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("version".into(), json::n(CACHE_VERSION as usize)),
+            ("registry_hash".into(), json::hex(self.registry_hash)),
+            ("files".into(), Value::Obj(files)),
+            (
+                "cross".into(),
+                Value::Arr(self.cross.iter().map(finding_to_json).collect()),
+            ),
+        ]);
+        std::fs::write(path, doc.render())
+    }
+
+    /// True when `hashes` (the current workspace: path → content hash)
+    /// exactly matches the recorded set — same paths, same bytes — so
+    /// the entire prior report can be replayed without parsing.
+    #[must_use]
+    pub fn full_hit(&self, hashes: &BTreeMap<String, u64>) -> bool {
+        self.files.len() == hashes.len()
+            && hashes
+                .iter()
+                .all(|(p, &h)| self.files.get(p).is_some_and(|e| e.hash == h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_finding() -> Finding {
+        Finding::new(
+            "L10",
+            "crates/core/src/x.rs",
+            42,
+            "total + = run",
+            "unchecked add".into(),
+            Some("use saturating_add".into()),
+        )
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("hindex-cache-test-{}", std::process::id()));
+        let path = dir.join("analysis-cache.json");
+        let mut cache = Cache {
+            registry_hash: registry_hash(),
+            ..Cache::default()
+        };
+        cache.files.insert(
+            "crates/core/src/x.rs".into(),
+            CachedFile {
+                hash: 0xfeed_face_dead_beef,
+                findings: vec![sample_finding()],
+            },
+        );
+        cache.cross.push(Finding::new(
+            "L11",
+            "crates/core/src/y.rs",
+            7,
+            "impl Mergeable for Y",
+            "no digest".into(),
+            None,
+        ));
+        cache.save(&path).unwrap();
+        let back = Cache::load(&path).unwrap();
+        assert_eq!(back.files.len(), 1);
+        let entry = &back.files["crates/core/src/x.rs"];
+        assert_eq!(entry.hash, 0xfeed_face_dead_beef);
+        assert_eq!(entry.findings[0].lint, "L10");
+        assert_eq!(entry.findings[0].line, 42);
+        assert_eq!(
+            entry.findings[0].suggestion.as_deref(),
+            Some("use saturating_add")
+        );
+        assert_eq!(back.cross.len(), 1);
+        assert_eq!(back.cross[0].lint, "L11");
+        assert!(back.cross[0].suggestion.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_mismatch_discards() {
+        let dir = std::env::temp_dir().join(format!("hindex-cache-reg-{}", std::process::id()));
+        let path = dir.join("analysis-cache.json");
+        let cache = Cache {
+            registry_hash: registry_hash() ^ 1,
+            ..Cache::default()
+        };
+        cache.save(&path).unwrap();
+        assert!(Cache::load(&path).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_lint_id_discards() {
+        let dir = std::env::temp_dir().join(format!("hindex-cache-lint-{}", std::process::id()));
+        let path = dir.join("analysis-cache.json");
+        let mut cache = Cache {
+            registry_hash: registry_hash(),
+            ..Cache::default()
+        };
+        let mut f = sample_finding();
+        f.lint = "L99";
+        cache.cross.push(f);
+        cache.save(&path).unwrap();
+        assert!(Cache::load(&path).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_hit_requires_exact_hash_set() {
+        let mut cache = Cache::default();
+        cache.files.insert("a.rs".into(), CachedFile { hash: 1, findings: vec![] });
+        cache.files.insert("b.rs".into(), CachedFile { hash: 2, findings: vec![] });
+        let mut hashes = BTreeMap::new();
+        hashes.insert("a.rs".to_string(), 1u64);
+        hashes.insert("b.rs".to_string(), 2u64);
+        assert!(cache.full_hit(&hashes));
+        hashes.insert("b.rs".to_string(), 3u64);
+        assert!(!cache.full_hit(&hashes));
+        hashes.remove("b.rs");
+        assert!(!cache.full_hit(&hashes));
+        hashes.insert("b.rs".to_string(), 2u64);
+        hashes.insert("c.rs".to_string(), 9u64);
+        assert!(!cache.full_hit(&hashes));
+    }
+}

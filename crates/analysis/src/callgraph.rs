@@ -1,0 +1,361 @@
+//! A conservative workspace call graph over the resolver's tables.
+//!
+//! Edges are extracted by scanning each function's body tokens for
+//! call-shaped subsequences:
+//!
+//! * `name(…)` — free-function call; resolves to every free fn named
+//!   `name` (methods are excluded: a bare call cannot be one).
+//! * `Qualifier::name(…)` — qualified call; `Self::name` resolves
+//!   within the enclosing impl's self type, `Type::name` to that
+//!   type's methods (falling back to *all* fns of that name if the
+//!   qualifier is unknown, e.g. a trait or a generic parameter).
+//! * `recv.name(…)` — method call; the receiver type is inferred for
+//!   `self.name(…)` (the impl's self type) and `self.field.name(…)`
+//!   (the declared field type's head identifiers). Any other receiver
+//!   dispatches to **every** method named `name` in the workspace.
+//!
+//! That last rule is what makes the graph an over-approximation: with
+//! no type inference, an unknown receiver could be anything, and for
+//! reachability lints (L9) missing an edge is a false negative — the
+//! expensive kind. Calls that resolve to nothing (std methods like
+//! `.push(…)` on a `Vec`, `.unwrap()` on `Option`) simply contribute
+//! no edges; panic *sources* are detected by token scan inside each
+//! body, not through the graph.
+
+use crate::lexer::{TokKind, Token};
+use crate::resolve::{Owner, Resolver};
+use crate::workspace::Workspace;
+use std::collections::{HashMap, VecDeque};
+
+/// Rust keywords that look like `kw (…)` in token streams but are
+/// never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "fn", "let", "else", "move",
+    "mut", "ref", "box", "unsafe", "where", "impl", "dyn",
+];
+
+/// True if `word` is a keyword that can precede `(`/`[` without being
+/// a call or indexing head (`if (…)`, `for … in arr[..]`-style).
+#[must_use]
+pub fn is_non_call_keyword(word: &str) -> bool {
+    NON_CALL_KEYWORDS.contains(&word)
+}
+
+/// One extracted call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The called name (last path segment).
+    pub callee: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// Resolved candidate targets (fn ids in the resolver).
+    pub targets: Vec<usize>,
+}
+
+/// The whole-workspace call graph, indexed by resolver fn id.
+pub struct CallGraph {
+    /// Per-function extracted call sites.
+    pub calls: Vec<Vec<Call>>,
+}
+
+impl CallGraph {
+    /// Extracts call sites and resolves edges for every function body.
+    #[must_use]
+    pub fn build(ws: &Workspace, resolver: &Resolver) -> Self {
+        let calls = (0..resolver.fns.len())
+            .map(|id| extract_calls(ws, resolver, id))
+            .collect();
+        Self { calls }
+    }
+
+    /// Breadth-first reachability from `roots`. Returns, for every
+    /// reached fn id, the `(caller, line)` step that first reached it
+    /// (`None` for the roots themselves) — enough to reconstruct a
+    /// shortest call chain for diagnostics.
+    #[must_use]
+    pub fn reach(&self, roots: &[usize]) -> HashMap<usize, Option<(usize, u32)>> {
+        let mut seen: HashMap<usize, Option<(usize, u32)>> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(r) {
+                e.insert(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for call in &self.calls[id] {
+                for &t in &call.targets {
+                    seen.entry(t).or_insert_with(|| {
+                        queue.push_back(t);
+                        Some((id, call.line))
+                    });
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders the shortest call chain from a root to `target` as
+    /// `root -> … -> target`, given a `reach` result.
+    #[must_use]
+    pub fn chain(
+        &self,
+        resolver: &Resolver,
+        reach: &HashMap<usize, Option<(usize, u32)>>,
+        target: usize,
+    ) -> String {
+        let mut names = vec![resolver.fns[target].name.clone()];
+        let mut cur = target;
+        let mut hops = 0;
+        while let Some(Some((parent, _))) = reach.get(&cur) {
+            names.push(resolver.fns[*parent].name.clone());
+            cur = *parent;
+            hops += 1;
+            if hops > 64 {
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// True if the identifier at `idx` is part of a call's *path* rather
+/// than its head: preceded by `.` or `::`.
+fn preceded_by(tokens: &[Token], idx: usize, c: char) -> bool {
+    idx > 0 && tokens[idx - 1].is_punct(c)
+}
+
+fn extract_calls(ws: &Workspace, resolver: &Resolver, id: usize) -> Vec<Call> {
+    let info = &resolver.fns[id];
+    let Some(body) = info.def.body else {
+        return Vec::new();
+    };
+    let tokens = &ws.files[info.file].tokens;
+    let mut out = Vec::new();
+    let mut k = body.lo;
+    while k < body.hi.min(tokens.len()) {
+        let t = &tokens[k];
+        if t.kind != TokKind::Ident || !tokens.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            k += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        if NON_CALL_KEYWORDS.contains(&name) {
+            k += 1;
+            continue;
+        }
+        // Classify the call shape from the preceding tokens.
+        let targets = if preceded_by(tokens, k, '.') {
+            method_targets(resolver, info, tokens, k)
+        } else if preceded_by(tokens, k, ':') && k >= 2 && tokens[k - 2].is_punct(':') {
+            qualified_targets(resolver, info, tokens, k)
+        } else if tokens.get(k.wrapping_sub(1)).is_some_and(|p| p.is_ident("fn")) {
+            // `fn name(` — a nested item definition, not a call.
+            k += 1;
+            continue;
+        } else {
+            // Bare `name(…)`: free functions only.
+            resolver
+                .fns_named(name)
+                .iter()
+                .copied()
+                .filter(|&f| resolver.fns[f].owner == Owner::Free)
+                .collect()
+        };
+        if !targets.is_empty() {
+            out.push(Call {
+                callee: name.to_string(),
+                line: t.line,
+                targets,
+            });
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Targets for `recv.name(…)` with the identifier at `idx` and the `.`
+/// at `idx - 1`.
+fn method_targets(
+    resolver: &Resolver,
+    info: &crate::resolve::FnInfo,
+    tokens: &[Token],
+    idx: usize,
+) -> Vec<usize> {
+    let name = tokens[idx].text.as_str();
+    // `self.name(…)` — idx-2 is `self` not itself preceded by `.`.
+    if idx >= 2 && tokens[idx - 2].is_ident("self") && !preceded_by(tokens, idx - 2, '.') {
+        if let Some(ty) = info.owner.self_ty() {
+            return resolver.methods_of(ty, name).to_vec();
+        }
+    }
+    // `self.field.name(…)` — infer through the declared field type.
+    if idx >= 4
+        && tokens[idx - 2].kind == TokKind::Ident
+        && tokens[idx - 3].is_punct('.')
+        && tokens[idx - 4].is_ident("self")
+        && !preceded_by(tokens, idx - 4, '.')
+    {
+        if let Some(self_ty) = info.owner.self_ty() {
+            if let Some(fields) = resolver.structs.get(self_ty) {
+                let field_name = tokens[idx - 2].text.as_str();
+                if let Some(field) = fields.iter().find(|f| f.name == field_name) {
+                    let mut targets = Vec::new();
+                    for ty in Resolver::type_idents(&field.ty) {
+                        targets.extend_from_slice(resolver.methods_of(ty, name));
+                    }
+                    if !targets.is_empty() {
+                        targets.sort_unstable();
+                        targets.dedup();
+                        return targets;
+                    }
+                }
+            }
+        }
+    }
+    // Unknown receiver: every method of that name (methods only;
+    // free fns cannot be `.called`).
+    let mut targets: Vec<usize> = resolver
+        .fns_named(name)
+        .iter()
+        .copied()
+        .filter(|&f| resolver.fns[f].owner != Owner::Free)
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    targets
+}
+
+/// Targets for `Qualifier::name(…)` with the identifier at `idx` and
+/// `::` at `idx-2..idx`.
+fn qualified_targets(
+    resolver: &Resolver,
+    info: &crate::resolve::FnInfo,
+    tokens: &[Token],
+    idx: usize,
+) -> Vec<usize> {
+    let name = tokens[idx].text.as_str();
+    let qualifier = if idx >= 3 && tokens[idx - 3].kind == TokKind::Ident {
+        tokens[idx - 3].text.as_str()
+    } else {
+        ""
+    };
+    if qualifier == "Self" {
+        if let Some(ty) = info.owner.self_ty() {
+            return resolver.methods_of(ty, name).to_vec();
+        }
+    }
+    if !qualifier.is_empty() {
+        let direct = resolver.methods_of(qualifier, name);
+        if !direct.is_empty() {
+            return direct.to_vec();
+        }
+        // The qualifier may be a trait (`Estimator::ingest`) or a
+        // module path — fall through to the conservative set.
+    }
+    let mut targets: Vec<usize> = resolver.fns_named(name).to_vec();
+    targets.sort_unstable();
+    targets.dedup();
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> (Workspace, Resolver) {
+        let ws = Workspace::from_sources(vec![("crates/core/src/x.rs".into(), src.into())]);
+        let r = Resolver::build(&ws);
+        (ws, r)
+    }
+
+    #[test]
+    fn reaches_through_two_deep_chain() {
+        let (ws, r) = setup(
+            "pub struct S;\n\
+             impl S {\n\
+               pub fn ingest(&mut self) { self.step(); }\n\
+               fn step(&mut self) { helper(); }\n\
+             }\n\
+             fn helper() { deep(); }\n\
+             fn deep() {}\n\
+             fn unrelated() {}\n",
+        );
+        let g = CallGraph::build(&ws, &r);
+        let root = r.fns_named("ingest")[0];
+        let reach = g.reach(&[root]);
+        let deep = r.fns_named("deep")[0];
+        assert!(reach.contains_key(&deep));
+        assert!(!reach.contains_key(&r.fns_named("unrelated")[0]));
+        assert_eq!(g.chain(&r, &reach, deep), "ingest -> step -> helper -> deep");
+    }
+
+    #[test]
+    fn field_receivers_dispatch_by_declared_type() {
+        let (ws, r) = setup(
+            "pub struct Inner;\n\
+             impl Inner { pub fn poke(&self) {} }\n\
+             pub struct Other;\n\
+             impl Other { pub fn poke(&self) {} }\n\
+             pub struct Outer { inner: Inner }\n\
+             impl Outer { pub fn run(&self) { self.inner.poke(); } }\n",
+        );
+        let g = CallGraph::build(&ws, &r);
+        let run = r.fns_named("run")[0];
+        let reach = g.reach(&[run]);
+        let inner_poke = r.methods_of("Inner", "poke")[0];
+        let other_poke = r.methods_of("Other", "poke")[0];
+        assert!(reach.contains_key(&inner_poke));
+        assert!(!reach.contains_key(&other_poke));
+    }
+
+    #[test]
+    fn unknown_receiver_is_conservative() {
+        let (ws, r) = setup(
+            "pub struct A;\n\
+             impl A { pub fn go(&self) {} }\n\
+             pub struct B;\n\
+             impl B { pub fn go(&self) {} }\n\
+             fn driver(x: &dyn std::any::Any) { let v = pick(); v.go(); }\n\
+             fn pick() -> A { A }\n",
+        );
+        let g = CallGraph::build(&ws, &r);
+        let reach = g.reach(&[r.fns_named("driver")[0]]);
+        assert!(reach.contains_key(&r.methods_of("A", "go")[0]));
+        assert!(reach.contains_key(&r.methods_of("B", "go")[0]));
+    }
+
+    #[test]
+    fn self_qualified_calls_stay_within_impl() {
+        let (ws, r) = setup(
+            "pub struct A;\n\
+             impl A { pub fn entry(&self) { Self::assoc(); } fn assoc() {} }\n\
+             pub struct B;\n\
+             impl B { fn assoc() { tripwire(); } }\n\
+             fn tripwire() {}\n",
+        );
+        let g = CallGraph::build(&ws, &r);
+        let reach = g.reach(&[r.fns_named("entry")[0]]);
+        assert!(!reach.contains_key(&r.fns_named("tripwire")[0]));
+    }
+
+    #[test]
+    fn keywords_and_nested_fns_are_not_calls() {
+        let (ws, r) = setup(
+            "fn outer() { if (true) { } match (1) { _ => {} } fn inner() {} }\n\
+             fn inner() { tripwire(); }\n\
+             fn tripwire() {}\n",
+        );
+        let g = CallGraph::build(&ws, &r);
+        // outer's body defines a *nested* fn inner, which our flat
+        // model conflates with the top-level inner — but `fn inner(`
+        // must not count as a call site.
+        let outer = r
+            .fns
+            .iter()
+            .position(|f| f.name == "outer")
+            .unwrap();
+        assert!(g.calls[outer].is_empty());
+    }
+}

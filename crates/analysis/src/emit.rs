@@ -1,0 +1,228 @@
+//! Report emitters: plain text for humans, a machine-readable JSON
+//! summary, and SARIF 2.1.0 for code-scanning UIs.
+//!
+//! All three render the *applied* result — findings with the baseline
+//! already subtracted — because that is the actionable report: a
+//! baselined finding is a documented decision, not a diagnostic. SARIF
+//! output carries the full rule catalogue in `tool.driver.rules` so
+//! viewers can show lint summaries even for runs with zero results.
+
+use crate::baseline::Applied;
+use crate::json::{self, Value};
+use crate::{all_lints, Finding};
+use std::fmt::Write as _;
+
+/// Output format selector for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Line-per-finding human output (the default).
+    Text,
+    /// A single JSON object with findings and baseline audit info.
+    Json,
+    /// SARIF 2.1.0, one run, one result per new finding.
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "text" => Ok(Self::Text),
+            "json" => Ok(Self::Json),
+            "sarif" => Ok(Self::Sarif),
+            other => Err(format!("unknown format `{other}` (expected text, json, or sarif)")),
+        }
+    }
+}
+
+/// Renders the human-readable report: one block per new finding.
+#[must_use]
+pub fn render_text(applied: &Applied) -> String {
+    let mut out = String::new();
+    for f in &applied.new {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+        if let Some(s) = &f.suggestion {
+            let _ = writeln!(out, "    suggestion: {s}");
+        }
+        let _ = writeln!(out, "    baseline key: {}", f.key());
+    }
+    out
+}
+
+fn finding_obj(f: &Finding) -> Value {
+    Value::Obj(vec![
+        ("lint".into(), json::s(f.lint)),
+        ("file".into(), json::s(&f.file)),
+        ("line".into(), json::n(f.line as usize)),
+        ("message".into(), json::s(&f.message)),
+        (
+            "suggestion".into(),
+            f.suggestion.as_ref().map_or(Value::Null, json::s),
+        ),
+        ("key".into(), json::s(f.key())),
+    ])
+}
+
+/// Renders the JSON report: new findings plus the baseline audit.
+#[must_use]
+pub fn render_json(applied: &Applied, files: usize) -> String {
+    Value::Obj(vec![
+        ("tool".into(), json::s("hindex-analysis")),
+        ("files".into(), json::n(files)),
+        (
+            "findings".into(),
+            Value::Arr(applied.new.iter().map(finding_obj).collect()),
+        ),
+        ("baselined".into(), json::n(applied.silenced)),
+        (
+            "stale".into(),
+            Value::Arr(applied.stale.iter().map(|e| json::s(&e.key)).collect()),
+        ),
+        (
+            "unjustified".into(),
+            Value::Arr(applied.unjustified.iter().map(|e| json::s(&e.key)).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Renders SARIF 2.1.0. Every new finding becomes one `result` at
+/// `warning` level (the *process* decides pass/fail via `--deny`; the
+/// findings themselves are advisory records in the log).
+#[must_use]
+pub fn render_sarif(applied: &Applied) -> String {
+    let rules: Vec<Value> = all_lints()
+        .iter()
+        .map(|lint| {
+            Value::Obj(vec![
+                ("id".into(), json::s(lint.id())),
+                (
+                    "shortDescription".into(),
+                    Value::Obj(vec![("text".into(), json::s(lint.summary()))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = applied
+        .new
+        .iter()
+        .map(|f| {
+            Value::Obj(vec![
+                ("ruleId".into(), json::s(f.lint)),
+                ("level".into(), json::s("warning")),
+                (
+                    "message".into(),
+                    Value::Obj(vec![("text".into(), json::s(&f.message))]),
+                ),
+                (
+                    "locations".into(),
+                    Value::Arr(vec![Value::Obj(vec![(
+                        "physicalLocation".into(),
+                        Value::Obj(vec![
+                            (
+                                "artifactLocation".into(),
+                                Value::Obj(vec![
+                                    ("uri".into(), json::s(&f.file)),
+                                    ("uriBaseId".into(), json::s("SRCROOT")),
+                                ]),
+                            ),
+                            (
+                                "region".into(),
+                                Value::Obj(vec![(
+                                    "startLine".into(),
+                                    json::n(f.line.max(1) as usize),
+                                )]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "$schema".into(),
+            json::s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version".into(), json::s("2.1.0")),
+        (
+            "runs".into(),
+            Value::Arr(vec![Value::Obj(vec![
+                (
+                    "tool".into(),
+                    Value::Obj(vec![(
+                        "driver".into(),
+                        Value::Obj(vec![
+                            ("name".into(), json::s("hindex-analysis")),
+                            ("informationUri".into(), json::s("docs/ANALYSIS.md")),
+                            ("rules".into(), Value::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), Value::Arr(results)),
+            ])]),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{apply, Baseline};
+
+    fn applied_with_one() -> Applied {
+        let f = Finding::new(
+            "L10",
+            "crates/core/src/x.rs",
+            12,
+            "total + = run",
+            "`+=` may overflow".into(),
+            Some("saturating_add".into()),
+        );
+        apply(&Baseline::default(), vec![f])
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(Format::parse("sarif"), Ok(Format::Sarif));
+        assert!(Format::parse("xml").is_err());
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_schema_and_result() {
+        let text = render_sarif(&applied_with_one());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_str(), Some("2.1.0"));
+        let runs = doc.get("runs").unwrap().as_arr().unwrap();
+        let results = runs[0].get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("ruleId").unwrap().as_str(), Some("L10"));
+        let rules = runs[0]
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(rules.len(), all_lints().len());
+    }
+
+    #[test]
+    fn json_report_carries_audit_fields() {
+        let text = render_json(&applied_with_one(), 9);
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("files").unwrap().as_u32(), Some(9));
+        assert_eq!(doc.get("findings").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(doc.get("stale").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn text_report_prints_key() {
+        let text = render_text(&applied_with_one());
+        assert!(text.contains("baseline key: L10|crates/core/src/x.rs|"));
+        assert!(text.contains("suggestion: saturating_add"));
+    }
+}

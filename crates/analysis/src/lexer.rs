@@ -497,4 +497,52 @@ mod tests {
     fn raw_identifiers_unprefix() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
     }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let src = "before(); /* 1 /* 2 /* 3 */ 2 */ 1 */ after();";
+        assert_eq!(idents(src), vec!["before", "after"]);
+        // An asterisk glued to the closer is not a second opener.
+        assert_eq!(idents("a(); /* x **/ b();"), vec!["a", "b"]);
+        // Unterminated nesting consumes to EOF instead of diverging.
+        assert_eq!(idents("x(); /* /* never closed */"), vec!["x"]);
+    }
+
+    #[test]
+    fn raw_string_hash_counts_disambiguate_terminators() {
+        // `"#` inside an `r##"…"##` body is content, not a terminator.
+        let toks = lex(r####"let s = r##"quote "# not done"##;"####);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r##"quote "# not done"##);
+        // A quote just before the real terminator stays in the body.
+        let toks = lex(r##"r#"a""#"##);
+        assert_eq!(toks[0].text, "a\"");
+        // Zero-hash raw strings end at the first quote.
+        let toks = lex("r\"ab\" tail");
+        assert_eq!((toks[0].kind, toks[0].text.as_str()), (TokKind::Str, "ab"));
+        assert!(toks[1].is_ident("tail"));
+        // Empty bodies at several hash depths.
+        for src in [r#"r"""#, r##"r#""#"##, r####"r###""###"####] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!((toks[0].kind, toks[0].text.as_str()), (TokKind::Str, ""), "{src}");
+        }
+        // Surplus hashes after the terminator degrade to punctuation.
+        let toks = lex(r###"r#"x"## y"###);
+        assert_eq!((toks[0].kind, toks[0].text.as_str()), (TokKind::Str, "x"));
+        assert!(toks[1].is_punct('#'));
+        assert!(toks[2].is_ident("y"));
+    }
+
+    #[test]
+    fn byte_and_c_raw_strings_share_the_machinery() {
+        let toks = lex(r###"br#"bytes"# cr#"c str"# b"plain" c"also""###);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "c str", "plain", "also"]);
+    }
 }

@@ -4,10 +4,13 @@
 //! General-purpose tooling (rustc, clippy) cannot see the *project's*
 //! invariants: that field arithmetic must go through the checked
 //! helpers in `hindex-hashing::field`, that every estimator carries a
-//! space contract, that library crates never panic on data. This crate
-//! encodes those rules as lints L1–L8 over a hand-rolled token stream
-//! (see [`lexer`]) with zero external dependencies, so the pass runs in
-//! the same offline environment as the rest of the workspace.
+//! space contract, that no panic is reachable from a library ingest
+//! path. This crate encodes those rules as lints L1–L12 over three
+//! synchronized views of each file — a hand-rolled token stream
+//! ([`lexer`]), an item tree ([`parse`]/[`ast`]), and workspace-wide
+//! symbol tables with a conservative call graph ([`resolve`] /
+//! [`callgraph`]) — with zero external dependencies, so the pass runs
+//! in the same offline environment as the rest of the workspace.
 //!
 //! The binary (`cargo run -p hindex-analysis -- --deny`) walks the
 //! repository, applies every lint, subtracts the committed baseline of
@@ -16,17 +19,73 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
 pub mod baseline;
+pub mod cache;
+pub mod callgraph;
+pub mod emit;
+pub mod json;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
+pub mod resolve;
 pub mod workspace;
 
+use callgraph::CallGraph;
+use resolve::Resolver;
+use std::collections::HashSet;
 use workspace::Workspace;
+
+/// The shared analysis context handed to every lint: the workspace
+/// plus the symbol tables and call graph derived from it, built once
+/// per run.
+pub struct Analysis<'ws> {
+    /// The workspace under analysis.
+    pub ws: &'ws Workspace,
+    /// Flattened symbol tables (fns, impls, struct layouts).
+    pub resolver: Resolver,
+    /// Conservative whole-workspace call graph.
+    pub graph: CallGraph,
+    dirty: Option<HashSet<String>>,
+}
+
+impl<'ws> Analysis<'ws> {
+    /// Builds the context over the full workspace (every file dirty).
+    #[must_use]
+    pub fn build(ws: &'ws Workspace) -> Self {
+        let resolver = Resolver::build(ws);
+        let graph = CallGraph::build(ws, &resolver);
+        Self {
+            ws,
+            resolver,
+            graph,
+            dirty: None,
+        }
+    }
+
+    /// Builds the context with an incremental dirty set: file-local
+    /// lints only re-examine paths in `dirty` (the cache replays their
+    /// prior findings for clean files). Cross-file lints always see the
+    /// whole workspace — their facts span files, so a clean file can
+    /// still participate in a violation.
+    #[must_use]
+    pub fn with_dirty(ws: &'ws Workspace, dirty: HashSet<String>) -> Self {
+        let mut a = Self::build(ws);
+        a.dirty = Some(dirty);
+        a
+    }
+
+    /// True if a file-local lint should examine `path` this run.
+    #[must_use]
+    pub fn should_lint(&self, path: &str) -> bool {
+        self.dirty.as_ref().is_none_or(|d| d.contains(path))
+    }
+}
 
 /// One diagnostic produced by a lint.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Lint identifier (`"L1"` … `"L8"`).
+    /// Lint identifier (`"L1"` … `"L12"`).
     pub lint: &'static str,
     /// Repo-relative path of the offending file.
     pub file: String,
@@ -85,47 +144,90 @@ impl Finding {
 
 /// A single lint rule.
 pub trait Lint {
-    /// Stable identifier, `"L1"` … `"L8"`.
+    /// Stable identifier, `"L1"` … `"L12"`.
     fn id(&self) -> &'static str;
     /// One-line description for `--list` and documentation.
     fn summary(&self) -> &'static str;
     /// True for lints that correlate facts across files (these are
-    /// skipped by `--quick`).
+    /// skipped by `--quick` and always re-run by the incremental
+    /// cache).
     fn cross_file(&self) -> bool {
         false
     }
-    /// Runs the lint over the whole workspace, appending findings.
-    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>);
+    /// Runs the lint over the analysis context, appending findings.
+    /// File-local lints must honour [`Analysis::should_lint`].
+    fn run(&self, ctx: &Analysis, out: &mut Vec<Finding>);
 }
 
-/// The full lint registry, in catalogue order.
+/// The full lint registry, in catalogue order. L3, L5, and L6 are
+/// retired: the token-only panic scan grew into the call-graph-aware
+/// L9, and the two Mergeable-coverage lints merged into the structural
+/// L11.
 #[must_use]
 pub fn all_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(lints::FieldArithmetic),
         Box::new(lints::SpaceContract),
-        Box::new(lints::NoPanicPaths),
         Box::new(lints::ForbidNondeterminism),
-        Box::new(lints::MergeSemantics),
-        Box::new(lints::SnapshotCoverage),
         Box::new(lints::ObservabilityWiring),
         Box::new(lints::LegacyIngestVerbs),
+        Box::new(lints::PanicReachability),
+        Box::new(lints::OverflowUnsafety),
+        Box::new(lints::DigestSnapshotCoverage),
+        Box::new(lints::FeatureGateConsistency),
     ]
 }
 
-/// Runs every registered lint (cross-file lints are skipped when
-/// `quick` is set) and returns findings sorted by file, line, lint.
+/// Runs every registered lint over a pre-built context (cross-file
+/// lints are skipped when `quick` is set) and returns findings sorted
+/// by file, line, lint.
 #[must_use]
-pub fn run_lints(ws: &Workspace, quick: bool) -> Vec<Finding> {
+pub fn run_lints_with(ctx: &Analysis, quick: bool) -> Vec<Finding> {
+    let mut findings = run_file_local_lints(ctx);
+    if !quick {
+        findings.extend(run_cross_lints(ctx));
+    }
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Runs only the file-local lints (the cacheable half: each finding is
+/// a function of one file's contents). Honours the context's dirty
+/// set.
+#[must_use]
+pub fn run_file_local_lints(ctx: &Analysis) -> Vec<Finding> {
     let mut findings = Vec::new();
     for lint in all_lints() {
-        if quick && lint.cross_file() {
-            continue;
+        if !lint.cross_file() {
+            lint.run(ctx, &mut findings);
         }
-        lint.run(ws, &mut findings);
     }
+    findings
+}
+
+/// Runs only the cross-file lints. These always see the whole
+/// workspace: their facts span files, so the incremental cache cannot
+/// replay them unless *nothing* changed.
+#[must_use]
+pub fn run_cross_lints(ctx: &Analysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for lint in all_lints() {
+        if lint.cross_file() {
+            lint.run(ctx, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Sorts findings into the canonical (file, line, lint) report order.
+pub fn sort_findings(findings: &mut [Finding]) {
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
     });
-    findings
+}
+
+/// Convenience wrapper: builds the context and runs every lint.
+#[must_use]
+pub fn run_lints(ws: &Workspace, quick: bool) -> Vec<Finding> {
+    run_lints_with(&Analysis::build(ws), quick)
 }

@@ -1,0 +1,1147 @@
+//! Error-tolerant recursive-descent parser from the lexer's token
+//! stream to the item tree in [`crate::ast`].
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Totality.** The parser must accept *any* token stream — a
+//!    half-edited file, macro soup, or adversarial proptest input —
+//!    without panicking and while preserving the span-tiling invariant
+//!    ([`crate::ast::check_tiling`]). Anything unrecognised is consumed
+//!    as [`ItemKind::Verbatim`] with guaranteed forward progress.
+//! 2. **Item fidelity.** Functions, impls, traits, structs, and mods
+//!    must be parsed faithfully enough for symbol resolution and call
+//!    graph construction: names, parameter names/types, receiver
+//!    types, body spans, attributes.
+//! 3. **No expression grammar.** Bodies are kept as opaque token
+//!    spans; expression-level lints scan those spans directly.
+//!
+//! The lexer emits one-character punctuation only, so `::` is two `:`
+//! tokens and `->` is `-` then `>`; the angle-bracket skipper treats a
+//! `>` preceded by `-` as part of an arrow, not a closing bracket.
+
+use crate::ast::{
+    Attr, Field, FnDef, ImplDef, Item, ItemKind, Param, Span, StructDef, TraitDef,
+};
+use crate::lexer::{TokKind, Token};
+
+/// Parses a full token stream into the file's top-level items.
+///
+/// The result tiles `[0, tokens.len())` — see [`crate::ast::check_tiling`].
+#[must_use]
+pub fn parse(tokens: &[Token]) -> Vec<Item> {
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        end: tokens.len(),
+    };
+    parser.items()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    /// Exclusive bound for the current nesting level; scans never read
+    /// past it, so a runaway body cannot swallow its siblings.
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&Token> {
+        let idx = self.pos + ahead;
+        if idx < self.end {
+            self.tokens.get(idx)
+        } else {
+            None
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_ident(word))
+    }
+
+    fn bump(&mut self) {
+        if self.pos < self.end {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes and returns an identifier token's text, if present.
+    fn take_ident(&mut self) -> Option<String> {
+        let text = match self.peek(0) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return None,
+        };
+        self.bump();
+        Some(text)
+    }
+
+    /// Index of the close matching the opener at `open_idx`, bounded
+    /// by `self.end`.
+    fn find_matching(&self, open_idx: usize, open: char, close: char) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in open_idx..self.end {
+            let t = &self.tokens[k];
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    /// At an opener: consume through its matching close (or to the
+    /// bound if unmatched).
+    fn skip_balanced(&mut self, open: char, close: char) {
+        match self.find_matching(self.pos, open, close) {
+            Some(c) => self.pos = c + 1,
+            None => self.pos = self.end,
+        }
+    }
+
+    /// At `<`: consume a generic-argument list, treating `->`'s `>` as
+    /// an arrow (not a close) and skipping bracketed sub-regions
+    /// wholesale (const-generic braces, fn-pointer parens).
+    fn skip_generics(&mut self) {
+        let mut depth = 0usize;
+        let mut prev_dash = false;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('<') {
+                depth += 1;
+                prev_dash = false;
+                self.bump();
+            } else if t.is_punct('>') {
+                if prev_dash {
+                    prev_dash = false;
+                    self.bump();
+                } else {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+            } else if t.is_punct('(') {
+                self.skip_balanced('(', ')');
+                prev_dash = false;
+            } else if t.is_punct('[') {
+                self.skip_balanced('[', ']');
+                prev_dash = false;
+            } else if t.is_punct('{') {
+                self.skip_balanced('{', '}');
+                prev_dash = false;
+            } else {
+                prev_dash = t.is_punct('-');
+                self.bump();
+            }
+            if depth == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parses the items of a brace-delimited body the cursor sits on.
+    /// Consumes the braces; children end up tiling the interior.
+    fn braced_items(&mut self) -> Vec<Item> {
+        if !self.at_punct('{') {
+            return Vec::new();
+        }
+        let close = self.find_matching(self.pos, '{', '}');
+        self.bump();
+        let inner_end = close.unwrap_or(self.end);
+        let saved_end = self.end;
+        self.end = inner_end;
+        let items = self.items();
+        self.end = saved_end;
+        self.pos = match close {
+            Some(c) => (c + 1).min(self.end),
+            None => self.end,
+        };
+        items
+    }
+
+    fn items(&mut self) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.pos < self.end {
+            out.push(self.item());
+        }
+        out
+    }
+
+    /// Renders `[lo, hi)` as normalised source text: token texts
+    /// joined by single spaces, string/char/lifetime tokens re-quoted.
+    fn render(&self, lo: usize, hi: usize) -> String {
+        let mut s = String::new();
+        for t in &self.tokens[lo.min(self.end)..hi.min(self.end)] {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            match t.kind {
+                TokKind::Str => {
+                    s.push('"');
+                    s.push_str(&t.text);
+                    s.push('"');
+                }
+                TokKind::Char => {
+                    s.push('\'');
+                    s.push_str(&t.text);
+                    s.push('\'');
+                }
+                TokKind::Lifetime => {
+                    s.push('\'');
+                    s.push_str(&t.text);
+                }
+                _ => s.push_str(&t.text),
+            }
+        }
+        s
+    }
+
+    /// Cursor at `[` of an attribute whose `#` (and `!`) are already
+    /// consumed: parses path + rendered args through the closing `]`.
+    fn attr_body(&mut self, line: u32, inner: bool) -> Attr {
+        let close = self.find_matching(self.pos, '[', ']');
+        self.bump(); // [
+        let mut path = String::new();
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Ident {
+                path.push_str(&t.text);
+                self.bump();
+                if self.at_punct(':') && self.peek(1).is_some_and(|t| t.is_punct(':')) {
+                    path.push_str("::");
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+            }
+            break;
+        }
+        let args_lo = self.pos;
+        let args_hi = close.unwrap_or(self.end);
+        let args = self.render(args_lo, args_hi);
+        self.pos = match close {
+            Some(c) => (c + 1).min(self.end),
+            None => self.end,
+        };
+        Attr {
+            path,
+            args,
+            inner,
+            line,
+        }
+    }
+
+    fn item(&mut self) -> Item {
+        let lo = self.pos;
+
+        // Standalone inner attribute: #![...]
+        if self.at_punct('#')
+            && self.peek(1).is_some_and(|t| t.is_punct('!'))
+            && self.peek(2).is_some_and(|t| t.is_punct('['))
+        {
+            let line = self.peek(0).map_or(0, |t| t.line);
+            self.bump();
+            self.bump();
+            let attr = self.attr_body(line, true);
+            return Item {
+                attrs: Vec::new(),
+                span: Span { lo, hi: self.pos },
+                kind: ItemKind::InnerAttr(attr),
+            };
+        }
+
+        // Outer attributes.
+        let mut attrs = Vec::new();
+        while self.at_punct('#') && self.peek(1).is_some_and(|t| t.is_punct('[')) {
+            let line = self.peek(0).map_or(0, |t| t.line);
+            self.bump();
+            attrs.push(self.attr_body(line, false));
+        }
+
+        // Visibility.
+        if self.at_ident("pub") {
+            self.bump();
+            if self.at_punct('(') {
+                self.skip_balanced('(', ')');
+            }
+        }
+
+        // Function/impl/trait qualifiers. `const` and `extern` are
+        // only qualifiers when what follows says so; otherwise they
+        // start their own item kinds.
+        loop {
+            let one_token_qualifier = self.at_ident("async")
+                || (self.at_ident("const")
+                    && self.peek(1).is_some_and(|t| {
+                        t.is_ident("fn") || t.is_ident("unsafe") || t.is_ident("extern")
+                            || t.is_ident("async")
+                    }))
+                || (self.at_ident("unsafe")
+                    && self.peek(1).is_some_and(|t| {
+                        t.is_ident("fn") || t.is_ident("impl") || t.is_ident("trait")
+                            || t.is_ident("extern")
+                    }))
+                || (self.at_ident("default")
+                    && self.peek(1).is_some_and(|t| {
+                        t.is_ident("fn") || t.is_ident("const") || t.is_ident("type")
+                            || t.is_ident("unsafe") || t.is_ident("async")
+                    }))
+                || (self.at_ident("auto") && self.peek(1).is_some_and(|t| t.is_ident("trait")));
+            if one_token_qualifier {
+                self.bump();
+            } else if self.at_ident("extern")
+                && self.peek(1).is_some_and(|t| t.kind == TokKind::Str)
+                && self.peek(2).is_some_and(|t| t.is_ident("fn"))
+            {
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+
+        let kind = self.item_kind();
+        // Guarantee forward progress on any input.
+        if self.pos == lo {
+            self.bump();
+        }
+        Item {
+            attrs,
+            span: Span { lo, hi: self.pos },
+            kind,
+        }
+    }
+
+    fn item_kind(&mut self) -> ItemKind {
+        if self.at_ident("use") {
+            return self.use_item();
+        }
+        if self.at_ident("mod") {
+            return self.mod_item();
+        }
+        if self.at_ident("fn") {
+            return ItemKind::Fn(self.fn_def());
+        }
+        if self.at_ident("impl") {
+            return self.impl_item();
+        }
+        if self.at_ident("trait") {
+            return self.trait_item();
+        }
+        if self.at_ident("struct") {
+            return self.struct_item();
+        }
+        if self.at_ident("enum") || self.at_ident("union") {
+            let is_union = self.at_ident("union");
+            // `union` is contextual; require it to look like a decl.
+            if is_union
+                && !(self.peek(1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && self
+                        .peek(2)
+                        .is_some_and(|t| t.is_punct('{') || t.is_punct('<')))
+            {
+                return self.verbatim();
+            }
+            self.bump();
+            let name = self.take_ident().unwrap_or_default();
+            if self.at_punct('<') {
+                self.skip_generics();
+            }
+            self.consume_to_body_or_semi();
+            return if is_union {
+                ItemKind::Union { name }
+            } else {
+                ItemKind::Enum { name }
+            };
+        }
+        if self.at_ident("const") || self.at_ident("static") {
+            let is_const = self.at_ident("const");
+            self.bump();
+            if self.at_ident("mut") {
+                self.bump();
+            }
+            let name = self.take_ident().unwrap_or_default();
+            self.consume_to_semi();
+            return if is_const {
+                ItemKind::Const { name }
+            } else {
+                ItemKind::Static { name }
+            };
+        }
+        if self.at_ident("type") {
+            self.bump();
+            let name = self.take_ident().unwrap_or_default();
+            self.consume_to_semi();
+            return ItemKind::TypeAlias { name };
+        }
+        if self.at_ident("macro_rules") && self.peek(1).is_some_and(|t| t.is_punct('!')) {
+            self.bump();
+            self.bump();
+            let name = self.take_ident().unwrap_or_default();
+            self.macro_delimiter();
+            return ItemKind::MacroDef { name };
+        }
+        if self.at_ident("extern") {
+            if self.peek(1).is_some_and(|t| t.is_ident("crate")) {
+                self.bump();
+                self.bump();
+                let name = self.take_ident().unwrap_or_default();
+                self.consume_to_semi();
+                return ItemKind::ExternCrate { name };
+            }
+            self.bump();
+            if self.peek(0).is_some_and(|t| t.kind == TokKind::Str) {
+                self.bump();
+            }
+            if self.at_punct('{') {
+                self.skip_balanced('{', '}');
+            }
+            return ItemKind::ForeignMod;
+        }
+        // Item-position macro invocation: path ! delim.
+        if let Some(segments) = self.macro_call_path() {
+            return ItemKind::MacroCall { segments };
+        }
+        self.verbatim()
+    }
+
+    fn use_item(&mut self) -> ItemKind {
+        self.bump(); // use
+        let mut segments = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(';') {
+                self.bump();
+                break;
+            }
+            if t.kind == TokKind::Ident && t.text != "as" {
+                segments.push(t.text.clone());
+            }
+            self.bump();
+        }
+        ItemKind::Use { segments }
+    }
+
+    fn mod_item(&mut self) -> ItemKind {
+        self.bump(); // mod
+        let name = self.take_ident().unwrap_or_default();
+        if self.at_punct(';') {
+            self.bump();
+            return ItemKind::ModDecl { name };
+        }
+        if self.at_punct('{') {
+            let items = self.braced_items();
+            return ItemKind::Mod { name, items };
+        }
+        // Malformed: treat the rest conservatively.
+        self.consume_to_semi();
+        ItemKind::ModDecl { name }
+    }
+
+    fn fn_def(&mut self) -> FnDef {
+        self.bump(); // fn
+        let name = self.take_ident().unwrap_or_default();
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.at_punct('(') {
+            let close = self.find_matching(self.pos, '(', ')');
+            let inner_end = close.unwrap_or(self.end);
+            params = self.params(self.pos + 1, inner_end);
+            self.pos = match close {
+                Some(c) => (c + 1).min(self.end),
+                None => self.end,
+            };
+        }
+        let mut ret = None;
+        if self.at_punct('-') && self.peek(1).is_some_and(|t| t.is_punct('>')) {
+            self.bump();
+            self.bump();
+            let ty_lo = self.pos;
+            self.scan_type_position(&["where"]);
+            let rendered = self.render(ty_lo, self.pos);
+            if !rendered.is_empty() {
+                ret = Some(rendered);
+            }
+        }
+        if self.at_ident("where") {
+            // Bounds are comma-separated and may carry a trailing
+            // comma before the body brace.
+            loop {
+                self.scan_type_position(&[]);
+                if self.at_punct(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut body = None;
+        if self.at_punct('{') {
+            let open = self.pos;
+            self.skip_balanced('{', '}');
+            body = Some(Span {
+                lo: open,
+                hi: self.pos,
+            });
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        FnDef {
+            name,
+            params,
+            ret,
+            body,
+        }
+    }
+
+    /// Advances through a type/bound position until a depth-0 `{`,
+    /// `;`, `,`, or one of `stop_words` — without consuming the stop.
+    fn scan_type_position(&mut self, stop_words: &[&str]) {
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('{') || t.is_punct(';') || t.is_punct(',') {
+                return;
+            }
+            if t.kind == TokKind::Ident && stop_words.iter().any(|w| t.is_ident(w)) {
+                return;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+            } else if t.is_punct('(') {
+                self.skip_balanced('(', ')');
+            } else if t.is_punct('[') {
+                self.skip_balanced('[', ']');
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Parses a parenthesised parameter list over `[lo, hi)` (the
+    /// parens themselves excluded). Does not move the cursor.
+    fn params(&self, lo: usize, hi: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        for (rlo, rhi) in self.split_commas(lo, hi) {
+            if rlo >= rhi {
+                continue;
+            }
+            // Locate the pattern/type separator: the first depth-0 `:`
+            // not part of a `::`.
+            let mut colon = None;
+            let mut depth = 0i64;
+            let mut k = rlo;
+            while k < rhi {
+                let t = &self.tokens[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') || t.is_punct('>')
+                {
+                    depth -= 1;
+                } else if t.is_punct(':') && depth == 0 {
+                    if self.tokens.get(k + 1).is_some_and(|n| n.is_punct(':')) {
+                        k += 2;
+                        continue;
+                    }
+                    colon = Some(k);
+                    break;
+                }
+                k += 1;
+            }
+            let pattern_hi = colon.unwrap_or(rhi);
+            let pattern_idents: Vec<&str> = self.tokens[rlo..pattern_hi]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if pattern_idents.contains(&"self") {
+                params.push(Param {
+                    names: vec!["self".into()],
+                    ty: "Self".into(),
+                });
+                continue;
+            }
+            match colon {
+                Some(c) => {
+                    let names = pattern_idents
+                        .iter()
+                        .filter(|w| !matches!(**w, "mut" | "ref" | "_"))
+                        .map(|w| (*w).to_string())
+                        .collect();
+                    params.push(Param {
+                        names,
+                        ty: self.render(c + 1, rhi),
+                    });
+                }
+                None => {
+                    // Anonymous (type-only) parameter, e.g. in fn
+                    // pointers or bodiless signatures.
+                    params.push(Param {
+                        names: Vec::new(),
+                        ty: self.render(rlo, rhi),
+                    });
+                }
+            }
+        }
+        params
+    }
+
+    /// Splits `[lo, hi)` on depth-0 commas, tracking all four bracket
+    /// kinds (with the `->` arrow guard for `>`).
+    fn split_commas(&self, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let mut depth = 0i64;
+        let mut start = lo;
+        let mut prev_dash = false;
+        let hi = hi.min(self.end);
+        let mut k = lo;
+        while k < hi {
+            let t = &self.tokens[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+                depth += 1;
+                prev_dash = false;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+                prev_dash = false;
+            } else if t.is_punct('>') {
+                if prev_dash {
+                    prev_dash = false;
+                } else {
+                    depth -= 1;
+                }
+            } else if t.is_punct(',') && depth <= 0 {
+                regions.push((start, k));
+                start = k + 1;
+                prev_dash = false;
+            } else {
+                prev_dash = t.is_punct('-');
+            }
+            k += 1;
+        }
+        if start < hi {
+            regions.push((start, hi));
+        }
+        regions
+    }
+
+    fn impl_item(&mut self) -> ItemKind {
+        self.bump(); // impl
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_punct('!') {
+            self.bump();
+        }
+        // First type run: either the trait path (if `for` follows) or
+        // the self type of an inherent impl.
+        let (first_head, first_last) = self.impl_type_run();
+        let (trait_name, self_ty);
+        if self.at_ident("for") {
+            self.bump();
+            let (head, _) = self.impl_type_run();
+            trait_name = Some(first_last.unwrap_or_default());
+            self_ty = head.unwrap_or_default();
+        } else {
+            trait_name = None;
+            self_ty = first_head.unwrap_or_default();
+        }
+        if self.at_ident("where") {
+            loop {
+                self.scan_type_position(&[]);
+                if self.at_punct(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let items = self.braced_items();
+        ItemKind::Impl(ImplDef {
+            trait_name,
+            self_ty,
+            items,
+        })
+    }
+
+    /// Scans one type position of an impl header, up to a depth-0
+    /// `for`, `where`, or `{`. Returns (first identifier, last
+    /// depth-0 identifier), skipping `dyn`/`mut`/`const` qualifiers
+    /// and everything inside generic arguments.
+    fn impl_type_run(&mut self) -> (Option<String>, Option<String>) {
+        let mut first = None;
+        let mut last = None;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_ident("where") {
+                break;
+            }
+            if t.is_ident("for") {
+                // `for<'a>` higher-ranked binder is part of the type.
+                if self.peek(1).is_some_and(|n| n.is_punct('<')) {
+                    self.bump();
+                    self.skip_generics();
+                    continue;
+                }
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+                continue;
+            }
+            if t.is_punct('(') {
+                self.skip_balanced('(', ')');
+                continue;
+            }
+            if t.is_punct('[') {
+                self.skip_balanced('[', ']');
+                continue;
+            }
+            if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+                if first.is_none() {
+                    first = Some(t.text.clone());
+                }
+                last = Some(t.text.clone());
+            }
+            self.bump();
+        }
+        (first, last)
+    }
+
+    fn trait_item(&mut self) -> ItemKind {
+        self.bump(); // trait
+        let name = self.take_ident().unwrap_or_default();
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        // Supertrait bounds and where clause (scan stops only at a
+        // depth-0 `{`, `;`, `,`, or the end of input).
+        loop {
+            self.scan_type_position(&[]);
+            if self.at_punct(',') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.at_punct(';') {
+            self.bump();
+            return ItemKind::Trait(TraitDef {
+                name,
+                items: Vec::new(),
+            });
+        }
+        let items = self.braced_items();
+        ItemKind::Trait(TraitDef { name, items })
+    }
+
+    fn struct_item(&mut self) -> ItemKind {
+        self.bump(); // struct
+        let name = self.take_ident().unwrap_or_default();
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_ident("where") {
+            loop {
+                self.scan_type_position(&[]);
+                if self.at_punct(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.at_punct(';') {
+            self.bump();
+            return ItemKind::Struct(StructDef {
+                name,
+                fields: Vec::new(),
+            });
+        }
+        if self.at_punct('(') {
+            self.skip_balanced('(', ')');
+            self.consume_to_semi();
+            return ItemKind::Struct(StructDef {
+                name,
+                fields: Vec::new(),
+            });
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('{') {
+            let close = self.find_matching(self.pos, '{', '}');
+            let inner_end = close.unwrap_or(self.end);
+            for (rlo, rhi) in self.split_commas(self.pos + 1, inner_end) {
+                let mut k = rlo;
+                // Skip field attributes and visibility.
+                loop {
+                    if self.tokens.get(k).is_some_and(|t| t.is_punct('#'))
+                        && self.tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        let mut depth = 0usize;
+                        let mut m = k + 1;
+                        while m < rhi {
+                            if self.tokens[m].is_punct('[') {
+                                depth += 1;
+                            } else if self.tokens[m].is_punct(']') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            m += 1;
+                        }
+                        k = (m + 1).min(rhi);
+                        continue;
+                    }
+                    if self.tokens.get(k).is_some_and(|t| t.is_ident("pub")) {
+                        k += 1;
+                        if self.tokens.get(k).is_some_and(|t| t.is_punct('(')) {
+                            let mut depth = 0usize;
+                            while k < rhi {
+                                if self.tokens[k].is_punct('(') {
+                                    depth += 1;
+                                } else if self.tokens[k].is_punct(')') {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                k += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                let (Some(name_tok), Some(colon_tok)) =
+                    (self.tokens.get(k), self.tokens.get(k + 1))
+                else {
+                    continue;
+                };
+                if name_tok.kind == TokKind::Ident && colon_tok.is_punct(':') && k + 2 <= rhi {
+                    fields.push(Field {
+                        name: name_tok.text.clone(),
+                        ty: self.render(k + 2, rhi),
+                    });
+                }
+            }
+            self.pos = match close {
+                Some(c) => (c + 1).min(self.end),
+                None => self.end,
+            };
+        }
+        ItemKind::Struct(StructDef { name, fields })
+    }
+
+    /// If the cursor sits on `path ::* !`, consumes the whole macro
+    /// invocation (path, bang, delimited body, trailing `;` for
+    /// paren/bracket bodies) and returns the path segments.
+    fn macro_call_path(&mut self) -> Option<Vec<String>> {
+        let first = self.peek(0)?;
+        if first.kind != TokKind::Ident {
+            return None;
+        }
+        // Lookahead: ident (:: ident)* !
+        let mut k = 1usize;
+        loop {
+            match (self.peek(k), self.peek(k + 1), self.peek(k + 2)) {
+                (Some(a), Some(b), Some(c))
+                    if a.is_punct(':') && b.is_punct(':') && c.kind == TokKind::Ident =>
+                {
+                    k += 3;
+                }
+                _ => break,
+            }
+        }
+        if !self.peek(k).is_some_and(|t| t.is_punct('!')) {
+            return None;
+        }
+        let mut segments = Vec::new();
+        while !self.at_punct('!') && self.pos < self.end {
+            if self.peek(0).is_some_and(|t| t.kind == TokKind::Ident) {
+                segments.push(self.peek(0).map(|t| t.text.clone()).unwrap_or_default());
+            }
+            self.bump();
+        }
+        self.bump(); // !
+        self.macro_delimiter();
+        Some(segments)
+    }
+
+    /// Consumes a macro body: `{...}`, or `(...)`/`[...]` plus the
+    /// trailing `;`.
+    fn macro_delimiter(&mut self) {
+        if self.at_punct('{') {
+            self.skip_balanced('{', '}');
+        } else if self.at_punct('(') {
+            self.skip_balanced('(', ')');
+            if self.at_punct(';') {
+                self.bump();
+            }
+        } else if self.at_punct('[') {
+            self.skip_balanced('[', ']');
+            if self.at_punct(';') {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes to (and including) a `;` at bracket depth 0.
+    fn consume_to_semi(&mut self) {
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut brace = 0i64;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+            } else if t.is_punct(';') && paren <= 0 && bracket <= 0 && brace <= 0 {
+                self.bump();
+                return;
+            }
+            if paren < 0 || bracket < 0 || brace < 0 {
+                // Stray closer: a malformed item; stop before it so the
+                // enclosing scope's accounting stays sane.
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes an enum/union tail: everything up to either a balanced
+    /// `{...}` body or a depth-0 `;`.
+    fn consume_to_body_or_semi(&mut self) {
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('{') {
+                self.skip_balanced('{', '}');
+                return;
+            }
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+                continue;
+            }
+            self.bump();
+        }
+    }
+
+    /// Last-resort consumption for unclassifiable input: eat through a
+    /// depth-0 `;` or a balanced brace block, or a single stray token.
+    fn verbatim(&mut self) -> ItemKind {
+        let start = self.pos;
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('{') && paren <= 0 && bracket <= 0 {
+                self.skip_balanced('{', '}');
+                return ItemKind::Verbatim;
+            }
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct(';') && paren <= 0 && bracket <= 0 {
+                self.bump();
+                return ItemKind::Verbatim;
+            } else if (t.is_punct('}') || t.is_punct(')') || t.is_punct(']'))
+                && paren <= 0
+                && bracket <= 0
+            {
+                // Stray closer at depth 0: consume it alone (if we've
+                // consumed nothing yet) or stop in front of it.
+                if self.pos == start {
+                    self.bump();
+                }
+                return ItemKind::Verbatim;
+            }
+            if paren < 0 || bracket < 0 {
+                if self.pos == start {
+                    self.bump();
+                }
+                return ItemKind::Verbatim;
+            }
+            self.bump();
+        }
+        ItemKind::Verbatim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::check_tiling;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> Vec<Item> {
+        let tokens = lex(src);
+        let items = parse(&tokens);
+        check_tiling(&items, tokens.len()).expect("span tiling");
+        items
+    }
+
+    #[test]
+    fn parses_fn_with_params_and_body() {
+        let items = parsed(
+            "pub fn ingest(&mut self, index: u64, (a, b): (u64, u64)) -> Result<(), Error> { body(); }",
+        );
+        assert_eq!(items.len(), 1);
+        let ItemKind::Fn(f) = &items[0].kind else {
+            panic!("expected fn, got {:?}", items[0].kind)
+        };
+        assert_eq!(f.name, "ingest");
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].names, vec!["self"]);
+        assert_eq!(f.params[1].names, vec!["index"]);
+        assert_eq!(f.params[1].ty, "u64");
+        assert_eq!(f.params[2].names, vec!["a", "b"]);
+        assert!(f.body.is_some());
+        assert_eq!(f.ret.as_deref(), Some("Result < ( ) , Error >"));
+    }
+
+    #[test]
+    fn parses_trait_impl_with_generics() {
+        let items = parsed(
+            "impl<E: Estimator + Send> hindex_common::Mergeable for Sharded<E> \
+             where E: Clone { fn merge(&mut self, other: &Self) {} }",
+        );
+        let ItemKind::Impl(i) = &items[0].kind else {
+            panic!("expected impl")
+        };
+        assert_eq!(i.trait_name.as_deref(), Some("Mergeable"));
+        assert_eq!(i.self_ty, "Sharded");
+        assert_eq!(i.items.len(), 1);
+        assert!(matches!(&i.items[0].kind, ItemKind::Fn(f) if f.name == "merge"));
+    }
+
+    #[test]
+    fn parses_inherent_impl_and_struct_fields() {
+        let items = parsed(
+            "struct Reservoir<T> { capacity: usize, items: Vec<T>, seen: u64 }\n\
+             impl<T: Clone> Reservoir<T> { fn offer(&mut self, item: T) {} }",
+        );
+        let ItemKind::Struct(s) = &items[0].kind else {
+            panic!("expected struct")
+        };
+        assert_eq!(s.name, "Reservoir");
+        let names: Vec<_> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["capacity", "items", "seen"]);
+        assert_eq!(s.fields[1].ty, "Vec < T >");
+        let ItemKind::Impl(i) = &items[1].kind else {
+            panic!("expected impl")
+        };
+        assert!(i.trait_name.is_none());
+        assert_eq!(i.self_ty, "Reservoir");
+    }
+
+    #[test]
+    fn parses_mods_uses_and_macros() {
+        let items = parsed(
+            "use hindex_common::{Mergeable, Snapshot};\n\
+             mod decl;\n\
+             mod body { fn inner() {} }\n\
+             macro_rules! m { () => {} }\n\
+             thread_local! { static X: u64 = 0; }\n",
+        );
+        let ItemKind::Use { segments } = &items[0].kind else {
+            panic!("expected use")
+        };
+        assert!(segments.contains(&"Mergeable".to_string()));
+        assert!(matches!(&items[1].kind, ItemKind::ModDecl { name } if name == "decl"));
+        let ItemKind::Mod { name, items: kids } = &items[2].kind else {
+            panic!("expected mod body")
+        };
+        assert_eq!(name, "body");
+        assert_eq!(kids.len(), 1);
+        assert!(matches!(&items[3].kind, ItemKind::MacroDef { name } if name == "m"));
+        assert!(
+            matches!(&items[4].kind, ItemKind::MacroCall { segments } if segments == &["thread_local"])
+        );
+    }
+
+    #[test]
+    fn attributes_attach_and_cfg_gates_are_visible() {
+        let items = parsed(
+            "#![forbid(unsafe_code)]\n\
+             #[cfg(feature = \"debug_invariants\")]\n\
+             pub fn state_digest() -> u64 { 0 }\n\
+             #[cfg(test)]\n\
+             mod tests {}\n",
+        );
+        assert!(matches!(&items[0].kind, ItemKind::InnerAttr(a) if a.path == "forbid"));
+        assert!(items[1].is_cfg_feature("debug_invariants"));
+        assert!(!items[1].is_cfg_test());
+        assert!(items[2].is_cfg_test());
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let items = parsed(
+            "pub trait Estimator: Send { fn ingest(&mut self, index: u64); \
+             fn query(&self) -> u64 { 0 } }",
+        );
+        let ItemKind::Trait(t) = &items[0].kind else {
+            panic!("expected trait")
+        };
+        assert_eq!(t.name, "Estimator");
+        let fns: Vec<&FnDef> = t
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Fn(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].body.is_none());
+        assert!(fns[1].body.is_some());
+    }
+
+    #[test]
+    fn malformed_input_still_tiles() {
+        for src in [
+            "} } fn f( { ;",
+            "impl impl impl",
+            "fn",
+            "#[",
+            "pub pub pub ;",
+            "trait T where { }",
+            "let x = ] ) ; fn g() {}",
+        ] {
+            let tokens = lex(src);
+            let items = parse(&tokens);
+            check_tiling(&items, tokens.len())
+                .unwrap_or_else(|e| panic!("tiling failed for {src:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn const_with_block_value_ends_at_semi() {
+        let items = parsed("const X: u64 = { let a = 1; a + 1 };\nfn after() {}");
+        assert!(matches!(&items[0].kind, ItemKind::Const { name } if name == "X"));
+        assert!(matches!(&items[1].kind, ItemKind::Fn(f) if f.name == "after"));
+    }
+}

@@ -1,13 +1,24 @@
-//! Workspace discovery: walks the repository, lexes every `.rs` file,
-//! and classifies each one so lints know which rules apply where.
+//! Workspace discovery: walks the repository, lexes **and parses**
+//! every `.rs` file, reads every `Cargo.toml` manifest, and classifies
+//! each source file so lints know which rules apply where.
+//!
+//! Since the AST upgrade, a [`SourceFile`] carries three synchronized
+//! views of the same source: raw token stream (expression-level
+//! scans), item tree (structure: fns/impls/traits with spans), and the
+//! `#[test]` line ranges (exemption policy). Manifests feed the
+//! feature-gate consistency lint (L12), which must see `[features]`
+//! declarations and forwarding edges — facts that exist only in
+//! `Cargo.toml`, not in any `.rs` file.
 
+use crate::ast::Item;
 use crate::lexer::{lex, test_ranges, Token};
+use crate::parse::parse;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// The workspace's library crates: code that ships in the estimator
-/// stack and is held to the strictest lint rules (L1, L3, L4).
+/// stack and is held to the strictest lint rules (L1, L4, L9).
 pub const LIBRARY_CRATES: &[&str] = &[
     "common", "hashing", "sketch", "stream", "core", "baseline", "engine", "obs",
 ];
@@ -21,7 +32,7 @@ pub enum FileKind {
     /// First-party tooling (`cli`, `bench`, this crate): exempt from
     /// the content lints, but crate roots still need L4's `forbid`.
     Tool,
-    /// Tests, benches, and examples: exempt from content lints; L2/L5
+    /// Tests, benches, and examples: exempt from content lints; L2/L11
     /// read some of these files as the *reference* test suites.
     Test,
     /// Vendored offline shims (`crates/rand`, `crates/proptest`):
@@ -29,7 +40,7 @@ pub enum FileKind {
     Vendored,
 }
 
-/// One lexed, classified source file.
+/// One lexed, parsed, classified source file.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Repository-relative path with `/` separators.
@@ -40,8 +51,14 @@ pub struct SourceFile {
     pub is_crate_root: bool,
     /// The full token stream.
     pub tokens: Vec<Token>,
+    /// The parsed item tree (tiles the token stream; see
+    /// [`crate::ast::check_tiling`]).
+    pub items: Vec<Item>,
     /// 1-based line ranges covered by `#[test]` / `#[cfg(test)]` items.
     pub test_ranges: Vec<(u32, u32)>,
+    /// FNV-1a hash of the file's bytes — the incremental cache's
+    /// change-detection key.
+    pub content_hash: u64,
 }
 
 impl SourceFile {
@@ -49,6 +66,7 @@ impl SourceFile {
     #[must_use]
     pub fn parse(path: String, contents: &str) -> Self {
         let tokens = lex(contents);
+        let items = parse(&tokens);
         let test_ranges = test_ranges(&tokens);
         let kind = classify(&path);
         let is_crate_root = path.ends_with("src/lib.rs") || path.ends_with("src/main.rs");
@@ -57,7 +75,9 @@ impl SourceFile {
             kind,
             is_crate_root,
             tokens,
+            items,
             test_ranges,
+            content_hash: fnv1a_bytes(contents.as_bytes()),
         }
     }
 
@@ -66,6 +86,30 @@ impl SourceFile {
     pub fn in_test_code(&self, line: u32) -> bool {
         self.test_ranges.iter().any(|&(s, e)| s <= line && line <= e)
     }
+
+    /// The crate directory this file belongs to (`crates/core` for
+    /// `crates/core/src/lib.rs`, `""` for root-workspace files).
+    #[must_use]
+    pub fn crate_dir(&self) -> &str {
+        if let Some(rest) = self.path.strip_prefix("crates/") {
+            if let Some(slash) = rest.find('/') {
+                return &self.path[..("crates/".len() + slash)];
+            }
+        }
+        ""
+    }
+}
+
+/// FNV-1a over raw bytes — the same digest family the runtime crates
+/// use for state fingerprints, reused here for cache keys.
+#[must_use]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn classify(path: &str) -> FileKind {
@@ -90,38 +134,163 @@ fn classify(path: &str) -> FileKind {
     FileKind::Tool
 }
 
-/// The whole lexed workspace: inputs to every lint.
+/// One `Cargo.toml`, reduced to the facts L12 needs: the crate's name
+/// and its `[features]` table (feature name → forwarded entries).
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Directory containing the manifest, repo-relative (`""` for the
+    /// workspace root).
+    pub dir: String,
+    /// `package.name`, if present (the root virtual manifest has none).
+    pub package_name: Option<String>,
+    /// `[features]` entries: name → list of forwarded strings
+    /// (`"hindex-common/debug_invariants"`-style).
+    pub features: Vec<(String, Vec<String>)>,
+}
+
+impl Manifest {
+    /// Parses the subset of TOML this tool needs: `[section]` headers,
+    /// `key = "value"`, and `key = [ "a", "b" ]` (single-line or
+    /// multi-line arrays). Anything else is ignored.
+    #[must_use]
+    pub fn parse(dir: String, contents: &str) -> Self {
+        let mut package_name = None;
+        let mut features = Vec::new();
+        let mut section = String::new();
+        let mut pending: Option<(String, Vec<String>)> = None;
+        for raw in contents.lines() {
+            let line = raw.split_once('#').map_or(raw, |(l, _)| l).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((key, mut values)) = pending.take() {
+                // Inside a multi-line array: accumulate until `]`.
+                let done = line.contains(']');
+                let body = line.split(']').next().unwrap_or("");
+                values.extend(quoted_strings(body));
+                if done {
+                    features.push((key, values));
+                } else {
+                    pending = Some((key, values));
+                }
+                continue;
+            }
+            if line.starts_with('[') {
+                section = line.trim_matches(['[', ']']).trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if section == "package" && key == "name" {
+                package_name = Some(value.trim_matches('"').to_string());
+            }
+            if section == "features" {
+                if value.starts_with('[') && !value.contains(']') {
+                    pending = Some((key, quoted_strings(&value[1..])));
+                } else {
+                    features.push((key, quoted_strings(value)));
+                }
+            }
+        }
+        if let Some((key, values)) = pending {
+            features.push((key, values));
+        }
+        Self {
+            dir,
+            package_name,
+            features,
+        }
+    }
+
+    /// The forwarding list for `feature`, if declared.
+    #[must_use]
+    pub fn feature(&self, feature: &str) -> Option<&[String]> {
+        self.features
+            .iter()
+            .find(|(k, _)| k == feature)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+fn quoted_strings(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(open) = rest.find('"') {
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close].to_string());
+        rest = &rest[open + close + 2..];
+    }
+    out
+}
+
+/// The whole lexed-and-parsed workspace: inputs to every lint.
 #[derive(Debug)]
 pub struct Workspace {
     /// All discovered source files, sorted by path.
     pub files: Vec<SourceFile>,
+    /// All discovered `Cargo.toml` manifests, sorted by directory.
+    pub manifests: Vec<Manifest>,
 }
 
 impl Workspace {
     /// Builds a workspace from in-memory `(path, contents)` pairs.
-    /// Used by the fixture tests; [`Workspace::load`] is the real path.
+    /// Paths ending in `Cargo.toml` are parsed as manifests; everything
+    /// else is treated as Rust source. Used by the fixture tests;
+    /// [`Workspace::load`] is the real path.
     #[must_use]
     pub fn from_sources(sources: Vec<(String, String)>) -> Self {
-        let mut files: Vec<SourceFile> = sources
-            .into_iter()
-            .map(|(p, c)| SourceFile::parse(p, &c))
-            .collect();
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        for (path, contents) in sources {
+            if path.ends_with("Cargo.toml") {
+                let dir = path
+                    .strip_suffix("Cargo.toml")
+                    .unwrap_or("")
+                    .trim_end_matches('/')
+                    .to_string();
+                manifests.push(Manifest::parse(dir, &contents));
+            } else {
+                files.push(SourceFile::parse(path, &contents));
+            }
+        }
         files.sort_by(|a, b| a.path.cmp(&b.path));
-        Self { files }
+        manifests.sort_by(|a, b| a.dir.cmp(&b.dir));
+        Self { files, manifests }
     }
 
-    /// Walks `root` collecting and lexing every `.rs` file outside
-    /// `target/` and VCS metadata.
-    pub fn load(root: &Path) -> io::Result<Self> {
+    /// Walks `root` collecting every `.rs` file and `Cargo.toml`
+    /// outside `target/` and VCS metadata, as raw `(path, contents)`
+    /// pairs sorted by path. The incremental cache hashes these
+    /// *before* any parsing so an all-clean run can skip the parse
+    /// entirely.
+    pub fn read_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
         let mut sources = Vec::new();
         walk(root, root, &mut sources)?;
-        Ok(Self::from_sources(sources))
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(sources)
+    }
+
+    /// Walks `root` and lexes/parses everything ([`Self::read_sources`]
+    /// followed by [`Self::from_sources`]).
+    pub fn load(root: &Path) -> io::Result<Self> {
+        Ok(Self::from_sources(Self::read_sources(root)?))
     }
 
     /// Looks up a file by its repo-relative path.
     #[must_use]
     pub fn file(&self, path: &str) -> Option<&SourceFile> {
         self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Looks up a manifest by crate directory.
+    #[must_use]
+    pub fn manifest(&self, dir: &str) -> Option<&Manifest> {
+        self.manifests.iter().find(|m| m.dir == dir)
     }
 }
 
@@ -136,7 +305,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<
                 continue;
             }
             walk(root, &path, out)?;
-        } else if name.ends_with(".rs") {
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
@@ -173,5 +342,65 @@ mod tests {
         assert!(f.is_crate_root);
         let g = SourceFile::parse("crates/core/src/turnstile.rs".into(), "//! Docs\n");
         assert!(!g.is_crate_root);
+        assert_eq!(g.crate_dir(), "crates/core");
+        assert_eq!(
+            SourceFile::parse("src/lib.rs".into(), "").crate_dir(),
+            ""
+        );
+    }
+
+    #[test]
+    fn manifests_parse_name_and_features() {
+        let toml = r#"
+[package]
+name = "hindex-core" # comment
+edition = "2021"
+
+[features]
+default = []
+debug_invariants = ["hindex-common/debug_invariants", "hindex-sketch/debug_invariants"]
+multi = [
+    "a/x",
+    "b/y",
+]
+
+[dependencies]
+hindex-common = { path = "../common" }
+"#;
+        let m = Manifest::parse("crates/core".into(), toml);
+        assert_eq!(m.package_name.as_deref(), Some("hindex-core"));
+        assert_eq!(
+            m.feature("debug_invariants"),
+            Some(
+                &[
+                    "hindex-common/debug_invariants".to_string(),
+                    "hindex-sketch/debug_invariants".to_string()
+                ][..]
+            )
+        );
+        assert_eq!(
+            m.feature("multi"),
+            Some(&["a/x".to_string(), "b/y".to_string()][..])
+        );
+        assert_eq!(m.feature("default"), Some(&[][..]));
+        assert!(m.feature("missing").is_none());
+    }
+
+    #[test]
+    fn from_sources_splits_rust_and_manifests() {
+        let ws = Workspace::from_sources(vec![
+            ("crates/x/Cargo.toml".into(), "[package]\nname = \"x\"\n".into()),
+            ("crates/x/src/lib.rs".into(), "fn a() {}".into()),
+        ]);
+        assert_eq!(ws.files.len(), 1);
+        assert_eq!(ws.manifests.len(), 1);
+        assert_eq!(ws.manifest("crates/x").unwrap().package_name.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn content_hash_tracks_bytes() {
+        let a = SourceFile::parse("src/a.rs".into(), "fn a() {}");
+        let b = SourceFile::parse("src/a.rs".into(), "fn a() { }");
+        assert_ne!(a.content_hash, b.content_hash);
     }
 }

@@ -95,7 +95,7 @@ fn l2_catches_estimator_without_space_contract() {
 }
 
 #[test]
-fn l3_catches_panic_paths_in_library_code() {
+fn l9_catches_panic_paths_in_library_code() {
     let bad = "#![forbid(unsafe_code)]\n\
                pub fn f(x: Option<u64>) -> u64 {\n\
                    let a = x.unwrap();\n\
@@ -106,7 +106,7 @@ fn l3_catches_panic_paths_in_library_code() {
     let findings = run_lints(&ws(&[("crates/engine/src/lib.rs", bad)]), false);
     let snippets: Vec<_> = findings
         .iter()
-        .filter(|f| f.lint == "L3")
+        .filter(|f| f.lint == "L9")
         .map(|f| f.snippet.as_str())
         .collect();
     assert_eq!(
@@ -116,8 +116,31 @@ fn l3_catches_panic_paths_in_library_code() {
     // The same code in a test, bench, or tool file is exempt.
     for exempt in ["tests/adversarial.rs", "crates/cli/src/main.rs", "benches/speed.rs"] {
         let f = run_lints(&ws(&[(exempt, bad)]), false);
-        assert!(f.iter().all(|x| x.lint != "L3"), "{exempt} should be exempt");
+        assert!(f.iter().all(|x| x.lint != "L9"), "{exempt} should be exempt");
     }
+}
+
+#[test]
+fn l9_traces_panic_through_two_deep_call_chain() {
+    // The seeded violation the issue asks for: an entry point whose
+    // panic sits two calls away — only a call-graph walk can tie the
+    // `.unwrap()` back to `ingest`.
+    let src = "#![forbid(unsafe_code)]\n\
+               pub struct Sketch { level: u32 }\n\
+               impl Sketch {\n\
+                   pub fn ingest(&mut self, v: u64) { self.place(v); }\n\
+                   fn place(&mut self, v: u64) { let _ = slot(v); }\n\
+               }\n\
+               fn slot(v: u64) -> u64 { pick(v).unwrap() }\n\
+               fn pick(v: u64) -> Option<u64> { v.checked_add(1) }\n";
+    let findings = run_lints(&ws(&[("crates/sketch/src/deep.rs", src)]), false);
+    let l9: Vec<_> = findings.iter().filter(|f| f.lint == "L9").collect();
+    assert_eq!(l9.len(), 1, "{findings:?}");
+    assert!(
+        l9[0].message.contains("ingest -> place -> slot"),
+        "diagnostic should carry the call chain: {:?}",
+        l9[0].message
+    );
 }
 
 #[test]
@@ -145,33 +168,25 @@ fn l4_catches_missing_forbid_and_ambient_nondeterminism() {
 }
 
 #[test]
-fn l5_catches_untested_mergeable_impl() {
-    let src = "#![forbid(unsafe_code)]\n\
-               impl Mergeable for Tested { }\n\
-               impl Mergeable for Untested { }\n";
-    let suite = "fn merge_round_trip() { let _ = Tested::default(); }\n";
-    let findings = run_lints(
-        &ws(&[
-            ("crates/core/src/lib.rs", src),
-            ("tests/merge_semantics.rs", suite),
-        ]),
-        false,
-    );
-    let l5: Vec<_> = findings.iter().filter(|f| f.lint == "L5").collect();
-    assert_eq!(l5.len(), 1, "{findings:?}");
-    assert!(l5[0].message.contains("Untested"));
-}
-
-#[test]
-fn l6_catches_unpersistable_and_untested_mergeable_impls() {
-    // `Covered` is fully compliant; `NoSnapshot` merges but cannot be
-    // checkpointed; `NoTest` is persistable but unexercised.
+fn l11_catches_cross_file_coverage_gaps() {
+    // `Covered` is fully compliant (Snapshot impl, gated digest, both
+    // suites); `NoSnapshot` merges but cannot be checkpointed and has
+    // no digest; `NoTest` is persistable + digestible but absent from
+    // the round-trip suite — a gap only a cross-file view can see.
     let src = "#![forbid(unsafe_code)]\n\
                impl Mergeable for Covered { }\n\
                impl Snapshot for Covered { }\n\
+               impl Covered {\n\
+                   #[cfg(feature = \"debug_invariants\")]\n\
+                   pub fn state_digest(&self) -> u64 { 0 }\n\
+               }\n\
                impl Mergeable for NoSnapshot { }\n\
                impl Mergeable for NoTest { }\n\
-               impl Snapshot for NoTest { }\n";
+               impl Snapshot for NoTest { }\n\
+               impl NoTest {\n\
+                   #[cfg(feature = \"debug_invariants\")]\n\
+                   pub fn state_digest(&self) -> u64 { 0 }\n\
+               }\n";
     let suite = "fn roundtrip() { let _ = Covered::default(); }\n";
     let findings = run_lints(
         &ws(&[
@@ -181,18 +196,85 @@ fn l6_catches_unpersistable_and_untested_mergeable_impls() {
         ]),
         false,
     );
-    let l6: Vec<_> = findings.iter().filter(|f| f.lint == "L6").collect();
-    assert_eq!(l6.len(), 3, "{findings:?}");
-    assert!(l6.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("no `Snapshot` impl")));
-    assert!(l6.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("not referenced")));
-    assert!(l6.iter().any(|f| f.message.contains("NoTest") && f.message.contains("not referenced")));
+    let l11: Vec<_> = findings.iter().filter(|f| f.lint == "L11").collect();
+    assert_eq!(l11.len(), 4, "{findings:?}");
+    assert!(l11.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("no `Snapshot` impl")));
+    assert!(l11.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("state_digest")));
+    assert!(l11.iter().any(|f| f.message.contains("NoSnapshot") && f.message.contains("not referenced")));
+    assert!(l11.iter().any(|f| f.message.contains("NoTest") && f.message.contains("not referenced")));
 
     // Cross-file lint: skipped under --quick.
     let quick = run_lints(
         &ws(&[("crates/core/src/lib.rs", src)]),
         true,
     );
-    assert!(quick.iter().all(|f| f.lint != "L6"), "{quick:?}");
+    assert!(quick.iter().all(|f| f.lint != "L11"), "{quick:?}");
+}
+
+#[test]
+fn l10_catches_raw_arithmetic_on_stream_values() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub struct Acc { total: u64 }\n\
+               impl Acc {\n\
+                   pub fn ingest(&mut self, delta: u64) {\n\
+                       self.total = self.total + delta;\n\
+                   }\n\
+               }\n";
+    let findings = run_lints(&ws(&[("crates/core/src/acc.rs", src)]), false);
+    let l10: Vec<_> = findings.iter().filter(|f| f.lint == "L10").collect();
+    assert_eq!(l10.len(), 1, "{findings:?}");
+    assert_eq!(l10[0].line, 5);
+
+    // The checked spelling of the same update is quiet.
+    let good = src.replace(
+        "self.total + delta",
+        "self.total.saturating_add(delta)",
+    );
+    let findings = run_lints(&ws(&[("crates/core/src/acc.rs", good.as_str())]), false);
+    assert!(findings.iter().all(|f| f.lint != "L10"), "{findings:?}");
+}
+
+#[test]
+fn l12_catches_undeclared_and_unforwarded_gate_features() {
+    let manifest_no_feature = "[package]\nname = \"hindex-stream\"\n";
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn advance() { debug_invariant!(true, \"tick\"); }\n";
+    let findings = run_lints(
+        &ws(&[
+            ("crates/stream/Cargo.toml", manifest_no_feature),
+            ("crates/stream/src/lib.rs", src),
+        ]),
+        false,
+    );
+    let l12: Vec<_> = findings.iter().filter(|f| f.lint == "L12").collect();
+    assert_eq!(l12.len(), 1, "{findings:?}");
+    assert_eq!(l12[0].file, "crates/stream/Cargo.toml");
+
+    // Declaring the feature but not forwarding it to a declaring
+    // dependency is the second failure mode.
+    let findings = run_lints(
+        &ws(&[
+            (
+                "crates/stream/Cargo.toml",
+                "[package]\nname = \"hindex-stream\"\n[features]\ndebug_invariants = []\n",
+            ),
+            (
+                "crates/stream/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 use hindex_common::debug_invariant;\n\
+                 pub fn advance() { debug_invariant!(true, \"tick\"); }\n",
+            ),
+            (
+                "crates/common/Cargo.toml",
+                "[package]\nname = \"hindex-common\"\n[features]\ndebug_invariants = []\n",
+            ),
+            ("crates/common/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+        ]),
+        false,
+    );
+    let l12: Vec<_> = findings.iter().filter(|f| f.lint == "L12").collect();
+    assert_eq!(l12.len(), 1, "{findings:?}");
+    assert!(l12[0].message.contains("does not forward"), "{findings:?}");
 }
 
 #[test]
@@ -203,7 +285,7 @@ fn baseline_keys_silence_exact_findings_only() {
     let findings = run_lints(&ws(&[("crates/core/src/lib.rs", bad)]), false);
     assert_eq!(findings.len(), 1);
     let key = findings[0].key();
-    assert_eq!(key, "L3|crates/core/src/lib.rs|expect(\"sync\")");
+    assert_eq!(key, "L9|crates/core/src/lib.rs|expect(\"sync\")");
 
     let silenced = apply(&Baseline::parse(&format!("{key}  # audited")), findings.clone());
     assert!(silenced.new.is_empty());

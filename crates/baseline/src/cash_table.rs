@@ -63,7 +63,7 @@ impl CashRegisterEstimator for CashTable {
             // `counts` and `histogram` are updated in lockstep, so the
             // old bucket must exist; a desync would only skew the
             // incremental h (estimate stays a lower bound), so degrade
-            // rather than panic (lint L3) and let the invariant layer
+            // rather than panic (lint L9) and let the invariant layer
             // catch it in debug runs.
             hindex_common::debug_invariant!(
                 self.histogram.contains_key(&old),
@@ -92,6 +92,33 @@ impl CashRegisterEstimator for CashTable {
                     .sum();
             }
         }
+    }
+}
+
+impl CashTable {
+    /// FNV digest over the logical state: the per-paper totals in
+    /// sorted order (hash-map iteration order must not leak into the
+    /// digest), then the derived histogram, `h`, and `above` tallies —
+    /// so a lockstep desync changes the digest even while the totals
+    /// agree. Only compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut bytes =
+            Vec::with_capacity((self.counts.len() + self.histogram.len()) * 16 + 16);
+        let mut counts: Vec<(u64, u64)> =
+            self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        counts.sort_unstable();
+        let mut hist: Vec<(u64, u64)> =
+            self.histogram.iter().map(|(&v, &n)| (v, n)).collect();
+        hist.sort_unstable();
+        for (a, b) in counts.into_iter().chain(hist) {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        bytes.extend_from_slice(&self.h.to_le_bytes());
+        bytes.extend_from_slice(&self.above.to_le_bytes());
+        hindex_common::snapshot::fnv1a(&bytes)
     }
 }
 

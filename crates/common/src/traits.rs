@@ -27,9 +27,9 @@
 //! and every estimator answers through [`Estimate::estimate`], the one
 //! query verb shared by all three traits (their supertrait). The
 //! historical verbs (`push`/`update`/`push_batch`/`update_batch`)
-//! survive one release as `#[deprecated]` default methods delegating to
-//! the new names; in-repo code must use the `ingest` spelling (enforced
-//! by analysis lint L8, see `docs/ANALYSIS.md`).
+//! survived one release as `#[deprecated]` delegating shims and are now
+//! gone; the `ingest` spelling is the only one, and analysis lint L8
+//! (see `docs/ANALYSIS.md`) keeps the old verbs from creeping back in.
 //!
 //! Two additions support the sharded ingestion engine
 //! (`hindex-engine`):
@@ -78,18 +78,6 @@ pub trait AggregateEstimator: Estimate {
         }
     }
 
-    /// Deprecated spelling of [`AggregateEstimator::ingest`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
-    fn push(&mut self, value: u64) {
-        self.ingest(value);
-    }
-
-    /// Deprecated spelling of [`AggregateEstimator::ingest_batch`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
-    fn push_batch(&mut self, values: &[u64]) {
-        self.ingest_batch(values);
-    }
-
     /// Convenience: consume an iterator of values.
     fn extend_from<I: IntoIterator<Item = u64>>(&mut self, values: I)
     where
@@ -125,18 +113,6 @@ pub trait CashRegisterEstimator: Estimate {
     fn bank_counters(&self) -> Option<crate::telemetry::BankCounters> {
         None
     }
-
-    /// Deprecated spelling of [`CashRegisterEstimator::ingest`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
-    fn update(&mut self, index: u64, delta: u64) {
-        self.ingest(index, delta);
-    }
-
-    /// Deprecated spelling of [`CashRegisterEstimator::ingest_batch`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
-    fn update_batch(&mut self, updates: &[(u64, u64)]) {
-        self.ingest_batch(updates);
-    }
 }
 
 /// Streaming estimator over the turnstile model: signed updates
@@ -159,18 +135,6 @@ pub trait TurnstileEstimator: Estimate {
         for &(i, d) in updates {
             self.ingest(i, d);
         }
-    }
-
-    /// Deprecated spelling of [`TurnstileEstimator::ingest`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest`")]
-    fn update(&mut self, index: u64, delta: i64) {
-        self.ingest(index, delta);
-    }
-
-    /// Deprecated spelling of [`TurnstileEstimator::ingest_batch`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ingest_batch`")]
-    fn update_batch(&mut self, updates: &[(u64, i64)]) {
-        self.ingest_batch(updates);
     }
 }
 
@@ -279,15 +243,6 @@ mod tests {
         assert_eq!(batched.estimate(), looped.estimate());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aggregate_shims_delegate() {
-        let mut shimmed = CountAtLeast { bar: 3, count: 0 };
-        shimmed.push(5);
-        shimmed.push_batch(&[1, 9]);
-        assert_eq!(shimmed.estimate(), 2);
-    }
-
     struct SumRegister {
         total: u64,
     }
@@ -316,17 +271,7 @@ mod tests {
         assert_eq!(batched.estimate(), looped.estimate());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_cash_register_shims_delegate() {
-        let mut shimmed = SumRegister { total: 0 };
-        shimmed.update(1, 2);
-        shimmed.update_batch(&[(2, 3), (3, 4)]);
-        assert_eq!(shimmed.estimate(), 9);
-    }
-
-    /// The turnstile shims get the same treatment; a tiny signed
-    /// accumulator exercises them.
+    /// A tiny signed accumulator exercises the turnstile defaults.
     struct SignedSum {
         total: i64,
     }
@@ -344,15 +289,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_turnstile_shims_delegate() {
-        let mut shimmed = SignedSum { total: 0 };
-        shimmed.update(1, 5);
-        shimmed.update_batch(&[(2, 3), (3, -4)]);
-        assert_eq!(shimmed.estimate(), 4);
-        let mut fresh = SignedSum { total: 0 };
-        fresh.ingest(1, 5);
-        fresh.ingest_batch(&[(2, 3), (3, -4)]);
-        assert_eq!(fresh.estimate(), shimmed.estimate());
+    fn turnstile_ingest_batch_matches_loop() {
+        let mut batched = SignedSum { total: 0 };
+        batched.ingest_batch(&[(1, 5), (2, 3), (3, -4)]);
+        let mut looped = SignedSum { total: 0 };
+        for (i, d) in [(1, 5), (2, 3), (3, -4)] {
+            looped.ingest(i, d);
+        }
+        assert_eq!(batched.estimate(), looped.estimate());
+        assert_eq!(batched.estimate(), 4);
     }
 }

@@ -397,8 +397,18 @@ impl CashRegisterEstimator for CashRegisterHIndex {
         if delta == 0 {
             return;
         }
-        for s in &mut self.samplers {
-            s.update(index, delta as i64);
+        // The turnstile substrate is signed: a delta above `i64::MAX`
+        // would sign-wrap under a bare `as i64`. Split it into signed
+        // steps instead — every sampler is linear in the delta
+        // (`V[i] += z₁; V[i] += z₂` ≡ `V[i] += z₁+z₂`), so the split
+        // is state-exact.
+        let mut rest = delta;
+        while rest > 0 {
+            let step = rest.min(i64::MAX as u64) as i64;
+            rest -= step as u64;
+            for s in &mut self.samplers {
+                s.update(index, step);
+            }
         }
         self.distinct.observe(index);
         self.max_seen = self.max_seen.max(delta);
@@ -417,26 +427,39 @@ impl CashRegisterEstimator for CashRegisterHIndex {
     fn ingest_batch(&mut self, updates: &[(u64, u64)]) {
         // `max_seen` tracks the largest *single-update* delta, so take
         // it from the raw deltas before coalescing sums them.
-        self.counters.raw_updates += updates.len() as u64;
+        self.counters.raw_updates = self.counters.raw_updates.saturating_add(updates.len() as u64);
         for &(_, z) in updates {
             self.max_seen = self.max_seen.max(z);
         }
-        let mut coalesced: Vec<(u64, u64)> =
+        // Coalesce in u128: two u64 deltas of the same index can
+        // exceed `u64::MAX`, and a wrapped total would corrupt every
+        // sampler at once.
+        let mut sorted: Vec<(u64, u64)> =
             updates.iter().copied().filter(|&(_, z)| z != 0).collect();
-        coalesced.sort_unstable_by_key(|&(i, _)| i);
-        coalesced.dedup_by(|cur, prev| {
-            if cur.0 == prev.0 {
-                prev.1 += cur.1;
-                true
-            } else {
-                false
+        sorted.sort_unstable_by_key(|&(i, _)| i);
+        let mut coalesced: Vec<(u64, u128)> = Vec::with_capacity(sorted.len());
+        for &(i, z) in &sorted {
+            match coalesced.last_mut() {
+                Some(last) if last.0 == i => last.1 += u128::from(z),
+                _ => coalesced.push((i, u128::from(z))),
             }
-        });
+        }
         if coalesced.is_empty() {
             return;
         }
-        let signed: Vec<(u64, i64)> =
-            coalesced.iter().map(|&(i, z)| (i, z as i64)).collect();
+        // Expand each coalesced total back into signed steps (the
+        // samplers are linear in the delta, so the split is
+        // state-exact); totals fit one step unless a batch really
+        // carried more than `i64::MAX` for one index.
+        let mut signed: Vec<(u64, i64)> = Vec::with_capacity(coalesced.len());
+        for &(i, total) in &coalesced {
+            let mut rest = total;
+            while rest > 0 {
+                let step = rest.min(i64::MAX as u128) as i64;
+                rest -= step as u128;
+                signed.push((i, step));
+            }
+        }
         if let Some(ladder) = self.bank_ladder() {
             // Bank kernel: tile the coalesced batch, evaluate each
             // item's fingerprint term `z · r^i` once at the
@@ -458,15 +481,20 @@ impl CashRegisterEstimator for CashRegisterHIndex {
                 }
                 let mut touches = 0u64;
                 for s in &mut self.samplers {
-                    touches += s.ingest_tile_with_terms(&idx, &del, &terms, &mut self.scratch);
+                    touches = touches
+                        .saturating_add(s.ingest_tile_with_terms(&idx, &del, &terms, &mut self.scratch));
                 }
                 self.counters.tiles += 1;
-                self.counters.tile_items += chunk.len() as u64;
+                self.counters.tile_items =
+                    self.counters.tile_items.saturating_add(chunk.len() as u64);
                 self.counters.tile_capacity += BANK_TILE as u64;
                 self.counters.level_touches += touches;
-                self.counters.pow_evals += chunk.len() as u64;
-                self.counters.pow_reused +=
-                    (chunk.len() * (self.samplers.len() - 1)) as u64;
+                self.counters.pow_evals =
+                    self.counters.pow_evals.saturating_add(chunk.len() as u64);
+                self.counters.pow_reused = self.counters.pow_reused.saturating_add(
+                    (chunk.len() as u64)
+                        .saturating_mul((self.samplers.len() as u64).saturating_sub(1)),
+                );
             }
         } else {
             // Per-sampler fallback (restored pre-bank snapshots): the

@@ -180,6 +180,7 @@ impl HeavyHitters {
     #[must_use]
     pub fn total_impact_estimate(&self) -> u64 {
         let buckets = self.params.buckets();
+        debug_assert!(self.detectors.len() == self.params.rows() * buckets);
         (0..self.params.rows())
             .map(|row| {
                 self.detectors[row * buckets..(row + 1) * buckets]
@@ -365,6 +366,24 @@ impl EstimatorParams for HeavyHittersParams {
 
     fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> HeavyHitters {
         HeavyHitters::new(*self, rng)
+    }
+}
+
+impl HeavyHitters {
+    /// FNV digest over every detector plus the exact tallies, for the
+    /// bit-identity audits around merges. The hash functions are
+    /// construction-time randomness (asserted equal before any merge),
+    /// not evolving state, so they stay out of the digest. Only
+    /// compiled under `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        hindex_sketch::digest::fnv1a(
+            self.detectors
+                .iter()
+                .map(OneHeavyHitter::state_digest)
+                .chain([self.total_responses, self.papers_seen]),
+        )
     }
 }
 

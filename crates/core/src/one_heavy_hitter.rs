@@ -152,6 +152,8 @@ impl OneHeavyHitter {
         let (h_estimate, Some(level)) = self.combined_h_estimate() else {
             return Vec::new();
         };
+        // `combined_h_estimate` only returns levels it indexed itself.
+        debug_assert!(level < self.reservoirs.len());
         let sample = self.reservoirs[level].items();
         if sample.is_empty() {
             return Vec::new();
@@ -267,6 +269,35 @@ impl Snapshot for OneHeavyHitter {
             rng: StdRng::from_state(state),
             papers_seen,
         })
+    }
+}
+
+impl OneHeavyHitter {
+    /// FNV digest over the logical detector state — level buckets,
+    /// per-level reservoir contents, and the paper tally. The RNG is
+    /// deliberately excluded: reservoir merges are distributional, so
+    /// the audits compare the observable words, and two detectors that
+    /// agree on every observable word are interchangeable even if
+    /// their future sampling streams differ. Only compiled under
+    /// `debug_invariants`.
+    #[cfg(feature = "debug_invariants")]
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut words: Vec<u64> = Vec::with_capacity(self.buckets.len() + 4);
+        words.push(self.epsilon.to_bits());
+        words.push(self.sample_size as u64);
+        words.push(self.papers_seen);
+        words.push(self.buckets.len() as u64);
+        words.extend(self.buckets.iter().copied());
+        for r in &self.reservoirs {
+            words.push(r.seen());
+            words.push(r.items().len() as u64);
+            for authors in r.items() {
+                words.push(authors.len() as u64);
+                words.extend(authors.iter().map(|a| a.0));
+            }
+        }
+        hindex_sketch::digest::fnv1a(words)
     }
 }
 

@@ -215,12 +215,14 @@ impl AggregateEstimator for ShiftingWindow {
                     *d = 0;
                     // `run` counts segment items whose clamped level is
                     // ≥ lo + j; never negative, zero beyond `hi_idx`.
-                    self.counters[j] += run as u64;
+                    self.counters[j] = self.counters[j].saturating_add(run as u64);
                 }
                 diff[hi_idx] = 0;
                 self.shift_if_due();
             }
-            pos += seg;
+            // `pos + seg ≤ values.len()` by construction of `seg`;
+            // saturating keeps that claim overflow-proof.
+            pos = pos.saturating_add(seg);
         }
     }
 }

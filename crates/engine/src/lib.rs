@@ -722,6 +722,9 @@ where
     /// dropped — its updates were lost either way, and the strict
     /// query/finish paths surface that as [`EngineError::ShardDead`].
     fn send(&mut self, shard: usize, batch: Vec<T>) {
+        // Callers pass either a loop index over `0..config.shards` or
+        // a `route(shards, …)` result; both are < shards by contract.
+        debug_assert!(shard < self.dead.len() && shard < self.senders.len());
         if self.dead[shard] {
             return;
         }

@@ -57,8 +57,8 @@ impl PolynomialHash {
     /// Horner accumulators, so the `k` sequential 64×64→128 multiplies
     /// per key overlap across lanes instead of serializing on one
     /// reduction chain. This is the hash kernel behind the estimators'
-    /// `update_batch`/`push_batch` fast paths (and hence the sharded
-    /// engine's per-shard batch loop).
+    /// `ingest_batch` fast paths (and hence the sharded engine's
+    /// per-shard batch loop).
     pub fn hash_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
         out.clear();
         out.reserve(keys.len());

@@ -44,6 +44,9 @@ impl CountSketch {
 
     #[inline]
     fn sign(&self, row: usize, key: u64) -> i64 {
+        // Callers iterate rows over `0..bucket_hashes.len()`, and the
+        // constructor builds one sign hash per bucket hash.
+        debug_assert!(row < self.sign_hashes.len());
         if self.sign_hashes[row].hash(key) & 1 == 0 {
             1
         } else {

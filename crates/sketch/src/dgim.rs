@@ -115,11 +115,13 @@ impl Dgim {
                 .map(|(i, _)| i)
                 .collect();
             // `count ≥ k + 2 ≥ 2` guarantees both pops succeed; the
-            // let-else keeps the no-panic contract (lint L3) honest if
+            // let-else keeps the no-panic contract (lint L9) honest if
             // that ever stops holding.
             let (Some(oldest), Some(second_oldest)) = (idxs.pop(), idxs.pop()) else {
                 break;
             };
+            // Both came from enumerating `buckets`, untouched since.
+            debug_assert!(second_oldest < self.buckets.len());
             // Merged bucket keeps the newer timestamp of the pair.
             let merged_ts = self.buckets[second_oldest].0;
             self.buckets[second_oldest] = (merged_ts, size * 2);
