@@ -289,6 +289,24 @@ pub struct ForbidNondeterminism;
 /// The one library file allowed to name wall-clock types.
 pub const CLOCK_SEAM: &str = "crates/obs/src/clock.rs";
 
+/// The engine's fault-injection module — the second and last seam.
+/// Chaos plans are replayable by contract (`FaultPlan::random` is
+/// seeded; `rand=N@now` derives a seed once and echoes it), so the
+/// module may name `SystemTime` for that one derivation and `panic!`
+/// for its injected kills (a supervised worker must die the way a real
+/// one does). The exemption is *conditional*: it holds only while the
+/// file keeps its seeded-RNG marker (`seed_from_u64`). Strip the
+/// seeding and both lints fire again — an unseeded fault module is
+/// ambient nondeterminism like any other.
+pub const FAULT_SEAM: &str = "crates/engine/src/faults.rs";
+
+/// Whether the fault seam still carries its replayability marker.
+fn seam_is_seeded(file: &SourceFile) -> bool {
+    file.tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "seed_from_u64")
+}
+
 const NONDETERMINISM: &[&str] = &[
     "thread_rng",
     "from_entropy",
@@ -334,7 +352,10 @@ impl crate::Lint for ForbidNondeterminism {
                     ));
                 }
             }
-            if file.kind != FileKind::Library || file.path == CLOCK_SEAM {
+            if file.kind != FileKind::Library
+                || file.path == CLOCK_SEAM
+                || (file.path == FAULT_SEAM && seam_is_seeded(file))
+            {
                 continue;
             }
             for t in &file.tokens {
@@ -1089,6 +1110,12 @@ impl crate::Lint for PanicReachability {
                     None
                 };
                 let Some(snippet) = snippet else { continue };
+                if file.path == FAULT_SEAM && snippet == "panic!" && seam_is_seeded(file) {
+                    // The seam's `detonate` panic IS the product: an
+                    // injected kill must travel the genuine worker
+                    // crash path. unwrap/expect stay banned there.
+                    continue;
+                }
                 let owner = fn_at(r, file_idx, i);
                 if let Some(fid) = owner {
                     if r.fns[fid].in_test || r.fns[fid].gated {
@@ -2066,6 +2093,43 @@ mod tests {
     }
 
     #[test]
+    fn l4_and_l9_exempt_the_fault_seam_only_while_seeded() {
+        let seeded = "use std::time::SystemTime;\n\
+                      fn seed() -> u64 { let _ = StdRng::seed_from_u64(0); 7 }\n\
+                      pub fn detonate(msg: &str) -> ! { panic!(\"injected fault: {msg}\") }\n";
+        let unseeded = "use std::time::SystemTime;\n\
+                        pub fn detonate(msg: &str) -> ! { panic!(\"injected fault: {msg}\") }\n";
+
+        // Seeded: both the wall-clock ident and the panic are exempt.
+        let ws_ok = ws(&[(FAULT_SEAM, seeded)]);
+        assert!(run_lint(&ForbidNondeterminism, &ws_ok).is_empty());
+        assert!(run_lint(&PanicReachability, &ws_ok)
+            .iter()
+            .all(|f| !f.snippet.contains("panic")));
+
+        // Unseeded: the exemption is void and both lints fire.
+        let ws_bad = ws(&[(FAULT_SEAM, unseeded)]);
+        let l4 = run_lint(&ForbidNondeterminism, &ws_bad);
+        assert!(l4.iter().any(|f| f.snippet.contains("SystemTime")), "{l4:?}");
+        let l9 = run_lint(&PanicReachability, &ws_bad);
+        assert!(l9.iter().any(|f| f.snippet == "panic!"), "{l9:?}");
+
+        // The seeded exemption never leaks to other files.
+        let ws_other = ws(&[("crates/core/src/bad.rs", seeded)]);
+        let l4 = run_lint(&ForbidNondeterminism, &ws_other);
+        assert!(l4.iter().any(|f| f.snippet.contains("SystemTime")), "{l4:?}");
+    }
+
+    #[test]
+    fn l9_still_flags_unwrap_inside_the_fault_seam() {
+        let src = "fn seed() -> u64 { StdRng::seed_from_u64(0); 7 }\n\
+                   fn helper(v: Option<u64>) -> u64 { v.unwrap() }\n";
+        let ws = ws(&[(FAULT_SEAM, src)]);
+        let findings = run_lint(&PanicReachability, &ws);
+        assert!(findings.iter().any(|f| f.snippet == "unwrap()"), "{findings:?}");
+    }
+
+    #[test]
     fn l7_flags_unrecorded_variant_and_uncalled_hook() {
         let ws = ws(&[
             (
@@ -2097,10 +2161,12 @@ mod tests {
         let f = SourceFile::parse(TRACE_FILE.into(), &contents);
         let names: Vec<String> =
             event_kind_variants(&f).into_iter().map(|(n, _)| n).collect();
-        assert_eq!(names.len(), 10, "{names:?}");
+        assert_eq!(names.len(), 15, "{names:?}");
         assert!(names.contains(&"PushBatch".to_string()));
         assert!(names.contains(&"SnapshotDecode".to_string()));
         assert!(names.contains(&"BankBatch".to_string()));
+        assert!(names.contains(&"ShardRestart".to_string()));
+        assert!(names.contains(&"FaultInjected".to_string()));
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! `hindex engine`: sharded parallel ingestion of a cash-register
-//! stream.
+//! stream, optionally supervised with deterministic fault injection.
 
 use crate::args::Parsed;
 use crate::io::read_updates;
 use hindex_baseline::CashTable;
-use hindex_common::{ApproxKind, Delta, Epsilon, Guarantee};
+use hindex_common::{
+    ApproxKind, Delta, Epsilon, Estimate, Guarantee, Mergeable, Snapshot, SpaceUsage,
+};
 use hindex_core::{CashRegisterHIndex, CashRegisterParams};
-use hindex_engine::{EngineConfig, QueryReport, ShardedEngine};
+use hindex_engine::{
+    BatchIngest, EngineConfig, FaultPlan, QueryReport, Routable, ShardedEngine, SupervisedEngine,
+    SupervisorConfig,
+};
 use hindex_obs::EngineObserver;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,12 +22,17 @@ use std::time::Instant;
 /// Runs the `engine` subcommand: partitions the update stream across
 /// worker shards, then answers from the merged shard states. With
 /// `--obs on`, an [`EngineObserver`] is attached and its metrics
-/// snapshot is appended to the report.
+/// snapshot is appended to the report. With `--faults SPEC` (or
+/// `--supervise on`), the run goes through the self-healing
+/// [`SupervisedEngine`]: micro-checkpoints, bounded replay, and
+/// restart-from-checkpoint on worker death — the printed `digest` is
+/// bit-comparable with a fault-free run's.
 ///
 /// # Errors
 ///
-/// Bad flags, malformed input, or negative deltas (the engine ingests
-/// cash-register streams; use `hindex cash` for turnstile data).
+/// Bad flags, malformed input, a malformed `--faults` spec, or
+/// negative deltas (the engine ingests cash-register streams; use
+/// `hindex cash` for turnstile data).
 pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     let eps = Epsilon::new(parsed.f64_or("eps", 0.2)?).map_err(|e| e.to_string())?;
     let delta = Delta::new(parsed.f64_or("delta", 0.1)?).map_err(|e| e.to_string())?;
@@ -31,6 +41,9 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     let shards = parsed.u64_or("shards", 4)? as usize;
     let batch = parsed.u64_or("batch", 1024)? as usize;
     let observe = matches!(parsed.str_or("obs", "off"), "on" | "true" | "1");
+    let faults_spec = parsed.str_or("faults", "").to_string();
+    let supervise = !faults_spec.is_empty()
+        || matches!(parsed.str_or("supervise", "off"), "on" | "true" | "1");
     let raw = read_updates(input)?;
     if raw.iter().any(|&(_, d)| d < 0) {
         return Err("engine ingests cash-register streams only (no negative deltas); \
@@ -39,12 +52,22 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     }
     let updates: Vec<(u64, u64)> = raw.iter().map(|&(p, d)| (p, d as u64)).collect();
     let mut builder = EngineConfig::builder().shards(shards).batch(batch);
-    if observe {
-        builder = builder.observer(Arc::new(EngineObserver::new(shards)));
+    // The supervised path always carries an observer: restart and
+    // loss accounting come from its counters. Metrics are only
+    // *printed* with `--obs on`.
+    let observer = (observe || supervise).then(|| Arc::new(EngineObserver::new(shards)));
+    if let Some(o) = &observer {
+        builder = builder.observer(Arc::clone(o));
     }
     let config = builder.build().map_err(|e| e.to_string())?;
 
-    let (name, report, elapsed) = match algorithm {
+    if supervise {
+        return run_supervised(
+            parsed, config, &faults_spec, algorithm, eps, delta, seed, observe, &updates,
+        );
+    }
+
+    let (name, report, elapsed, digest) = match algorithm {
         "sketch" => {
             let params = CashRegisterParams::Additive { epsilon: eps, delta };
             let contract = Guarantee::randomized(ApproxKind::Additive, eps, delta);
@@ -59,6 +82,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
                 format!("sharded ℓ₀-sampling sketch (Alg 6, x = {})", merged.num_samplers()),
                 report,
                 elapsed,
+                merged.frame_digest(),
             )
         }
         "exact" => {
@@ -67,8 +91,8 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
             engine.ingest_batch(&updates);
             let report = engine.report(None).map_err(|e| e.to_string())?;
             let elapsed = start.elapsed();
-            engine.finish().map_err(|e| e.to_string())?;
-            ("sharded exact table".into(), report, elapsed)
+            let merged = engine.finish().map_err(|e| e.to_string())?;
+            ("sharded exact table".into(), report, elapsed, merged.frame_digest())
         }
         other => return Err(format!("unknown --algorithm `{other}` (sketch|exact)")),
     };
@@ -81,7 +105,7 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     };
     let mut out = format!(
         "algorithm : {name}\nupdates   : {}\nshards    : {shards} (batch {batch})\n\
-         h-index   : {}\nspace     : {} words (whole pipeline)\n\
+         h-index   : {}\ndigest    : {digest:#018x}\nspace     : {} words (whole pipeline)\n\
          contract  : {}\ndegraded  : {}\ningest    : {rate} updates/s\n",
         updates.len(),
         report.estimate,
@@ -98,6 +122,152 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
         out.push_str(&obs.render_text());
     }
     Ok(out)
+}
+
+/// The supervised (self-healing) engine path, shared by `--supervise`
+/// and `--faults`.
+#[allow(clippy::too_many_arguments)]
+fn run_supervised(
+    parsed: &Parsed,
+    config: EngineConfig,
+    faults_spec: &str,
+    algorithm: &str,
+    eps: Epsilon,
+    delta: Delta,
+    seed: u64,
+    observe: bool,
+    updates: &[(u64, u64)],
+) -> Result<String, String> {
+    let shards = parsed.u64_or("shards", 4)? as usize;
+    let batch = parsed.u64_or("batch", 1024)? as usize;
+    let sup = SupervisorConfig {
+        checkpoint_interval: parsed.u64_or("ckpt-interval", 4)?,
+        max_replay_words: parsed.u64_or("replay-words", 1 << 20)? as usize,
+        max_restarts: u32::try_from(parsed.u64_or("max-restarts", 8)?)
+            .map_err(|_| "--max-restarts out of range".to_string())?,
+        backoff_ms: 0,
+    };
+    let plan = if faults_spec.is_empty() {
+        FaultPlan::none()
+    } else {
+        FaultPlan::parse(faults_spec, shards, updates.len() as u64)?
+    };
+    let fault_line = if plan.is_empty() {
+        "none".to_string()
+    } else {
+        match plan.seed {
+            // Echo the seed so a `rand=N@now` run can be replayed.
+            Some(s) => format!("{} planned (seed {s})", plan.faults.len()),
+            None => format!("{} planned ({faults_spec})", plan.faults.len()),
+        }
+    };
+    let observer = config.observer().cloned();
+
+    // Injected kills travel the genuine panic path; without this the
+    // default hook would spray expected backtraces over stderr. Real
+    // (non-injected) panics still print normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let start = Instant::now();
+    let (name, estimate, digest, outcome) = match algorithm {
+        "sketch" => {
+            let params = CashRegisterParams::Additive { epsilon: eps, delta };
+            let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
+            let (merged, outcome) = supervised_run(config, sup, plan, prototype, updates)?;
+            (
+                format!("sharded ℓ₀-sampling sketch (Alg 6, x = {}), supervised", merged.num_samplers()),
+                merged.estimate(),
+                merged.frame_digest(),
+                outcome,
+            )
+        }
+        "exact" => {
+            let (merged, outcome) = supervised_run(config, sup, plan, CashTable::new(), updates)?;
+            (
+                "sharded exact table, supervised".to_string(),
+                merged.estimate(),
+                merged.frame_digest(),
+                outcome,
+            )
+        }
+        other => return Err(format!("unknown --algorithm `{other}` (sketch|exact)")),
+    };
+    let elapsed = start.elapsed();
+
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        format!("{:.0}", updates.len() as f64 / secs)
+    } else {
+        "inf".into()
+    };
+    let metrics = observer.as_ref().map(|o| o.snapshot());
+    let (restarts, replayed, lost) = metrics
+        .as_ref()
+        .map_or((0, 0, 0), |m| (m.restarts, m.replayed_batches, m.items_lost));
+    let mut out = format!(
+        "algorithm : {name}\nupdates   : {}\nshards    : {shards} (batch {batch})\n\
+         faults    : {fault_line}\nrestarts  : {restarts} (replayed {replayed} batches)\n\
+         h-index   : {estimate}\ndigest    : {digest:#018x}\n\
+         space     : {} words (+ {} replay scratch)\n\
+         degraded  : {}\ningest    : {rate} updates/s\n",
+        updates.len(),
+        outcome.space,
+        outcome.scratch,
+        if outcome.dead.is_empty() {
+            "no".to_string()
+        } else {
+            format!("yes, dead shards {:?} ({lost} updates lost)", outcome.dead)
+        },
+    );
+    if observe {
+        if let Some(m) = &metrics {
+            out.push('\n');
+            out.push_str(&m.render_text());
+        }
+    }
+    Ok(out)
+}
+
+/// Peak space and survivor accounting captured around the merge.
+struct SupOutcome {
+    space: usize,
+    scratch: usize,
+    dead: Vec<usize>,
+}
+
+/// Drives a [`SupervisedEngine`] over the whole stream and merges the
+/// survivors (degraded merge: terminal shards are reported, not
+/// fatal — the caller prints them).
+fn supervised_run<E>(
+    config: EngineConfig,
+    sup: SupervisorConfig,
+    plan: FaultPlan,
+    prototype: E,
+    updates: &[(u64, u64)],
+) -> Result<(E, SupOutcome), String>
+where
+    E: BatchIngest<(u64, u64)> + Mergeable + Snapshot + SpaceUsage + Clone + Send + 'static,
+    (u64, u64): Routable,
+{
+    let mut engine = SupervisedEngine::with_faults(config, sup, plan, prototype)
+        .map_err(|e| e.to_string())?;
+    engine.ingest_batch(updates);
+    engine.flush();
+    let (space, scratch) = (engine.space_words(), engine.scratch_words());
+    let degraded = engine.finish_degraded().map_err(|e| e.to_string())?;
+    Ok((
+        degraded.estimator,
+        SupOutcome { space, scratch, dead: degraded.dead_shards },
+    ))
 }
 
 /// Human-readable form of the report's approximation contract.
@@ -120,6 +290,10 @@ fn contract_line(report: &QueryReport) -> String {
 #[cfg(test)]
 mod tests {
     use crate::run_str;
+
+    fn digest_line(out: &str) -> &str {
+        out.lines().find(|l| l.starts_with("digest")).unwrap()
+    }
 
     #[test]
     fn exact_engine_matches_serial_answer() {
@@ -174,5 +348,69 @@ mod tests {
         assert!(out.contains("h-index   : "), "{out}");
         assert!(out.contains("hindex_engine_items_total 200"), "{out}");
         assert!(out.contains("hindex_engine_shard_items_total"), "{out}");
+    }
+
+    #[test]
+    fn chaos_digest_matches_clean_run() {
+        // The chaos contract end to end: a kill-sweep over every shard
+        // must answer bit-identically to an untouched run.
+        let stream: String = (0..600u64).map(|k| format!("{} 1\n", k % 40)).collect();
+        for algorithm in ["exact", "sketch"] {
+            let base = &[
+                "engine", "--algorithm", algorithm, "--seed", "5",
+                "--shards", "3", "--batch", "16",
+            ];
+            let clean = run_str(base, &stream).unwrap();
+            let mut chaotic: Vec<&str> = base.to_vec();
+            chaotic.extend_from_slice(&["--faults", "sweep@50=100"]);
+            let out = run_str(&chaotic, &stream).unwrap();
+            assert!(out.contains("supervised"), "{out}");
+            assert!(out.contains("degraded  : no"), "{out}");
+            let restarts: u64 = out
+                .lines()
+                .find(|l| l.starts_with("restarts"))
+                .and_then(|l| l.split(&[':', '('][..]).nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap();
+            assert!(restarts >= 3, "every shard should restart once: {out}");
+            assert_eq!(digest_line(&clean), digest_line(&out), "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn supervised_without_faults_matches_plain_digest() {
+        let stream: String = (0..300u64).map(|k| format!("{} 2\n", k % 25)).collect();
+        let base = &["engine", "--algorithm", "exact", "--shards", "2"];
+        let plain = run_str(base, &stream).unwrap();
+        let mut supervised: Vec<&str> = base.to_vec();
+        supervised.extend_from_slice(&["--supervise", "on"]);
+        let sup = run_str(&supervised, &stream).unwrap();
+        assert!(sup.contains("faults    : none"), "{sup}");
+        assert!(sup.contains("restarts  : 0"), "{sup}");
+        assert_eq!(digest_line(&plain), digest_line(&sup));
+    }
+
+    #[test]
+    fn random_fault_plan_echoes_its_seed() {
+        let stream: String = (0..200u64).map(|k| format!("{} 1\n", k % 10)).collect();
+        let out = run_str(
+            &[
+                "engine", "--algorithm", "exact", "--shards", "2", "--batch", "16",
+                "--faults", "rand=3@42",
+            ],
+            &stream,
+        )
+        .unwrap();
+        assert!(out.contains("seed 42"), "{out}");
+    }
+
+    #[test]
+    fn malformed_fault_spec_is_an_error() {
+        let err = run_str(
+            &["engine", "--algorithm", "exact", "--faults", "explode@everywhere"],
+            "1 1\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("fault"), "{err}");
     }
 }

@@ -164,7 +164,8 @@ where
     // decode timing and the replay both land in instrumented state.
     let observer = Arc::new(EngineObserver::new(shards));
     observer.on_snapshot_decode(offset, bytes.len() as u64, decode_ns);
-    let mut engine = ShardedEngine::restore(checkpoint.with_observer(observer));
+    let mut engine =
+        ShardedEngine::restore(checkpoint.with_observer(observer)).map_err(|e| e.to_string())?;
     let suffix = &updates[skip..];
     engine.ingest_batch(suffix);
     let merged = engine.finish().map_err(|e| e.to_string())?;

@@ -342,6 +342,16 @@ pub trait Snapshot: Sized {
         out
     }
 
+    /// [`fnv1a`] over the canonical encoding — a state digest available
+    /// in every build (the sketch layer's `state_digest` is gated
+    /// behind `debug_invariants`). Two values digest equal iff their
+    /// frames are bit-identical, which is what chaos runs assert when
+    /// comparing a faulted run against a clean one.
+    #[must_use]
+    fn frame_digest(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+
     /// Decodes one frame from the front of `bytes`, returning the value
     /// and the number of bytes consumed (so frames concatenate).
     ///

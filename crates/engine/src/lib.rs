@@ -65,10 +65,11 @@
 //!    (`sync_channel`), queries clone a snapshot rather than lock, and
 //!    `#![forbid(unsafe_code)]` (lint L4) rules out hand-rolled
 //!    sharing. A worker that panics poisons nothing: the engine marks
-//!    the shard dead and `finish`/`query` return
-//!    [`EngineError::ShardDead`] — the shard's updates are lost, so no
-//!    exact answer exists. Callers that prefer a lossy answer over none
-//!    opt in explicitly via [`ShardedEngine::query_degraded`] /
+//!    the shard dead, harvests the panic payload, and `finish`/`query`
+//!    return [`EngineError::ShardDead`] carrying it — the shard's
+//!    updates are lost, so no exact answer exists. Callers that prefer
+//!    a lossy answer over none opt in explicitly via
+//!    [`ShardedEngine::query_degraded`] /
 //!    [`ShardedEngine::finish_degraded`], which merge the surviving
 //!    shards and report which ones are missing.
 //!
@@ -78,11 +79,25 @@
 //! packages the states with the engine geometry and the stream offset
 //! (items routed so far) into an [`EngineCheckpoint`] — a
 //! [`Snapshot`](hindex_common::Snapshot)-serialisable value when the
-//! estimator is. [`ShardedEngine::restore`] respawns the workers from
-//! those states; replaying the stream from
-//! [`EngineCheckpoint::stream_offset`] then reproduces the never-killed
-//! run bit for bit (routing is a pure function of `(item, tick)` and
-//! the tick is part of the checkpoint).
+//! estimator is. [`ShardedEngine::restore`] validates the checkpoint
+//! and respawns the workers from those states; replaying the stream
+//! from [`EngineCheckpoint::stream_offset`] then reproduces the
+//! never-killed run bit for bit (routing is a pure function of
+//! `(item, tick)` and the tick is part of the checkpoint).
+//!
+//! # Self-healing
+//!
+//! [`SupervisedEngine`] wraps the same worker model in a supervisor
+//! that takes per-shard micro-checkpoints every
+//! [`SupervisorConfig::checkpoint_interval`] batches (encoded on the
+//! worker thread, so the router never stalls), keeps a bounded replay
+//! log of batches since each shard's last micro-checkpoint, and on
+//! worker death respawns the shard from its checkpoint and replays the
+//! log — bit-identical to an uninterrupted run. A deterministic,
+//! seeded [`FaultPlan`] injects worker kills, send failures, stalls,
+//! and checkpoint corruption for chaos testing (`hindex engine
+//! --faults`). See `docs/RECOVERY.md` for the supervision state
+//! machine and the degradation ladder.
 //!
 //! # Observability
 //!
@@ -104,81 +119,26 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use hindex_common::snapshot::{Reader, Snapshot, SnapshotError, Writer, FRAME_OVERHEAD};
+mod checkpoint;
+mod config;
+mod error;
+pub mod faults;
+mod replay;
+mod supervisor;
+
+pub use checkpoint::EngineCheckpoint;
+pub use config::{EngineConfig, EngineConfigBuilder, SupervisorConfig};
+pub use error::{Degraded, EngineError, QueryReport};
+pub use faults::{FaultKind, FaultPlan};
+pub use supervisor::SupervisedEngine;
+
+use error::panic_message;
 use hindex_common::{
     AggregateEstimator, BankCounters, CashRegisterEstimator, Estimate, Guarantee, Mergeable,
     SpaceUsage, TurnstileEstimator,
 };
-use hindex_obs::{EngineObserver, MetricsSnapshot, Stopwatch};
+use hindex_obs::Stopwatch;
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-/// A shard failure the engine surfaces instead of panicking.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineError {
-    /// A worker thread died (panicked); its shard's updates are lost.
-    /// Strict queries refuse to answer — use the `_degraded` variants
-    /// to merge the surviving shards anyway.
-    ShardDead {
-        /// Index of the first dead shard found.
-        shard: usize,
-    },
-    /// Every worker thread died; not even a degraded answer exists.
-    AllShardsDead,
-    /// An [`EngineConfig`] failed validation at build time.
-    InvalidConfig {
-        /// What was wrong with the configuration.
-        what: &'static str,
-    },
-}
-
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EngineError::ShardDead { shard } => {
-                write!(f, "shard worker {shard} died; its updates are lost")
-            }
-            EngineError::AllShardsDead => write!(f, "every shard worker died"),
-            EngineError::InvalidConfig { what } => {
-                write!(f, "invalid engine configuration: {what}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-/// Result of an explicit lossy query over an engine with dead shards.
-#[derive(Debug, Clone)]
-pub struct Degraded<E> {
-    /// The merge of every surviving shard's state.
-    pub estimator: E,
-    /// Indices of the dead shards whose updates are missing from
-    /// `estimator` (empty when nothing was lost).
-    pub dead_shards: Vec<usize>,
-}
-
-/// Everything a caller at a reporting boundary (CLI, bench harness)
-/// wants from one query, in one typed value: the estimate, the
-/// approximation contract it was computed under, the space spent, how
-/// degraded the answer is, and — when the engine is instrumented — a
-/// full metrics snapshot. Produced by [`ShardedEngine::report`].
-#[derive(Debug, Clone)]
-pub struct QueryReport {
-    /// The merged H-index estimate.
-    pub estimate: u64,
-    /// The `(kind, ε, δ)` guarantee the estimator was built under, as
-    /// supplied by the caller (`None` for exact baselines).
-    pub approx_contract: Option<Guarantee>,
-    /// Total pipeline space at query time, in words.
-    pub space_words: usize,
-    /// Dead shards whose updates are missing from `estimate` (empty
-    /// for a lossless answer).
-    pub degraded: Vec<usize>,
-    /// Metrics snapshot from the attached observer, if any.
-    pub obs: Option<Box<MetricsSnapshot>>,
-}
 
 /// Batched ingestion of stream items of type `T`.
 ///
@@ -190,8 +150,9 @@ pub trait BatchIngest<T> {
     fn apply_batch(&mut self, batch: &[T]);
 
     /// Bank-kernel telemetry the estimator accumulated, if it exposes
-    /// any — surfaced through the attached [`EngineObserver`] when a
-    /// query merges shard states. Default: none.
+    /// any — surfaced through the attached
+    /// [`EngineObserver`](hindex_obs::EngineObserver) when a query
+    /// merges shard states. Default: none.
     fn bank_counters(&self) -> Option<BankCounters> {
         None
     }
@@ -261,151 +222,7 @@ impl Routable for u64 {
     }
 }
 
-/// Engine geometry plus optional instrumentation.
-///
-/// Construct via [`EngineConfig::builder`] (validated, and the only
-/// way to attach an [`EngineObserver`]), [`EngineConfig::with_shards`]
-/// for default batching, or [`EngineConfig::default`].
-#[derive(Debug, Clone)]
-pub struct EngineConfig {
-    /// Number of worker shards (threads). Must be ≥ 1.
-    pub shards: usize,
-    /// Items per batch handed to a worker. Must be ≥ 1.
-    pub batch_size: usize,
-    /// Batches in flight per shard before ingestion blocks
-    /// (backpressure). Must be ≥ 1.
-    pub queue_depth: usize,
-    /// Instrumentation sink driven by the engine's router thread;
-    /// `None` leaves every hot path a branch-on-`None`.
-    observer: Option<Arc<EngineObserver>>,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        Self {
-            shards: 4,
-            batch_size: 1024,
-            queue_depth: 4,
-            observer: None,
-        }
-    }
-}
-
-impl EngineConfig {
-    /// Config with `shards` workers and default batching.
-    #[must_use]
-    pub fn with_shards(shards: usize) -> Self {
-        Self {
-            shards,
-            ..Self::default()
-        }
-    }
-
-    /// Starts a validated builder at the default geometry.
-    #[must_use]
-    pub fn builder() -> EngineConfigBuilder {
-        EngineConfigBuilder::default()
-    }
-
-    /// This config with `observer` attached (see
-    /// [`EngineConfigBuilder::observer`] for the sizing contract,
-    /// which [`EngineConfigBuilder::build`] enforces).
-    #[must_use]
-    pub fn with_observer(mut self, observer: Arc<EngineObserver>) -> Self {
-        self.observer = Some(observer);
-        self
-    }
-
-    /// The attached instrumentation sink, if any.
-    #[must_use]
-    pub fn observer(&self) -> Option<&Arc<EngineObserver>> {
-        self.observer.as_ref()
-    }
-}
-
-/// Validated constructor for [`EngineConfig`].
-///
-/// ```
-/// use hindex_engine::EngineConfig;
-/// use hindex_obs::EngineObserver;
-/// use std::sync::Arc;
-///
-/// let obs = Arc::new(EngineObserver::new(8));
-/// let config = EngineConfig::builder()
-///     .shards(8)
-///     .batch(256)
-///     .observer(obs)
-///     .build()
-///     .unwrap();
-/// assert_eq!(config.shards, 8);
-/// assert!(EngineConfig::builder().shards(0).build().is_err());
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct EngineConfigBuilder {
-    config: EngineConfig,
-}
-
-impl EngineConfigBuilder {
-    /// Sets the number of worker shards.
-    #[must_use]
-    pub fn shards(mut self, shards: usize) -> Self {
-        self.config.shards = shards;
-        self
-    }
-
-    /// Sets the items-per-batch handed to workers.
-    #[must_use]
-    pub fn batch(mut self, batch_size: usize) -> Self {
-        self.config.batch_size = batch_size;
-        self
-    }
-
-    /// Sets the per-shard bounded-channel depth (backpressure).
-    #[must_use]
-    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
-        self.config.queue_depth = queue_depth;
-        self
-    }
-
-    /// Attaches an instrumentation sink. It must be sized to the same
-    /// shard count ([`EngineObserver::new`]) or [`Self::build`]
-    /// rejects the config.
-    #[must_use]
-    pub fn observer(mut self, observer: Arc<EngineObserver>) -> Self {
-        self.config.observer = Some(observer);
-        self
-    }
-
-    /// Validates and returns the config.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::InvalidConfig`] when any geometry field
-    /// is zero or the observer's shard count disagrees with
-    /// [`EngineConfig::shards`].
-    pub fn build(self) -> Result<EngineConfig, EngineError> {
-        let c = self.config;
-        if c.shards == 0 {
-            return Err(EngineError::InvalidConfig { what: "shards must be ≥ 1" });
-        }
-        if c.batch_size == 0 {
-            return Err(EngineError::InvalidConfig { what: "batch_size must be ≥ 1" });
-        }
-        if c.queue_depth == 0 {
-            return Err(EngineError::InvalidConfig { what: "queue_depth must be ≥ 1" });
-        }
-        if let Some(o) = &c.observer {
-            if o.shards() != c.shards {
-                return Err(EngineError::InvalidConfig {
-                    what: "observer sized for a different shard count",
-                });
-            }
-        }
-        Ok(c)
-    }
-}
-
-enum Command<E, T> {
+pub(crate) enum Command<E, T> {
     Batch(Vec<T>),
     Snapshot(Sender<E>),
 }
@@ -429,18 +246,21 @@ enum Command<E, T> {
 /// assert_eq!(exact.estimate(), 34); // 100 papers at 34, 200 at 33
 /// ```
 ///
-/// Attach an [`EngineObserver`] through the builder to get metrics,
-/// traces, and a [`QueryReport`] — see the crate docs and
-/// `docs/OBSERVABILITY.md`.
+/// Attach an [`EngineObserver`](hindex_obs::EngineObserver) through
+/// the builder to get metrics, traces, and a [`QueryReport`] — see the
+/// crate docs and `docs/OBSERVABILITY.md`.
 pub struct ShardedEngine<E, T> {
     config: EngineConfig,
     senders: Vec<SyncSender<Command<E, T>>>,
-    handles: Vec<Option<JoinHandle<E>>>,
+    handles: Vec<Option<std::thread::JoinHandle<E>>>,
     /// Per-shard pending (unsent) batch.
     buffers: Vec<Vec<T>>,
     /// Shards whose worker has died (send or join failed); their
     /// updates are lost and strict queries refuse to answer.
     dead: Vec<bool>,
+    /// Panic payload harvested from each dead shard's worker, when one
+    /// was recoverable.
+    dead_reason: Vec<Option<String>>,
     tick: u64,
 }
 
@@ -470,15 +290,24 @@ where
     /// restored, so replaying the input from
     /// [`EngineCheckpoint::stream_offset`] continues the original run
     /// bit for bit.
-    #[must_use]
-    pub fn restore(checkpoint: EngineCheckpoint<E>) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when the checkpoint's
+    /// geometry is hostile (zero fields, a shard-state count that
+    /// disagrees with it) or a re-attached observer is sized for a
+    /// different shard count. Validation happens *before* any thread
+    /// is spawned, so a checkpoint from untrusted bytes can never
+    /// panic the engine.
+    pub fn restore(checkpoint: EngineCheckpoint<E>) -> Result<Self, EngineError> {
         let sw = Stopwatch::start();
+        checkpoint.validate()?;
         let shard_states = checkpoint.shards.len() as u64;
         let engine = Self::spawn(checkpoint.config, checkpoint.shards, checkpoint.tick);
         if let Some(o) = &engine.config.observer {
             o.on_restore(engine.tick, shard_states, sw.elapsed_nanos());
         }
-        engine
+        Ok(engine)
     }
 
     fn spawn(config: EngineConfig, states: Vec<E>, tick: u64) -> Self {
@@ -494,13 +323,13 @@ where
             senders.push(tx);
         }
         let buffers = (0..config.shards).map(|_| Vec::new()).collect();
-        let dead = vec![false; config.shards];
         Self {
+            dead: vec![false; config.shards],
+            dead_reason: vec![None; config.shards],
             config,
             senders,
             handles,
             buffers,
-            dead,
             tick,
         }
     }
@@ -561,8 +390,8 @@ where
     pub fn query(&mut self) -> Result<E, EngineError> {
         self.flush();
         let states = self.snapshot_states();
-        if let Some(shard) = self.first_dead() {
-            return Err(EngineError::ShardDead { shard });
+        if let Some(err) = self.first_dead_error() {
+            return Err(err);
         }
         if let Some(o) = &self.config.observer {
             o.on_merge(self.tick, self.config.shards as u64);
@@ -637,8 +466,8 @@ where
         let sw = Stopwatch::start();
         self.flush();
         let states = self.snapshot_states();
-        if let Some(shard) = self.first_dead() {
-            return Err(EngineError::ShardDead { shard });
+        if let Some(err) = self.first_dead_error() {
+            return Err(err);
         }
         let shards: Vec<E> = states.into_iter().flatten().collect();
         debug_assert_eq!(shards.len(), self.config.shards);
@@ -664,8 +493,8 @@ where
     /// any worker died along the way (see [`Self::finish_degraded`]).
     pub fn finish(mut self) -> Result<E, EngineError> {
         let states = self.join_workers();
-        if let Some(shard) = self.first_dead() {
-            return Err(EngineError::ShardDead { shard });
+        if let Some(err) = self.first_dead_error() {
+            return Err(err);
         }
         merge_all(states).ok_or(EngineError::AllShardsDead)
     }
@@ -682,13 +511,23 @@ where
     }
 
     /// Flushes, closes the channels, and joins every worker, marking
-    /// panicked ones dead. Shard order is preserved (`None` = dead).
+    /// panicked ones dead and harvesting their panic payloads. Shard
+    /// order is preserved (`None` = dead).
     fn join_workers(&mut self) -> Vec<Option<E>> {
         self.flush();
         self.senders.clear(); // workers see channel close and return
         let mut states = Vec::with_capacity(self.handles.len());
-        for (shard, handle) in self.handles.iter_mut().enumerate() {
-            let state = handle.take().and_then(|h| h.join().ok());
+        for shard in 0..self.handles.len() {
+            let state = match self.handles[shard].take() {
+                Some(handle) => match handle.join() {
+                    Ok(state) => Some(state),
+                    Err(payload) => {
+                        self.note_panicked(shard, panic_message(payload.as_ref()));
+                        None
+                    }
+                },
+                None => None, // already joined when the death was detected
+            };
             if state.is_none() {
                 self.dead[shard] = true;
             }
@@ -713,27 +552,76 @@ where
             .collect()
     }
 
-    fn first_dead(&self) -> Option<usize> {
-        self.dead.iter().position(|&d| d)
+    /// The first dead shard as a reason-carrying error, if any worker
+    /// has died.
+    fn first_dead_error(&self) -> Option<EngineError> {
+        self.dead.iter().position(|&d| d).map(|shard| EngineError::ShardDead {
+            shard,
+            reason: self.dead_reason.get(shard).cloned().flatten(),
+        })
     }
 
-    /// Hands a batch to a worker. A failed send means the worker died
-    /// (its receiver is gone); the shard is marked dead and the batch
-    /// dropped — its updates were lost either way, and the strict
-    /// query/finish paths surface that as [`EngineError::ShardDead`].
+    /// Marks `shard` dead and eagerly joins its worker to harvest the
+    /// panic payload. Safe to call only once a send or receive on the
+    /// shard's channels has failed — that proves the worker thread has
+    /// already exited, so the join cannot block.
+    fn mark_dead(&mut self, shard: usize) {
+        debug_assert!(shard < self.dead.len(), "shard index computed by the router");
+        if self.dead[shard] {
+            return;
+        }
+        self.dead[shard] = true;
+        if let Some(handle) = self.handles[shard].take() {
+            match handle.join() {
+                // A worker only returns its state when its channel
+                // closes, which cannot happen while we hold the sender;
+                // treat a clean exit as a death with no diagnosis.
+                Ok(_state) => {}
+                Err(payload) => {
+                    let reason = panic_message(payload.as_ref());
+                    self.note_panicked(shard, reason);
+                }
+            }
+        }
+    }
+
+    /// Records a harvested panic payload and traces the death.
+    fn note_panicked(&mut self, shard: usize, reason: String) {
+        debug_assert!(shard < self.dead.len(), "shard index computed by the router");
+        self.dead[shard] = true;
+        if let Some(o) = &self.config.observer {
+            o.on_shard_panicked(self.tick, shard, 1);
+        }
+        if self.dead_reason[shard].is_none() {
+            self.dead_reason[shard] = Some(reason);
+        }
+    }
+
+    /// Hands a batch to a worker. The flush is recorded **only after**
+    /// the handoff succeeds — a batch dropped on a dead shard fires
+    /// `on_batch_lost` instead, so flushed-item telemetry never counts
+    /// updates that no estimator ingested.
     fn send(&mut self, shard: usize, batch: Vec<T>) {
         // Callers pass either a loop index over `0..config.shards` or
         // a `route(shards, …)` result; both are < shards by contract.
         debug_assert!(shard < self.dead.len() && shard < self.senders.len());
+        let len = batch.len() as u64;
+        let full = batch.len() >= self.config.batch_size;
         if self.dead[shard] {
+            if let Some(o) = &self.config.observer {
+                o.on_batch_lost(self.tick, shard, len);
+            }
+            return;
+        }
+        if self.senders[shard].send(Command::Batch(batch)).is_err() {
+            self.mark_dead(shard);
+            if let Some(o) = &self.config.observer {
+                o.on_batch_lost(self.tick, shard, len);
+            }
             return;
         }
         if let Some(o) = &self.config.observer {
-            let len = batch.len() as u64;
-            o.on_flush(self.tick, shard, len, batch.len() >= self.config.batch_size);
-        }
-        if self.senders[shard].send(Command::Batch(batch)).is_err() {
-            self.dead[shard] = true;
+            o.on_flush(self.tick, shard, len, full);
         }
     }
 
@@ -771,97 +659,15 @@ where
     fn note_dead(&mut self, states: &[Option<E>]) {
         for (shard, state) in states.iter().enumerate() {
             if state.is_none() {
-                self.dead[shard] = true;
+                self.mark_dead(shard);
             }
         }
     }
 }
 
-/// A serialisable frozen engine: per-shard estimator states plus the
-/// geometry and stream offset needed to resume ingestion exactly where
-/// it stopped.
-#[derive(Debug, Clone)]
-pub struct EngineCheckpoint<E> {
-    config: EngineConfig,
-    tick: u64,
-    shards: Vec<E>,
-}
-
-impl<E> EngineCheckpoint<E> {
-    /// The engine configuration the checkpoint was taken under.
-    #[must_use]
-    pub fn config(&self) -> &EngineConfig {
-        &self.config
-    }
-
-    /// Re-attaches an instrumentation sink before a
-    /// [`ShardedEngine::restore`]. Observers are never serialised
-    /// (a decoded checkpoint carries none), so recovery paths call
-    /// this to keep instrumenting across a crash boundary.
-    #[must_use]
-    pub fn with_observer(mut self, observer: Arc<EngineObserver>) -> Self {
-        self.config.observer = Some(observer);
-        self
-    }
-
-    /// Items the engine had routed when the checkpoint was taken;
-    /// replay the input stream from this offset after a restore.
-    #[must_use]
-    pub fn stream_offset(&self) -> u64 {
-        self.tick
-    }
-
-    /// The per-shard estimator states, in shard order.
-    #[must_use]
-    pub fn shard_states(&self) -> &[E] {
-        &self.shards
-    }
-}
-
-/// Payload: the three geometry fields, the stream offset, and one
-/// nested frame per shard state. Decode re-validates the constructor
-/// invariants [`ShardedEngine::new`] asserts (all geometry fields
-/// positive, one state per shard), so a restored checkpoint can never
-/// panic the spawn path.
-impl<E: Snapshot> Snapshot for EngineCheckpoint<E> {
-    const TAG: u8 = 22;
-
-    fn write_payload(&self, w: &mut Writer<'_>) {
-        w.put_usize(self.config.shards);
-        w.put_usize(self.config.batch_size);
-        w.put_usize(self.config.queue_depth);
-        w.put_u64(self.tick);
-        for shard in &self.shards {
-            w.put_nested(shard);
-        }
-    }
-
-    fn read_payload(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
-        let shards = r.get_usize()?;
-        let batch_size = r.get_usize()?;
-        let queue_depth = r.get_usize()?;
-        if shards == 0 || batch_size == 0 || queue_depth == 0 {
-            return Err(SnapshotError::Invalid("engine geometry fields must be positive"));
-        }
-        if shards > r.remaining() / FRAME_OVERHEAD {
-            return Err(SnapshotError::Invalid("shard count larger than payload"));
-        }
-        let tick = r.get_u64()?;
-        let mut states = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            states.push(r.get_nested::<E>()?);
-        }
-        Ok(Self {
-            config: EngineConfig { shards, batch_size, queue_depth, observer: None },
-            tick,
-            shards: states,
-        })
-    }
-}
-
 /// Merges the surviving shard states in shard order; `None` when every
 /// shard is gone.
-fn merge_all<E: Mergeable>(states: Vec<Option<E>>) -> Option<E> {
+pub(crate) fn merge_all<E: Mergeable>(states: Vec<Option<E>>) -> Option<E> {
     let mut it = states.into_iter().flatten();
     let mut merged = it.next()?;
     for state in it {
@@ -923,7 +729,7 @@ where
 mod tests {
     use super::*;
     use hindex_baseline::CashTable;
-    use hindex_common::{Epsilon, Estimate};
+    use hindex_common::{Epsilon, Estimate, Snapshot};
     use hindex_core::ExponentialHistogram;
 
     fn staircase_updates(papers: u64, rounds: u64) -> Vec<(u64, u64)> {
@@ -945,7 +751,7 @@ mod tests {
                 shards,
                 batch_size: 64,
                 queue_depth: 2,
-                observer: None,
+                ..EngineConfig::default()
             };
             let mut engine = ShardedEngine::new(config, CashTable::new());
             engine.ingest_batch(&updates);
@@ -1009,7 +815,12 @@ mod tests {
             TurnstileEstimator::ingest(&mut serial, i, d);
         }
         for shards in [1usize, 2, 4] {
-            let config = EngineConfig { shards, batch_size: 16, queue_depth: 2, observer: None };
+            let config = EngineConfig {
+                shards,
+                batch_size: 16,
+                queue_depth: 2,
+                ..EngineConfig::default()
+            };
             let mut engine = ShardedEngine::new(config, proto.clone());
             engine.ingest_batch(&updates);
             let merged = engine.finish().unwrap();
@@ -1049,7 +860,7 @@ mod tests {
             shards: 2,
             batch_size: 8,
             queue_depth: 2,
-            observer: None,
+            ..EngineConfig::default()
         };
         let mut engine = ShardedEngine::new(config, CashTable::new());
         for k in 0..100u64 {
@@ -1065,8 +876,8 @@ mod tests {
     /// Exact table that panics on the poison paper id `u64::MAX` —
     /// a stand-in for any worker-side fault.
     #[derive(Debug, Clone, Default)]
-    struct Exploding {
-        table: CashTable,
+    pub(crate) struct Exploding {
+        pub(crate) table: CashTable,
     }
 
     impl BatchIngest<(u64, u64)> for Exploding {
@@ -1084,9 +895,28 @@ mod tests {
         }
     }
 
+    impl Snapshot for Exploding {
+        const TAG: u8 = CashTable::TAG;
+
+        fn write_payload(&self, w: &mut hindex_common::snapshot::Writer<'_>) {
+            self.table.write_payload(w);
+        }
+
+        fn read_payload(
+            r: &mut hindex_common::snapshot::Reader<'_>,
+        ) -> Result<Self, hindex_common::snapshot::SnapshotError> {
+            Ok(Self { table: CashTable::read_payload(r)? })
+        }
+    }
+
     #[test]
     fn dead_shard_is_a_typed_error_not_a_panic() {
-        let config = EngineConfig { shards: 4, batch_size: 1, queue_depth: 1, observer: None };
+        let config = EngineConfig {
+            shards: 4,
+            batch_size: 1,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        };
         let mut engine = ShardedEngine::new(config, Exploding::default());
         for k in 0..40u64 {
             engine.ingest((k, 1));
@@ -1096,19 +926,33 @@ mod tests {
         // Strict query refuses; the degraded query answers and names
         // the lost shard.
         let err = engine.query().unwrap_err();
-        assert_eq!(err, EngineError::ShardDead { shard: poison_shard });
+        assert!(
+            matches!(err, EngineError::ShardDead { shard, .. } if shard == poison_shard),
+            "{err:?}"
+        );
+        // The worker's panic payload is harvested and surfaced.
+        assert!(err.to_string().contains("poison update"), "{err}");
         let degraded = engine.query_degraded().unwrap();
         assert_eq!(degraded.dead_shards, vec![poison_shard]);
         assert!(degraded.estimator.table.estimate() > 0);
         // Checkpointing a wounded engine is refused too.
         assert!(matches!(engine.checkpoint(), Err(EngineError::ShardDead { .. })));
         let err = engine.finish().unwrap_err();
-        assert_eq!(err, EngineError::ShardDead { shard: poison_shard });
+        assert!(
+            matches!(err, EngineError::ShardDead { shard, .. } if shard == poison_shard),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("poison update"), "{err}");
     }
 
     #[test]
     fn all_shards_dead_reported() {
-        let config = EngineConfig { shards: 1, batch_size: 1, queue_depth: 1, observer: None };
+        let config = EngineConfig {
+            shards: 1,
+            batch_size: 1,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        };
         let mut engine = ShardedEngine::new(config, Exploding::default());
         engine.ingest((u64::MAX, 1));
         assert_eq!(engine.query_degraded().unwrap_err(), EngineError::AllShardsDead);
@@ -1117,7 +961,12 @@ mod tests {
 
     #[test]
     fn pushes_after_death_do_not_panic() {
-        let config = EngineConfig { shards: 2, batch_size: 1, queue_depth: 1, observer: None };
+        let config = EngineConfig {
+            shards: 2,
+            batch_size: 1,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        };
         let mut engine = ShardedEngine::new(config, Exploding::default());
         engine.ingest((u64::MAX, 1));
         // Give the worker time to die, then keep pushing to both
@@ -1136,7 +985,12 @@ mod tests {
         for &(i, z) in &updates {
             serial.ingest(i, z);
         }
-        let config = EngineConfig { shards: 3, batch_size: 32, queue_depth: 2, observer: None };
+        let config = EngineConfig {
+            shards: 3,
+            batch_size: 32,
+            queue_depth: 2,
+            ..EngineConfig::default()
+        };
         let mut engine = ShardedEngine::new(config, CashTable::new());
         let cut = updates.len() / 2;
         engine.ingest_batch(&updates[..cut]);
@@ -1148,7 +1002,7 @@ mod tests {
         let bytes = checkpoint.to_bytes();
         let (restored, used) = EngineCheckpoint::<CashTable>::read_from(&bytes).unwrap();
         assert_eq!(used, bytes.len());
-        let mut engine = ShardedEngine::restore(restored);
+        let mut engine = ShardedEngine::restore(restored).unwrap();
         assert_eq!(engine.stream_offset(), cut as u64);
         engine.ingest_batch(&updates[cut..]);
         let merged = engine.finish().unwrap();
@@ -1164,7 +1018,7 @@ mod tests {
                 shards: 0,
                 batch_size: 1,
                 queue_depth: 1,
-                observer: None,
+                ..EngineConfig::default()
             },
             CashTable::new(),
         );

@@ -1,0 +1,1022 @@
+//! The self-healing layer: supervised shards with micro-checkpoints
+//! and replay-based recovery.
+//!
+//! [`SupervisedEngine`] runs the same router/worker model as
+//! [`ShardedEngine`](crate::ShardedEngine), with three additions:
+//!
+//! 1. **Micro-checkpoints.** Every worker encodes its estimator state
+//!    (a [`Snapshot`] frame) once at spawn and then every
+//!    [`SupervisorConfig::checkpoint_interval`] applied batches, on the
+//!    *worker* thread — the router never stalls for encoding. Frames
+//!    flow to the supervisor over an unbounded channel and are drained
+//!    opportunistically at dispatch boundaries and synchronously after
+//!    every join.
+//! 2. **Replay logs.** Every batch dispatched to a shard is also
+//!    appended to that shard's bounded [`ReplayLog`]; a frame at batch
+//!    ordinal *n* lets the log discard everything below *n*.
+//! 3. **Heal.** When a worker dies (panic, injected kill, failed
+//!    send), the supervisor joins it, harvests the panic payload,
+//!    decodes the newest checksum-valid frame, respawns the shard from
+//!    it, and replays the log suffix — FIFO order makes the healed
+//!    shard **bit-identical** to one that never crashed.
+//!
+//! The degradation ladder when healing cannot proceed (restart budget
+//! exhausted, replay log overflowed past the newest frame, no
+//! decodable frame) is *honest*: the shard goes terminal
+//! ([`EngineError::ShardDead`] with the harvested reason), its
+//! never-delivered updates are counted as lost, and strict queries
+//! refuse rather than silently under-count. See `docs/RECOVERY.md`.
+//!
+//! # Determinism
+//!
+//! Fault decisions, heal points, frame contents, and replay suffixes
+//! are all pure functions of the input stream and the
+//! [`FaultPlan`] — worker scheduling only affects *when* frames are
+//! drained, never which frame is newest at a join (joins synchronise
+//! the drain, because a dead worker's frames are all already in its
+//! channel). Identical seeded runs therefore produce identical merged
+//! states, restart counts, and event traces; the only racy observables
+//! are gauge readings taken mid-run, same as queue depths.
+
+use crate::config::{EngineConfig, SupervisorConfig};
+use crate::error::{panic_message, Degraded, EngineError};
+use crate::faults::{self, Fault, FaultKind, FaultPlan};
+use crate::replay::ReplayLog;
+use crate::{merge_all, BatchIngest, Routable};
+use hindex_common::snapshot::fnv1a;
+use hindex_common::{Mergeable, Snapshot, SpaceUsage};
+use hindex_obs::{EngineObserver, Stopwatch};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Commands a supervised worker understands. Superset of the plain
+/// worker's: stalls and poisons exist only for fault injection.
+enum SupCommand<E, T> {
+    Batch(Vec<T>),
+    Snapshot(Sender<E>),
+    /// Injected delay: sleep this many milliseconds (backpressures the
+    /// router and delays frames; never changes results).
+    Stall(u64),
+    /// Injected kill: panic on the worker thread with this message.
+    Poison(String),
+}
+
+/// One micro-checkpoint: the estimator's frame bytes after `applied`
+/// batches.
+struct Frame {
+    applied: u64,
+    bytes: Vec<u8>,
+}
+
+/// Whether an encoded frame's trailing FNV-1a checksum matches its
+/// body — the cheap validity test the drain runs on every frame, and
+/// what catches injected (or real torn-write) corruption.
+fn frame_checksum_ok(bytes: &[u8]) -> bool {
+    if bytes.len() < 8 {
+        return false;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut checksum = [0u8; 8];
+    checksum.copy_from_slice(tail);
+    fnv1a(body) == u64::from_le_bytes(checksum)
+}
+
+/// Everything the supervisor tracks per shard.
+struct ShardState<E, T> {
+    sender: Option<SyncSender<SupCommand<E, T>>>,
+    handle: Option<JoinHandle<E>>,
+    frames: Receiver<Frame>,
+    log: ReplayLog<T>,
+    /// Newest checksum-valid frame seen (corrupt frames are dropped).
+    frame: Option<Frame>,
+    /// Worker deaths observed (panics only, not clean retirements).
+    deaths: u64,
+    /// Restarts consumed from [`SupervisorConfig::max_restarts`].
+    restarts: u32,
+    /// Injected send failures still owed.
+    fail_remaining: u64,
+    /// Corrupt the first frame with `applied ≥` this ordinal.
+    corrupt_after: Option<u64>,
+    /// Most recent harvested panic payload.
+    last_reason: Option<String>,
+    /// Terminal death reason; `Some` = the shard is gone for good.
+    terminal: Option<String>,
+}
+
+/// Spawns one worker lineage: command channel, thread, frame channel.
+fn spawn_worker<E, T>(
+    queue_depth: usize,
+    interval: u64,
+    state: E,
+    base: u64,
+) -> (SyncSender<SupCommand<E, T>>, JoinHandle<E>, Receiver<Frame>)
+where
+    E: BatchIngest<T> + Snapshot + Clone + Send + 'static,
+    T: Send + 'static,
+{
+    let (tx, rx) = sync_channel::<SupCommand<E, T>>(queue_depth);
+    let (frame_tx, frame_rx) = channel::<Frame>();
+    let handle = std::thread::spawn(move || sup_worker(state, base, interval, &rx, &frame_tx));
+    (tx, handle, frame_rx)
+}
+
+/// The supervised worker loop: apply batches, emit a frame at spawn
+/// and every `interval` applied batches, answer snapshots, honour
+/// injected stalls/poisons.
+fn sup_worker<E, T>(
+    mut estimator: E,
+    base: u64,
+    interval: u64,
+    rx: &Receiver<SupCommand<E, T>>,
+    frames: &Sender<Frame>,
+) -> E
+where
+    E: BatchIngest<T> + Snapshot + Clone,
+{
+    // The spawn frame: every lineage has a recovery base even if it
+    // dies before its first interval. Sent before the first recv, so
+    // FIFO guarantees it is drainable at any later join.
+    let _ = frames.send(Frame { applied: base, bytes: estimator.to_bytes() });
+    let mut applied = base;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SupCommand::Batch(batch) => {
+                estimator.apply_batch(&batch);
+                applied += 1;
+                if (applied - base).is_multiple_of(interval) {
+                    // Encoded here, on the worker thread; the router
+                    // never blocks on frame encoding.
+                    let _ = frames.send(Frame { applied, bytes: estimator.to_bytes() });
+                }
+            }
+            SupCommand::Snapshot(reply) => {
+                // The query side may have given up (dropped receiver);
+                // ingestion must not die with it.
+                let _ = reply.send(estimator.clone());
+            }
+            SupCommand::Stall(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            SupCommand::Poison(msg) => faults::detonate(&msg),
+        }
+    }
+    estimator
+}
+
+/// A [`ShardedEngine`](crate::ShardedEngine) that heals itself: worker
+/// death triggers restart-from-micro-checkpoint plus replay instead of
+/// data loss, bounded by [`SupervisorConfig::max_restarts`] and the
+/// replay-log budget.
+///
+/// ```
+/// use hindex_baseline::CashTable;
+/// use hindex_common::Estimate;
+/// use hindex_engine::{EngineConfig, FaultPlan, SupervisedEngine, SupervisorConfig};
+///
+/// let config = EngineConfig::builder().shards(2).batch(8).build().unwrap();
+/// // Kill both workers mid-stream; recovery is exact.
+/// let plan = FaultPlan::kill_sweep(2, 100, 200);
+/// let mut engine =
+///     SupervisedEngine::with_faults(config, SupervisorConfig::default(), plan, CashTable::new())
+///         .unwrap();
+/// for k in 0..1_000u64 {
+///     engine.ingest((k % 40, 1));
+/// }
+/// assert_eq!(engine.finish().unwrap().estimate(), 25);
+/// ```
+pub struct SupervisedEngine<E, T> {
+    config: EngineConfig,
+    sup: SupervisorConfig,
+    plan: Vec<Fault>,
+    fired: Vec<bool>,
+    shards: Vec<ShardState<E, T>>,
+    buffers: Vec<Vec<T>>,
+    tick: u64,
+}
+
+impl<E, T> SupervisedEngine<E, T>
+where
+    E: BatchIngest<T> + Mergeable + Snapshot + Clone + Send + 'static,
+    T: Routable + Clone + Send + 'static,
+{
+    /// Supervised engine without injected faults.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when either config fails
+    /// validation (this constructor never panics on geometry).
+    pub fn new(
+        config: EngineConfig,
+        sup: SupervisorConfig,
+        prototype: E,
+    ) -> Result<Self, EngineError> {
+        Self::with_faults(config, sup, FaultPlan::none(), prototype)
+    }
+
+    /// Supervised engine with a deterministic chaos plan.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when either config fails
+    /// validation.
+    pub fn with_faults(
+        config: EngineConfig,
+        sup: SupervisorConfig,
+        plan: FaultPlan,
+        prototype: E,
+    ) -> Result<Self, EngineError> {
+        config.validate()?;
+        sup.validate()?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (sender, handle, frames) =
+                spawn_worker(config.queue_depth, sup.checkpoint_interval, prototype.clone(), 0);
+            shards.push(ShardState {
+                sender: Some(sender),
+                handle: Some(handle),
+                frames,
+                log: ReplayLog::new(sup.max_replay_words),
+                frame: None,
+                deaths: 0,
+                restarts: 0,
+                fail_remaining: 0,
+                corrupt_after: None,
+                last_reason: None,
+                terminal: None,
+            });
+        }
+        Ok(Self {
+            buffers: (0..config.shards).map(|_| Vec::new()).collect(),
+            fired: vec![false; plan.faults.len()],
+            plan: plan.faults,
+            shards,
+            tick: 0,
+            config,
+            sup,
+        })
+    }
+
+    /// The engine configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The supervision knobs in effect.
+    #[must_use]
+    pub fn supervisor_config(&self) -> &SupervisorConfig {
+        &self.sup
+    }
+
+    /// Items routed so far.
+    #[must_use]
+    pub fn stream_offset(&self) -> u64 {
+        self.tick
+    }
+
+    /// Indices of shards that are terminally dead (healing exhausted).
+    #[must_use]
+    pub fn dead_shard_indices(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.terminal.is_some().then_some(i))
+            .collect()
+    }
+
+    /// Total restarts consumed across all shards.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.restarts)).sum()
+    }
+
+    fn obs(&self) -> Option<Arc<EngineObserver>> {
+        self.config.observer.clone()
+    }
+
+    /// Routes one item to its shard; dispatches the shard's batch when
+    /// it reaches `batch_size`.
+    pub fn ingest(&mut self, item: T) {
+        let shard = item.route(self.config.shards, self.tick);
+        self.tick += 1;
+        let buf = &mut self.buffers[shard];
+        buf.push(item);
+        if buf.len() >= self.config.batch_size {
+            let batch = std::mem::replace(buf, Vec::with_capacity(self.config.batch_size));
+            self.dispatch(shard, batch);
+        }
+    }
+
+    /// Ingests every item of a slice, then notes the batch in the
+    /// observer (one `PushBatch` event per call, not per item).
+    pub fn ingest_batch(&mut self, items: &[T])
+    where
+        T: Copy,
+    {
+        for &item in items {
+            self.ingest(item);
+        }
+        if let Some(o) = self.obs() {
+            o.on_push_batch(self.tick, items.len() as u64);
+        }
+    }
+
+    /// Dispatches pending partial batches and arms/fires any due
+    /// faults on every shard (so a planned kill fires even on a shard
+    /// that gets no further traffic).
+    pub fn flush(&mut self) {
+        for shard in 0..self.config.shards {
+            if let Some(o) = self.obs() {
+                o.on_queue_depth(shard, self.buffers[shard].len() as u64);
+            }
+            if self.buffers[shard].is_empty() {
+                if self.shards[shard].terminal.is_none() {
+                    self.apply_faults(shard);
+                }
+            } else {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                self.dispatch(shard, batch);
+            }
+        }
+    }
+
+    /// The dispatch path: log the batch, drain frames, fire due
+    /// faults, then deliver — directly when the lineage is live, via
+    /// heal-and-replay when it is down.
+    fn dispatch(&mut self, shard: usize, batch: Vec<T>) {
+        let obs = self.obs();
+        let len = batch.len() as u64;
+        let full = batch.len() >= self.config.batch_size;
+        if self.shards[shard].terminal.is_some() {
+            if let Some(o) = &obs {
+                o.on_batch_lost(self.tick, shard, len);
+            }
+            return;
+        }
+        // Log first: the log is the source of truth for recovery, so
+        // the batch must be durable (in supervisor memory) before any
+        // delivery attempt.
+        let evicted = self.shards[shard].log.push(batch);
+        if evicted.entries > 0 {
+            if let Some(o) = &obs {
+                o.on_replay_overflow(self.tick, shard, evicted.entries);
+            }
+            if evicted.undelivered_items > 0 {
+                // Updates that never reached any worker just left the
+                // log: the shard can no longer become correct. Honest
+                // degradation, never a silently wrong answer.
+                if let Some(o) = &obs {
+                    o.on_batch_lost(self.tick, shard, evicted.undelivered_items);
+                }
+                self.terminal(shard, "replay log overflowed past undelivered batches");
+                return;
+            }
+        }
+        self.drain_frames(shard);
+        self.apply_faults(shard);
+        if self.shards[shard].terminal.is_some() {
+            return; // a fault escalated to terminal during arming
+        }
+        if self.shards[shard].fail_remaining > 0 {
+            self.shards[shard].fail_remaining -= 1;
+            // The batch stays logged and undelivered; the lineage is
+            // retired so the eventual heal replays a contiguous
+            // suffix (delivering around a dropped send would fork the
+            // shard's stream).
+            self.retire_lineage(shard);
+            return;
+        }
+        if self.shards[shard].sender.is_none() {
+            self.heal(shard);
+            return; // heal's replay delivered (and flushed) the batch
+        }
+        let newest = self.shards[shard]
+            .log
+            .replay_from(self.shards[shard].log.next().saturating_sub(1));
+        let payload = newest.into_iter().next().map(|(_, b, _)| b);
+        let sent = match (payload, &self.shards[shard].sender) {
+            (Some(b), Some(tx)) => tx.send(SupCommand::Batch(b)).is_ok(),
+            _ => false,
+        };
+        if sent {
+            self.shards[shard].log.mark_newest_delivered();
+            if let Some(o) = &obs {
+                o.on_flush(self.tick, shard, len, full);
+            }
+        } else {
+            // The worker died on its own (estimator bug); harvest and
+            // heal — the replay redelivers this batch and flushes it.
+            self.join_lineage(shard);
+            self.heal(shard);
+        }
+    }
+
+    /// Fires every not-yet-fired planned fault targeting `shard` whose
+    /// tick has arrived. Pure function of (plan, tick): deterministic.
+    fn apply_faults(&mut self, shard: usize) {
+        let obs = self.obs();
+        for i in 0..self.plan.len() {
+            let fault = self.plan[i];
+            if self.fired[i] || fault.shard != shard || fault.tick > self.tick {
+                continue;
+            }
+            self.fired[i] = true;
+            if let Some(o) = &obs {
+                o.on_fault_injected(self.tick, u32::try_from(shard).ok(), fault.kind.code());
+            }
+            match fault.kind {
+                FaultKind::Kill => {
+                    if let Some(tx) = &self.shards[shard].sender {
+                        // Queued behind every in-flight batch: the
+                        // worker applies them all, then panics — the
+                        // genuine crash path, FIFO-deterministic.
+                        let _ = tx.send(SupCommand::Poison(format!(
+                            "kill shard {shard} at tick {}",
+                            fault.tick
+                        )));
+                    }
+                    self.join_lineage(shard);
+                }
+                FaultKind::FailSends => {
+                    self.shards[shard].fail_remaining =
+                        self.shards[shard].fail_remaining.saturating_add(fault.arg);
+                }
+                FaultKind::Stall => {
+                    if let Some(tx) = &self.shards[shard].sender {
+                        let _ = tx.send(SupCommand::Stall(fault.arg));
+                    }
+                }
+                FaultKind::Corrupt => {
+                    // Corrupt the stored micro-checkpoint: flip bytes in
+                    // the retained frame when one exists, otherwise arm
+                    // for the first frame covering the batches
+                    // dispatched so far.
+                    let s = &mut self.shards[shard];
+                    match &mut s.frame {
+                        Some(frame) => faults::corrupt_frame(&mut frame.bytes),
+                        None => s.corrupt_after = Some(s.log.next()),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking drain of `shard`'s frame channel: validate, apply
+    /// armed corruption, keep the newest good frame, trim the log.
+    fn drain_frames(&mut self, shard: usize) {
+        debug_assert!(shard < self.shards.len(), "shard index computed by the router");
+        let obs = self.obs();
+        let s = &mut self.shards[shard];
+        while let Ok(mut frame) = s.frames.try_recv() {
+            if let Some(o) = &obs {
+                o.on_micro_checkpoint(shard, frame.bytes.len() as u64);
+            }
+            if let Some(min) = s.corrupt_after {
+                if frame.applied >= min {
+                    faults::corrupt_frame(&mut frame.bytes);
+                    s.corrupt_after = None;
+                }
+            }
+            // A corrupt frame (injected or a real torn write) fails its
+            // checksum and is dropped — recovery falls back to the
+            // previous good frame, which the log still covers because
+            // trimming only follows *accepted* frames.
+            if frame_checksum_ok(&frame.bytes)
+                && s.frame.as_ref().is_none_or(|f| frame.applied >= f.applied)
+            {
+                s.log.trim_to(frame.applied);
+                s.frame = Some(frame);
+            }
+        }
+        if let Some(o) = &obs {
+            o.on_replay_words(shard, s.log.words() as u64);
+        }
+    }
+
+    /// Joins a dead (or poisoned) worker, harvesting its panic
+    /// payload, then drains the frames it emitted before dying.
+    fn join_lineage(&mut self, shard: usize) {
+        debug_assert!(shard < self.shards.len(), "shard index computed by the router");
+        let obs = self.obs();
+        let s = &mut self.shards[shard];
+        s.sender = None; // close the channel so the join can't block
+        if let Some(handle) = s.handle.take() {
+            match handle.join() {
+                Ok(_state) => {} // clean exit; frames carry its history
+                Err(payload) => {
+                    s.deaths += 1;
+                    s.last_reason = Some(panic_message(payload.as_ref()));
+                    if let Some(o) = &obs {
+                        o.on_shard_panicked(self.tick, shard, s.deaths);
+                    }
+                }
+            }
+        }
+        self.drain_frames(shard);
+    }
+
+    /// Retires a lineage cleanly (injected send failure): close the
+    /// channel, let the worker finish its queue and return, discard
+    /// the returned state (the frames + log reconstruct it exactly).
+    fn retire_lineage(&mut self, shard: usize) {
+        debug_assert!(shard < self.shards.len(), "shard index computed by the router");
+        let s = &mut self.shards[shard];
+        s.sender = None;
+        if let Some(handle) = s.handle.take() {
+            let _ = handle.join();
+        }
+        self.drain_frames(shard);
+    }
+
+    /// Declares `shard` terminally dead and counts its never-delivered
+    /// updates as lost.
+    fn terminal(&mut self, shard: usize, what: &str) {
+        debug_assert!(shard < self.shards.len(), "shard index computed by the router");
+        let obs = self.obs();
+        let s = &mut self.shards[shard];
+        s.sender = None;
+        let reason = match &s.last_reason {
+            Some(panic) => format!("{panic} ({what})"),
+            None => what.to_string(),
+        };
+        s.terminal = Some(reason);
+        let lost = s.log.undelivered_items();
+        if lost > 0 {
+            if let Some(o) = &obs {
+                o.on_batch_lost(self.tick, shard, lost);
+            }
+        }
+    }
+
+    /// Restart-from-checkpoint with replay. Returns `true` when the
+    /// shard is live again; `false` means it went terminal.
+    ///
+    /// Loops because a replayed batch can re-kill the worker (a
+    /// deterministic estimator bug): each attempt consumes one restart
+    /// from the budget until the budget, the frame, or the log gives
+    /// out — the degradation ladder's last rungs.
+    fn heal(&mut self, shard: usize) -> bool {
+        let obs = self.obs();
+        let sw = Stopwatch::start();
+        loop {
+            debug_assert!(self.shards[shard].sender.is_none());
+            if self.shards[shard].terminal.is_some() {
+                return false;
+            }
+            if self.shards[shard].restarts >= self.sup.max_restarts {
+                self.terminal(shard, "restart budget exhausted");
+                return false;
+            }
+            let (base, state) = {
+                let s = &self.shards[shard];
+                let Some(frame) = &s.frame else {
+                    self.terminal(shard, "no usable micro-checkpoint");
+                    return false;
+                };
+                if frame.applied < s.log.start() {
+                    self.terminal(shard, "replay log overflowed past the newest micro-checkpoint");
+                    return false;
+                }
+                match E::read_from(&frame.bytes) {
+                    Ok((state, _)) => (frame.applied, state),
+                    Err(_) => {
+                        self.terminal(shard, "micro-checkpoint failed to decode");
+                        return false;
+                    }
+                }
+            };
+            self.shards[shard].restarts += 1;
+            if self.sup.backoff_ms > 0 {
+                // Exponential backoff, capped at 64× the base.
+                let shift = self.shards[shard].restarts.saturating_sub(1).min(6);
+                std::thread::sleep(std::time::Duration::from_millis(
+                    self.sup.backoff_ms << shift,
+                ));
+            }
+            let (sender, handle, frames) =
+                spawn_worker(self.config.queue_depth, self.sup.checkpoint_interval, state, base);
+            let replay = self.shards[shard].log.replay_from(base);
+            let mut newly_flushed: Vec<u64> = Vec::new();
+            let mut replayed = 0u64;
+            let mut died_mid_replay = false;
+            for (_, batch, delivered) in replay {
+                let len = batch.len() as u64;
+                if sender.send(SupCommand::Batch(batch)).is_err() {
+                    died_mid_replay = true;
+                    break;
+                }
+                replayed += 1;
+                if !delivered {
+                    newly_flushed.push(len);
+                }
+            }
+            let s = &mut self.shards[shard];
+            s.handle = Some(handle);
+            s.frames = frames;
+            if died_mid_replay {
+                // Sender dropped here; join, harvest, try again.
+                self.join_lineage(shard);
+                continue;
+            }
+            s.sender = Some(sender);
+            s.log.mark_all_delivered();
+            if let Some(o) = &obs {
+                // First-successful-handoff accounting: batches the dead
+                // lineage already flushed are not re-counted; batches
+                // delivered for the first time by this replay are.
+                for len in newly_flushed {
+                    o.on_flush(self.tick, shard, len, len >= self.config.batch_size as u64);
+                }
+                o.on_shard_restart(self.tick, shard, replayed, sw.elapsed_nanos());
+                o.on_replay_words(shard, self.shards[shard].log.words() as u64);
+            }
+            return true;
+        }
+    }
+
+    /// Brings a down-but-healable lineage back up (used by queries and
+    /// finish). Terminal shards stay down.
+    fn ensure_live(&mut self, shard: usize) {
+        debug_assert!(shard < self.shards.len(), "shard index computed by the router");
+        if self.shards[shard].terminal.is_none() && self.shards[shard].sender.is_none() {
+            self.heal(shard);
+        }
+    }
+
+    /// The first terminal shard as a reason-carrying error.
+    fn first_dead_error(&self) -> Option<EngineError> {
+        self.shards.iter().enumerate().find_map(|(shard, s)| {
+            s.terminal.as_ref().map(|reason| EngineError::ShardDead {
+                shard,
+                reason: Some(reason.clone()),
+            })
+        })
+    }
+
+    /// Snapshots every live shard in place (healing down lineages
+    /// first) in shard order; `None` = terminal.
+    fn snapshot_states(&mut self) -> Vec<Option<E>> {
+        let mut states: Vec<Option<E>> = Vec::with_capacity(self.config.shards);
+        for shard in 0..self.config.shards {
+            self.ensure_live(shard);
+            // One heal-and-retry: the worker can die between the heal
+            // above and the snapshot reply.
+            let mut state = self.request_snapshot(shard);
+            if state.is_none() && self.shards[shard].terminal.is_none() {
+                self.join_lineage(shard);
+                if self.heal(shard) {
+                    state = self.request_snapshot(shard);
+                }
+            }
+            states.push(state);
+        }
+        states
+    }
+
+    fn request_snapshot(&mut self, shard: usize) -> Option<E> {
+        debug_assert!(shard < self.shards.len(), "shard index computed by the router");
+        let tx = self.shards[shard].sender.as_ref()?;
+        let (reply_tx, reply_rx) = channel();
+        tx.send(SupCommand::Snapshot(reply_tx)).ok()?;
+        reply_rx.recv().ok()
+    }
+
+    /// Anytime query: flushes, snapshots every shard (healing any that
+    /// are down), and merges. Strict: refuses with
+    /// [`EngineError::ShardDead`] when any shard is terminally dead.
+    pub fn query(&mut self) -> Result<E, EngineError> {
+        self.flush();
+        let states = self.snapshot_states();
+        if let Some(err) = self.first_dead_error() {
+            return Err(err);
+        }
+        if let Some(o) = self.obs() {
+            o.on_merge(self.tick, self.config.shards as u64);
+        }
+        merge_all(states).ok_or(EngineError::AllShardsDead)
+    }
+
+    /// Lossy anytime query: merges the live shards and names the
+    /// terminal ones. Errs only when nothing survives.
+    pub fn query_degraded(&mut self) -> Result<Degraded<E>, EngineError> {
+        self.flush();
+        let states = self.snapshot_states();
+        let dead_shards = self.dead_shard_indices();
+        if let Some(o) = self.obs() {
+            o.on_merge(self.tick, (self.config.shards - dead_shards.len()) as u64);
+            if !dead_shards.is_empty() {
+                o.on_query_degraded(self.tick, dead_shards.len() as u64);
+            }
+        }
+        match merge_all(states) {
+            Some(estimator) => Ok(Degraded { estimator, dead_shards }),
+            None => Err(EngineError::AllShardsDead),
+        }
+    }
+
+    /// Retires the engine: flushes, heals anything healable, joins all
+    /// workers (healing once more if a worker dies on its final
+    /// batches), and merges. Strict like
+    /// [`ShardedEngine::finish`](crate::ShardedEngine::finish).
+    pub fn finish(mut self) -> Result<E, EngineError> {
+        let states = self.join_all();
+        if let Some(err) = self.first_dead_error() {
+            return Err(err);
+        }
+        merge_all(states).ok_or(EngineError::AllShardsDead)
+    }
+
+    /// Lossy retirement: merges surviving shards, names terminal ones.
+    pub fn finish_degraded(mut self) -> Result<Degraded<E>, EngineError> {
+        let states = self.join_all();
+        let dead_shards = self.dead_shard_indices();
+        match merge_all(states) {
+            Some(estimator) => Ok(Degraded { estimator, dead_shards }),
+            None => Err(EngineError::AllShardsDead),
+        }
+    }
+
+    fn join_all(&mut self) -> Vec<Option<E>> {
+        self.flush();
+        let mut states: Vec<Option<E>> = Vec::with_capacity(self.config.shards);
+        for shard in 0..self.config.shards {
+            states.push(self.final_state(shard));
+        }
+        states
+    }
+
+    /// Retires one shard for its final state, healing through
+    /// last-batch deaths until the budget gives out.
+    fn final_state(&mut self, shard: usize) -> Option<E> {
+        loop {
+            if self.shards[shard].terminal.is_some() {
+                return None;
+            }
+            self.ensure_live(shard);
+            let s = &mut self.shards[shard];
+            s.sender = None; // worker drains its queue and returns
+            let Some(handle) = s.handle.take() else {
+                self.terminal(shard, "worker lineage unavailable at finish");
+                return None;
+            };
+            match handle.join() {
+                Ok(state) => {
+                    self.drain_frames(shard); // final frame accounting
+                    return Some(state);
+                }
+                Err(payload) => {
+                    let obs = self.obs();
+                    let s = &mut self.shards[shard];
+                    s.deaths += 1;
+                    s.last_reason = Some(panic_message(payload.as_ref()));
+                    if let Some(o) = &obs {
+                        o.on_shard_panicked(self.tick, shard, s.deaths);
+                    }
+                    self.drain_frames(shard);
+                    if !self.heal(shard) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Steady-state space versus transient recovery space: shard
+/// estimators, channels, and router buffers are `space_words` (the
+/// ledger comparable with the paper's bounds); replay logs are
+/// `scratch_words` — bounded transient state that exists only to make
+/// recovery exact.
+impl<E, T> SpaceUsage for SupervisedEngine<E, T>
+where
+    E: BatchIngest<T> + Mergeable + Snapshot + Clone + Send + SpaceUsage + 'static,
+    T: Routable + Clone + Send + 'static,
+{
+    fn space_words(&self) -> usize {
+        let item_words = std::mem::size_of::<T>().div_ceil(std::mem::size_of::<u64>());
+        let frame_words: usize = self
+            .shards
+            .iter()
+            .filter_map(|s| s.frame.as_ref())
+            .map(|f| f.bytes.len().div_ceil(std::mem::size_of::<u64>()))
+            .sum();
+        let channel_words =
+            self.config.shards * self.config.queue_depth * self.config.batch_size * item_words;
+        let buffered: usize = self.buffers.iter().map(Vec::len).sum();
+        frame_words + channel_words + buffered * item_words
+    }
+
+    fn scratch_words(&self) -> usize {
+        self.shards.iter().map(|s| s.log.words()).sum()
+    }
+}
+
+impl<E, T> Drop for SupervisedEngine<E, T> {
+    fn drop(&mut self) {
+        for s in &mut self.shards {
+            s.sender = None;
+            if let Some(handle) = s.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::Exploding;
+    use hindex_baseline::CashTable;
+    use hindex_common::{CashRegisterEstimator, Estimate};
+
+    fn staircase(papers: u64, rounds: u64) -> Vec<(u64, u64)> {
+        (0..rounds).flat_map(|_| (0..papers).map(|p| (p, 1))).collect()
+    }
+
+    fn small_config(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            batch_size: 16,
+            queue_depth: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_plain() {
+        let updates = staircase(40, 30);
+        let mut plain = ShardedEngineRef::run(&updates);
+        let mut engine =
+            SupervisedEngine::new(small_config(3), SupervisorConfig::default(), CashTable::new())
+                .unwrap();
+        engine.ingest_batch(&updates);
+        let merged = engine.finish().unwrap();
+        assert_eq!(merged.frame_digest(), plain.frame_digest());
+        // Anytime queries work too.
+        let mut engine =
+            SupervisedEngine::new(small_config(3), SupervisorConfig::default(), CashTable::new())
+                .unwrap();
+        engine.ingest_batch(&updates);
+        assert_eq!(engine.query().unwrap().estimate(), plain.estimate());
+        let _ = &mut plain;
+    }
+
+    /// Serial reference: merge-equivalent state for a staircase run.
+    struct ShardedEngineRef;
+    impl ShardedEngineRef {
+        fn run(updates: &[(u64, u64)]) -> CashTable {
+            let mut t = CashTable::new();
+            for &(i, z) in updates {
+                t.ingest(i, z);
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn kill_sweep_recovers_bit_identically() {
+        let updates = staircase(40, 40);
+        let clean = ShardedEngineRef::run(&updates);
+        for shards in [1usize, 2, 4] {
+            let plan = FaultPlan::kill_sweep(shards, 100, 317);
+            assert!(plan.kills_every_shard(shards));
+            let mut engine = SupervisedEngine::with_faults(
+                small_config(shards),
+                SupervisorConfig::default(),
+                plan,
+                CashTable::new(),
+            )
+            .unwrap();
+            engine.ingest_batch(&updates);
+            assert_eq!(engine.dead_shard_indices(), Vec::<usize>::new());
+            let merged = engine.finish().unwrap();
+            assert_eq!(
+                merged.frame_digest(),
+                clean.frame_digest(),
+                "{shards} shards: healed state must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_recovers_exactly() {
+        let updates = staircase(40, 40);
+        let clean = ShardedEngineRef::run(&updates);
+        let plan = FaultPlan::parse(
+            "kill@100:0, fail@300:1=2, stall@200:2=5, corrupt@400:0, kill@900:0",
+            3,
+            updates.len() as u64,
+        )
+        .unwrap();
+        let mut engine = SupervisedEngine::with_faults(
+            small_config(3),
+            SupervisorConfig::default(),
+            plan,
+            CashTable::new(),
+        )
+        .unwrap();
+        engine.ingest_batch(&updates);
+        let merged = engine.finish().unwrap();
+        assert_eq!(merged.frame_digest(), clean.frame_digest());
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_honest() {
+        // Poison the estimator itself: every heal replays the poison
+        // batch and dies again until the budget gives out.
+        let config = EngineConfig {
+            shards: 1,
+            batch_size: 1,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        };
+        let sup = SupervisorConfig { max_restarts: 2, ..SupervisorConfig::default() };
+        let mut engine =
+            SupervisedEngine::with_faults(config, sup, FaultPlan::none(), Exploding::default())
+                .unwrap();
+        for k in 0..8u64 {
+            engine.ingest((k, 1));
+        }
+        engine.ingest((u64::MAX, 1)); // the deterministic bug
+        engine.ingest((1, 1)); // forces death detection + heal attempts
+        engine.flush();
+        let err = engine.finish().unwrap_err();
+        assert!(
+            matches!(err, EngineError::ShardDead { shard: 0, .. }),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("poison update"), "{msg}");
+        assert!(msg.contains("restart budget exhausted"), "{msg}");
+    }
+
+    #[test]
+    fn replay_overflow_degrades_honestly() {
+        // A replay budget of 1 word with fail-faults forces undelivered
+        // batches out of the log: terminal, never silently wrong.
+        let config = EngineConfig {
+            shards: 1,
+            batch_size: 4,
+            queue_depth: 2,
+            ..EngineConfig::default()
+        };
+        let sup = SupervisorConfig {
+            max_replay_words: 1,
+            checkpoint_interval: 1,
+            ..SupervisorConfig::default()
+        };
+        let plan = FaultPlan::parse("fail@0:0=1000", 1, 10_000).unwrap();
+        let mut engine =
+            SupervisedEngine::with_faults(config, sup, plan, CashTable::new()).unwrap();
+        for k in 0..200u64 {
+            engine.ingest((k, 1));
+        }
+        engine.flush();
+        assert_eq!(engine.dead_shard_indices(), vec![0]);
+        let err = engine.finish().unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_only_frame_goes_terminal_not_wrong() {
+        // Corrupt the spawn frame before any other exists, then kill:
+        // no usable checkpoint → terminal, with max_restarts > 0.
+        let config = EngineConfig {
+            shards: 1,
+            batch_size: 8,
+            queue_depth: 2,
+            ..EngineConfig::default()
+        };
+        // Interval so large only the spawn frame is ever emitted.
+        let sup = SupervisorConfig { checkpoint_interval: 1 << 40, ..SupervisorConfig::default() };
+        let plan = FaultPlan::parse("corrupt@0:0, kill@50:0", 1, 10_000).unwrap();
+        let mut engine =
+            SupervisedEngine::with_faults(config, sup, plan, CashTable::new()).unwrap();
+        for k in 0..200u64 {
+            engine.ingest((k % 10, 1));
+        }
+        engine.flush();
+        assert_eq!(engine.dead_shard_indices(), vec![0]);
+        assert!(matches!(
+            engine.finish_degraded().unwrap_err(),
+            EngineError::AllShardsDead
+        ));
+    }
+
+    #[test]
+    fn replay_log_reports_as_scratch_not_space() {
+        let sup = SupervisorConfig { checkpoint_interval: 1 << 40, ..SupervisorConfig::default() };
+        let mut engine =
+            SupervisedEngine::new(small_config(2), sup, CashTable::new()).unwrap();
+        for k in 0..500u64 {
+            engine.ingest((k, 1));
+        }
+        engine.flush();
+        // With an astronomically large interval nothing trims the log,
+        // so dispatched batches are all held as scratch.
+        assert!(engine.scratch_words() > 0);
+        assert!(engine.space_words() > 0);
+        assert!(engine.finish().is_ok());
+    }
+}

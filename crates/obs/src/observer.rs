@@ -38,13 +38,23 @@ pub struct EngineObserver {
     degraded_queries: Counter,
     checkpoints: Counter,
     restores: Counter,
+    shard_panics: Counter,
+    restarts: Counter,
+    replayed_batches: Counter,
+    micro_checkpoints: Counter,
+    replay_overflows: Counter,
+    batches_lost: Counter,
+    items_lost: Counter,
+    faults_injected: Counter,
     per_shard_items: Vec<Counter>,
     queue_depth: Vec<Gauge>,
+    replay_words: Vec<Gauge>,
     batch_stats: Mutex<BatchStats>,
     full_rate: Mutex<RateMeter>,
     checkpoint_ns: LatencyHistogram,
     restore_ns: LatencyHistogram,
     snapshot_ns: LatencyHistogram,
+    recovery_ns: LatencyHistogram,
     /// Latest bank-kernel totals reported by the merged estimator at a
     /// query boundary (absolute values, not increments).
     bank: Mutex<BankCounters>,
@@ -66,13 +76,23 @@ impl EngineObserver {
             degraded_queries: Counter::new(),
             checkpoints: Counter::new(),
             restores: Counter::new(),
+            shard_panics: Counter::new(),
+            restarts: Counter::new(),
+            replayed_batches: Counter::new(),
+            micro_checkpoints: Counter::new(),
+            replay_overflows: Counter::new(),
+            batches_lost: Counter::new(),
+            items_lost: Counter::new(),
+            faults_injected: Counter::new(),
             per_shard_items: (0..shards).map(|_| Counter::new()).collect(),
             queue_depth: (0..shards).map(|_| Gauge::new()).collect(),
+            replay_words: (0..shards).map(|_| Gauge::new()).collect(),
             batch_stats: Mutex::new(BatchStats::new()),
             full_rate: Mutex::new(RateMeter::new(RATE_WINDOW, RATE_K)),
             checkpoint_ns: LatencyHistogram::new(),
             restore_ns: LatencyHistogram::new(),
             snapshot_ns: LatencyHistogram::new(),
+            recovery_ns: LatencyHistogram::new(),
             bank: Mutex::new(BankCounters::default()),
             tracer: Tracer::default(),
         }
@@ -169,12 +189,79 @@ impl EngineObserver {
             .record(EventKind::BankBatch, tick, None, counters.tile_items);
     }
 
+    /// A shard worker's death was detected and its panic payload (if
+    /// any) harvested; `deaths` = times this shard has now died. Fired
+    /// from the router/supervisor thread at detection, so a seeded
+    /// fault plan produces the same event sequence on every run.
+    pub fn on_shard_panicked(&self, tick: u64, shard: usize, deaths: u64) {
+        self.shard_panics.inc();
+        self.tracer
+            .record(EventKind::ShardPanicked, tick, u32::try_from(shard).ok(), deaths);
+    }
+
+    /// The supervisor respawned `shard` from its micro-checkpoint and
+    /// replayed `replayed` batches from the log, taking `nanos`.
+    pub fn on_shard_restart(&self, tick: u64, shard: usize, replayed: u64, nanos: u64) {
+        self.restarts.inc();
+        self.replayed_batches.add(replayed);
+        self.recovery_ns.record(nanos);
+        self.tracer
+            .record(EventKind::ShardRestart, tick, u32::try_from(shard).ok(), replayed);
+    }
+
+    /// A per-shard micro-checkpoint frame was received by the
+    /// supervisor. Counter-only (no trace event): frames are encoded on
+    /// worker threads and drained opportunistically, so their *arrival
+    /// instant* is scheduler-dependent even though the set drained by
+    /// any join barrier is deterministic.
+    pub fn on_micro_checkpoint(&self, shard: usize, bytes: u64) {
+        let _ = (shard, bytes);
+        self.micro_checkpoints.inc();
+    }
+
+    /// Current replay-log size for `shard`, in words. Gauge-only, like
+    /// queue depth: the value observed mid-run depends on drain timing.
+    pub fn on_replay_words(&self, shard: usize, words: u64) {
+        if let Some(g) = self.replay_words.get(shard) {
+            g.set(words);
+        }
+    }
+
+    /// A batch could not be delivered and recovery failed or was not
+    /// attempted: `items` updates are lost for good. This is the
+    /// honest-degradation signal — flushed-item counters never include
+    /// these items.
+    pub fn on_batch_lost(&self, tick: u64, shard: usize, items: u64) {
+        self.batches_lost.inc();
+        self.items_lost.add(items);
+        self.tracer
+            .record(EventKind::BatchLost, tick, u32::try_from(shard).ok(), items);
+    }
+
+    /// A shard's replay log outgrew its budget and evicted `evicted`
+    /// of its oldest batches; the shard is unrecoverable until a
+    /// fresher micro-checkpoint covers the gap.
+    pub fn on_replay_overflow(&self, tick: u64, shard: usize, evicted: u64) {
+        self.replay_overflows.inc();
+        self.tracer
+            .record(EventKind::ReplayOverflow, tick, u32::try_from(shard).ok(), evicted);
+    }
+
+    /// The fault harness injected a planned fault (`kind_code` is the
+    /// plan's stable per-kind code; `shard` is the target, if any).
+    pub fn on_fault_injected(&self, tick: u64, shard: Option<u32>, kind_code: u64) {
+        self.faults_injected.inc();
+        self.tracer.record(EventKind::FaultInjected, tick, shard, kind_code);
+    }
+
     /// Freezes the current state into an exportable snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         let per_shard_items: Vec<u64> = self.per_shard_items.iter().map(Counter::get).collect();
         let queue_depths: Vec<u64> = self.queue_depth.iter().map(Gauge::get).collect();
         let queue_depth_peaks: Vec<u64> = self.queue_depth.iter().map(Gauge::peak).collect();
+        let replay_words: Vec<u64> = self.replay_words.iter().map(Gauge::get).collect();
+        let replay_words_peaks: Vec<u64> = self.replay_words.iter().map(Gauge::peak).collect();
         let routing_skew = {
             let max = per_shard_items.iter().copied().max().unwrap_or(0);
             let total: u64 = per_shard_items.iter().sum();
@@ -199,9 +286,19 @@ impl EngineObserver {
             degraded_queries: self.degraded_queries.get(),
             checkpoints: self.checkpoints.get(),
             restores: self.restores.get(),
+            shard_panics: self.shard_panics.get(),
+            restarts: self.restarts.get(),
+            replayed_batches: self.replayed_batches.get(),
+            micro_checkpoints: self.micro_checkpoints.get(),
+            replay_overflows: self.replay_overflows.get(),
+            batches_lost: self.batches_lost.get(),
+            items_lost: self.items_lost.get(),
+            faults_injected: self.faults_injected.get(),
             per_shard_items,
             queue_depths,
             queue_depth_peaks,
+            replay_words,
+            replay_words_peaks,
             routing_skew,
             batch_h_index,
             batch_max,
@@ -210,6 +307,7 @@ impl EngineObserver {
             checkpoint_ns: self.checkpoint_ns.summary(),
             restore_ns: self.restore_ns.summary(),
             snapshot_ns: self.snapshot_ns.summary(),
+            recovery_ns: self.recovery_ns.summary(),
             bank,
             events_recorded: self.tracer.recorded(),
             events: self.tracer.events(),
@@ -239,12 +337,32 @@ pub struct MetricsSnapshot {
     pub checkpoints: u64,
     /// Engine restores from checkpoints.
     pub restores: u64,
+    /// Worker deaths detected (panic payload harvested when possible).
+    pub shard_panics: u64,
+    /// Shard respawns from a micro-checkpoint by the supervisor.
+    pub restarts: u64,
+    /// Batches re-sent from replay logs during restarts.
+    pub replayed_batches: u64,
+    /// Per-shard micro-checkpoint frames received by the supervisor.
+    pub micro_checkpoints: u64,
+    /// Replay-log budget overflows (oldest batches evicted).
+    pub replay_overflows: u64,
+    /// Batches whose updates were lost for good.
+    pub batches_lost: u64,
+    /// Items inside those lost batches.
+    pub items_lost: u64,
+    /// Faults injected by a seeded fault plan.
+    pub faults_injected: u64,
     /// Items routed to each shard.
     pub per_shard_items: Vec<u64>,
     /// Current buffered items per shard.
     pub queue_depths: Vec<u64>,
     /// High-water buffered items per shard.
     pub queue_depth_peaks: Vec<u64>,
+    /// Current replay-log size per shard, in words.
+    pub replay_words: Vec<u64>,
+    /// High-water replay-log size per shard, in words.
+    pub replay_words_peaks: Vec<u64>,
     /// Max per-shard items over the mean (1.0 = perfectly balanced).
     pub routing_skew: f64,
     /// H-index of the batch-size stream (Algorithm 1 on telemetry).
@@ -261,6 +379,8 @@ pub struct MetricsSnapshot {
     pub restore_ns: LatencySummary,
     /// Standalone snapshot encode/decode latency.
     pub snapshot_ns: LatencySummary,
+    /// Shard recovery (respawn + replay) latency.
+    pub recovery_ns: LatencySummary,
     /// Bank-kernel totals from the last query merge (zeroes when the
     /// estimator has no bank path or it never ran). Derived rates:
     /// [`MetricsSnapshot::bank_tile_fill`],
@@ -335,6 +455,22 @@ impl MetricsSnapshot {
             "Engine checkpoints encoded.", self.checkpoints);
         metric(&mut s, "hindex_engine_restores_total", "counter",
             "Engine restores from checkpoints.", self.restores);
+        metric(&mut s, "hindex_engine_shard_panics_total", "counter",
+            "Worker deaths detected.", self.shard_panics);
+        metric(&mut s, "hindex_engine_restarts_total", "counter",
+            "Shard respawns from a micro-checkpoint.", self.restarts);
+        metric(&mut s, "hindex_engine_replayed_batches_total", "counter",
+            "Batches re-sent from replay logs during restarts.", self.replayed_batches);
+        metric(&mut s, "hindex_engine_micro_checkpoints_total", "counter",
+            "Per-shard micro-checkpoint frames received.", self.micro_checkpoints);
+        metric(&mut s, "hindex_engine_replay_overflows_total", "counter",
+            "Replay-log budget overflows (oldest batches evicted).", self.replay_overflows);
+        metric(&mut s, "hindex_engine_batches_lost_total", "counter",
+            "Batches whose updates were lost for good.", self.batches_lost);
+        metric(&mut s, "hindex_engine_items_lost_total", "counter",
+            "Items inside lost batches.", self.items_lost);
+        metric(&mut s, "hindex_engine_faults_injected_total", "counter",
+            "Faults injected by a seeded fault plan.", self.faults_injected);
 
         let _ = writeln!(s, "# HELP hindex_engine_shard_items_total Items routed per shard.");
         let _ = writeln!(s, "# TYPE hindex_engine_shard_items_total counter");
@@ -348,6 +484,14 @@ impl MetricsSnapshot {
         }
         for (i, v) in self.queue_depth_peaks.iter().enumerate() {
             let _ = writeln!(s, "hindex_engine_queue_depth_peak{{shard=\"{i}\"}} {v}");
+        }
+        let _ = writeln!(s, "# HELP hindex_engine_replay_words Replay-log size per shard, words.");
+        let _ = writeln!(s, "# TYPE hindex_engine_replay_words gauge");
+        for (i, v) in self.replay_words.iter().enumerate() {
+            let _ = writeln!(s, "hindex_engine_replay_words{{shard=\"{i}\"}} {v}");
+        }
+        for (i, v) in self.replay_words_peaks.iter().enumerate() {
+            let _ = writeln!(s, "hindex_engine_replay_words_peak{{shard=\"{i}\"}} {v}");
         }
 
         metric(&mut s, "hindex_engine_routing_skew", "gauge",
@@ -367,6 +511,7 @@ impl MetricsSnapshot {
             ("hindex_engine_checkpoint", &self.checkpoint_ns),
             ("hindex_engine_restore", &self.restore_ns),
             ("hindex_engine_snapshot", &self.snapshot_ns),
+            ("hindex_engine_recovery", &self.recovery_ns),
         ] {
             metric(&mut s, &format!("{name}_count"), "counter",
                 "Operations timed.", sum.count);
@@ -417,8 +562,15 @@ mod tests {
         o.on_restore(7, 512, 2_000);
         o.on_snapshot_encode(8, 128, 500);
         o.on_snapshot_decode(9, 128, 700);
+        o.on_shard_panicked(10, 1, 1);
+        o.on_shard_restart(10, 1, 3, 4_000);
+        o.on_micro_checkpoint(1, 256);
+        o.on_replay_words(1, 48);
+        o.on_batch_lost(11, 0, 7);
+        o.on_replay_overflow(12, 0, 2);
+        o.on_fault_injected(12, Some(0), 1);
         o.on_bank_batch(
-            10,
+            13,
             &BankCounters {
                 tiles: 4,
                 tile_items: 900,
@@ -442,6 +594,17 @@ mod tests {
         assert_eq!(snap.degraded_queries, 1);
         assert_eq!(snap.checkpoints, 1);
         assert_eq!(snap.restores, 1);
+        assert_eq!(snap.shard_panics, 1);
+        assert_eq!(snap.restarts, 1);
+        assert_eq!(snap.replayed_batches, 3);
+        assert_eq!(snap.micro_checkpoints, 1);
+        assert_eq!(snap.replay_overflows, 1);
+        assert_eq!(snap.batches_lost, 1);
+        assert_eq!(snap.items_lost, 7);
+        assert_eq!(snap.faults_injected, 1);
+        assert_eq!(snap.replay_words, vec![0, 48]);
+        assert_eq!(snap.replay_words_peaks, vec![0, 48]);
+        assert_eq!(snap.recovery_ns.count, 1);
         assert_eq!(snap.per_shard_items, vec![64, 36]);
         assert_eq!(snap.queue_depths, vec![0, 36]);
         assert_eq!(snap.queue_depth_peaks, vec![0, 36]);
@@ -457,7 +620,7 @@ mod tests {
         assert!((snap.bank_tile_fill() - 900.0 / 1024.0).abs() < 1e-9);
         assert!((snap.bank_survivor_touches_per_item() - 154.0).abs() < 1e-9);
         assert!(snap.bank_hash_reuse() > 0.98);
-        assert_eq!(snap.events_recorded, 12); // flush records 2 events
+        assert_eq!(snap.events_recorded, 17); // flush records 2 events
     }
 
     #[test]
@@ -479,6 +642,10 @@ mod tests {
         assert!(text.contains("hindex_engine_batch_size_hindex"));
         assert!(text.contains("hindex_bank_tiles_total 4"));
         assert!(text.contains("hindex_bank_hash_reuse"));
+        assert!(text.contains("hindex_engine_restarts_total 1"));
+        assert!(text.contains("hindex_engine_items_lost_total 7"));
+        assert!(text.contains("hindex_engine_replay_words{shard=\"1\"} 48"));
+        assert!(text.contains("hindex_engine_recovery_count 1"));
         assert!(text.lines().count() > 40);
     }
 

@@ -39,6 +39,22 @@ pub enum EventKind {
     /// Bank-kernel telemetry surfaced at a query merge (`value` =
     /// tile items dispatched through the bank so far).
     BankBatch,
+    /// A shard worker's death was detected and its panic payload
+    /// harvested (`value` = times this shard has now died).
+    ShardPanicked,
+    /// The supervisor respawned a shard from its micro-checkpoint
+    /// (`value` = batches replayed from the log).
+    ShardRestart,
+    /// A batch could not be delivered and its updates are lost
+    /// (`value` = items in the lost batch).
+    BatchLost,
+    /// A shard's replay log outgrew its budget and evicted its oldest
+    /// batches (`value` = batches evicted); the shard is unrecoverable
+    /// until a fresher micro-checkpoint covers the gap.
+    ReplayOverflow,
+    /// The fault harness injected a planned fault (`value` = the
+    /// fault's kind code).
+    FaultInjected,
 }
 
 impl EventKind {
@@ -56,6 +72,11 @@ impl EventKind {
             EventKind::SnapshotEncode => "snapshot_encode",
             EventKind::SnapshotDecode => "snapshot_decode",
             EventKind::BankBatch => "bank_batch",
+            EventKind::ShardPanicked => "shard_panicked",
+            EventKind::ShardRestart => "shard_restart",
+            EventKind::BatchLost => "batch_lost",
+            EventKind::ReplayOverflow => "replay_overflow",
+            EventKind::FaultInjected => "fault_injected",
         }
     }
 }

@@ -30,6 +30,26 @@ cargo run -q --release --offline -p hindex-cli --bin hindex -- \
     metrics --shards 4 --n 5000 < /dev/null \
     | grep -q "hindex_engine_items_total 5000"
 
+echo "==> chaos smoke (seeded kill-sweep must answer bit-identically)"
+# A supervised run that kills every shard mid-stream must print the
+# same `digest` line as an untouched run of the same stream and seed:
+# restart-from-micro-checkpoint + replay is exact, not approximate.
+chaos_stream=$(seq 0 3999 | awk '{ print $1 % 170, 1 + $1 % 3 }')
+clean_digest=$(echo "${chaos_stream}" | cargo run -q --release --offline -p hindex-cli --bin hindex -- \
+    engine --algorithm exact --shards 3 --batch 32 | grep '^digest')
+chaos_digest=$(echo "${chaos_stream}" | cargo run -q --release --offline -p hindex-cli --bin hindex -- \
+    engine --algorithm exact --shards 3 --batch 32 --faults "sweep@100=200" | grep '^digest')
+echo "    clean ${clean_digest#digest    : }  chaos ${chaos_digest#digest    : }"
+[ "${clean_digest}" = "${chaos_digest}" ] || {
+    echo "    FAIL: chaos digest diverged from the clean run"; exit 1; }
+echo "${chaos_stream}" | cargo run -q --release --offline -p hindex-cli --bin hindex -- \
+    engine --algorithm exact --shards 3 --batch 32 --faults "sweep@100=200" \
+    | grep -q "degraded  : no" || {
+    echo "    FAIL: kill-sweep did not heal every shard"; exit 1; }
+
+echo "==> chaos tests (fault injection, replay, honest degradation)"
+cargo test -q --offline -p hindex --test engine_faults
+
 echo "==> debug invariant layer (feature-gated assertions + proptests)"
 cargo test -q --offline -p hindex-hashing --features debug_invariants
 cargo test -q --offline -p hindex-sketch --features debug_invariants

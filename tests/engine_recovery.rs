@@ -57,7 +57,7 @@ where
         hindex_engine::EngineCheckpoint::<E>::read_from(&frame).expect("decode checkpoint");
     assert_eq!(used, frame.len());
     assert_eq!(restored_cp.stream_offset(), cut as u64);
-    let mut recovered = ShardedEngine::restore(restored_cp);
+    let mut recovered = ShardedEngine::restore(restored_cp).expect("valid checkpoint");
     assert_eq!(recovered.stream_offset(), cut as u64);
     recovered.ingest_batch(&updates[cut..]);
     let recovered = recovered.finish().expect("recovered run");
@@ -116,7 +116,7 @@ fn checkpoint_at_zero_replays_everything() {
 
     let (cp, _) =
         hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame).unwrap();
-    let mut recovered = ShardedEngine::restore(cp);
+    let mut recovered = ShardedEngine::restore(cp).unwrap();
     recovered.ingest_batch(&updates);
     let recovered = recovered.finish().unwrap();
     assert_eq!(recovered.estimate(), reference.estimate());
@@ -142,7 +142,7 @@ fn chained_checkpoints_recover_after_repeated_crashes() {
 
     let (cp_a, _) =
         hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame_a).unwrap();
-    let mut second = ShardedEngine::restore(cp_a);
+    let mut second = ShardedEngine::restore(cp_a).unwrap();
     second.ingest_batch(&updates[third..2 * third]);
     let frame_b = second.checkpoint().unwrap().to_bytes();
     drop(second);
@@ -150,7 +150,7 @@ fn chained_checkpoints_recover_after_repeated_crashes() {
     let (cp_b, _) =
         hindex_engine::EngineCheckpoint::<CashRegisterHIndex>::read_from(&frame_b).unwrap();
     assert_eq!(cp_b.stream_offset(), 2 * third as u64);
-    let mut third_run = ShardedEngine::restore(cp_b);
+    let mut third_run = ShardedEngine::restore(cp_b).unwrap();
     third_run.ingest_batch(&updates[2 * third..]);
     let recovered = third_run.finish().unwrap();
 
@@ -169,7 +169,66 @@ fn restore_preserves_engine_geometry() {
     assert_eq!(checkpoint.shard_states().len(), 4);
     engine.finish().unwrap();
 
-    let restored = ShardedEngine::restore(checkpoint);
+    let restored = ShardedEngine::restore(checkpoint).unwrap();
     assert_eq!(restored.config().shards, 4);
     restored.finish().unwrap();
+}
+
+/// A valid encoded checkpoint frame for tamper tests.
+fn exact_frame(shards: usize) -> Vec<u8> {
+    let mut engine = ShardedEngine::new(config(shards), CashTable::new());
+    engine.ingest_batch(&stream(200));
+    let checkpoint = engine.checkpoint().unwrap();
+    engine.finish().unwrap();
+    checkpoint.to_bytes()
+}
+
+/// Overwrites the shard-count field (first payload word, after the
+/// 14-byte HIXS header) and repairs the trailing checksum, so only the
+/// geometry validation can reject the frame.
+fn tamper_shard_count(frame: &mut [u8], shards: u64) {
+    frame[14..22].copy_from_slice(&shards.to_le_bytes());
+    let split = frame.len() - 8;
+    let sum = hindex_common::snapshot::fnv1a(&frame[..split]);
+    frame[split..].copy_from_slice(&sum.to_le_bytes());
+}
+
+// Regression: a checkpoint claiming more shard states than its payload
+// holds used to reach the spawn path's internal assertions; it must be
+// a typed decode error, never a panic.
+#[test]
+fn hostile_shard_count_is_a_decode_error_not_a_panic() {
+    let mut frame = exact_frame(3);
+    tamper_shard_count(&mut frame, 1_000_000);
+    let err = hindex_engine::EngineCheckpoint::<CashTable>::read_from(&frame).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("shard count"), "{msg}");
+}
+
+#[test]
+fn zeroed_geometry_is_a_decode_error_not_a_panic() {
+    let mut frame = exact_frame(3);
+    tamper_shard_count(&mut frame, 0);
+    let err = hindex_engine::EngineCheckpoint::<CashTable>::read_from(&frame).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("positive"), "{msg}");
+}
+
+// Regression: re-attaching an observer sized for the wrong shard count
+// used to trip `assert!`s inside spawn; `restore` now validates and
+// returns `EngineError::InvalidConfig`.
+#[test]
+fn restore_rejects_missized_observer() {
+    let frame = exact_frame(3);
+    let (cp, _) = hindex_engine::EngineCheckpoint::<CashTable>::read_from(&frame).unwrap();
+    let wrong = std::sync::Arc::new(EngineObserver::new(2));
+    let err = match ShardedEngine::restore(cp.with_observer(wrong)) {
+        Ok(_) => panic!("restore accepted a mis-sized observer"),
+        Err(err) => err,
+    };
+    assert!(
+        matches!(err, EngineError::InvalidConfig { .. }),
+        "want InvalidConfig, got {err:?}"
+    );
+    assert!(err.to_string().contains("observer"), "{err}");
 }

@@ -62,6 +62,16 @@ fn deterministic_view(s: &MetricsSnapshot) -> (Vec<u64>, Vec<Vec<u64>>, Vec<Even
             s.batch_max,
             s.batch_mean,
             s.events_recorded,
+            // Supervision counters: zero on a plain engine, and equal
+            // across identical seeded supervised runs.
+            s.shard_panics,
+            s.restarts,
+            s.replayed_batches,
+            s.micro_checkpoints,
+            s.replay_overflows,
+            s.batches_lost,
+            s.items_lost,
+            s.faults_injected,
         ],
         vec![
             s.per_shard_items.clone(),
@@ -226,13 +236,49 @@ fn restore_is_traced_and_checkpoint_strips_the_observer() {
     assert!(decoded.config().observer().is_none());
 
     let resumed_obs = Arc::new(EngineObserver::new(2));
-    let mut resumed = ShardedEngine::restore(decoded.with_observer(Arc::clone(&resumed_obs)));
+    let mut resumed =
+        ShardedEngine::restore(decoded.with_observer(Arc::clone(&resumed_obs))).unwrap();
     resumed.ingest_batch(&updates);
     resumed.finish().unwrap();
     let snap = resumed_obs.snapshot();
     assert_eq!(snap.restores, 1);
     assert!(snap.events.iter().any(|e| e.kind == EventKind::Restore));
     assert_eq!(snap.items, 600);
+}
+
+// Regression: `send()` used to fire `on_flush` *before* the channel
+// handoff, so a batch aimed at a dead shard was counted as flushed and
+// then silently dropped. Delivery accounting must now be exhaustive:
+// every routed item is either flushed exactly once or counted lost.
+#[test]
+fn lost_batches_are_counted_lost_not_flushed() {
+    let updates = stream(2_000);
+    let observer = Arc::new(EngineObserver::new(2));
+    let config = EngineConfig::builder()
+        .shards(2)
+        .batch(32)
+        .observer(Arc::clone(&observer))
+        .build()
+        .unwrap();
+    // No restart budget: the injected kill is terminal, and everything
+    // routed to the dead shard afterwards must be counted lost.
+    let sup = SupervisorConfig { max_restarts: 0, ..SupervisorConfig::default() };
+    let plan = FaultPlan::parse("kill@500:1", 2, 2_000).unwrap();
+    let mut engine = SupervisedEngine::with_faults(config, sup, plan, prototype(3)).unwrap();
+    engine.ingest_batch(&updates);
+    engine.flush();
+    let degraded = engine.finish_degraded().unwrap();
+    assert_eq!(degraded.dead_shards, vec![1]);
+    let snap = observer.snapshot();
+    assert!(snap.items_lost > 0, "the dead shard must lose items");
+    assert_eq!(
+        snap.items + snap.items_lost,
+        2_000,
+        "flushed + lost must cover the whole stream exactly once: {snap:?}"
+    );
+    assert!(snap.events.iter().any(|e| e.kind == EventKind::BatchLost));
+    assert!(snap.events.iter().any(|e| e.kind == EventKind::ShardPanicked));
+    assert!(snap.render_text().contains("hindex_engine_items_lost_total"));
 }
 
 proptest::proptest! {

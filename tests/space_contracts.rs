@@ -323,3 +323,45 @@ fn shared_ladders_counted_once_per_sharing_scope() {
     assert_eq!(turnstile.scratch_words() % ladder_words, 0);
     assert!(turnstile.scratch_words() / ladder_words > turnstile.num_samplers());
 }
+
+/// The supervised engine's replay log is recovery scratch, not paper
+/// space: killing and healing a shard must leave `space_words` on the
+/// same ledger the plain engine reports (estimator frames + channels +
+/// buffers), with the log's words confined to `scratch_words`.
+#[test]
+fn supervised_replay_log_is_scratch_not_space() {
+    use hindex_baseline::CashTable;
+
+    let config = hindex_engine::EngineConfig::builder()
+        .shards(2)
+        .batch(16)
+        .queue_depth(2)
+        .build()
+        .unwrap();
+    let sup = hindex_engine::SupervisorConfig {
+        checkpoint_interval: 1_000, // never trims mid-run: the log keeps every batch
+        ..hindex_engine::SupervisorConfig::default()
+    };
+    let mut engine =
+        hindex_engine::SupervisedEngine::new(config, sup, CashTable::new()).unwrap();
+    for i in 0..2_000u64 {
+        engine.ingest((i % 97, 1));
+    }
+    engine.flush();
+
+    let scratch = engine.scratch_words();
+    let space = engine.space_words();
+    // (u64, u64) items are two words per logged slot; ~125 batches of
+    // 16 are outstanding past the spawn frame.
+    assert!(scratch >= 100 * 16 * 2, "replay log unaccounted: {scratch}");
+    // The paper-facing ledger is bounded by channels + retained
+    // frames (buffers are empty after `flush`) — it must not have
+    // absorbed the log.
+    let channel_words = 2 * 2 * 16 * 2;
+    let frame_words = 2 * 1_024; // two retained spawn/interval frames, generously
+    assert!(
+        space <= channel_words + frame_words,
+        "replay words leaked into space_words: {space}"
+    );
+    assert!(engine.finish().is_ok());
+}
