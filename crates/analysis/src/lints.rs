@@ -2161,12 +2161,13 @@ mod tests {
         let f = SourceFile::parse(TRACE_FILE.into(), &contents);
         let names: Vec<String> =
             event_kind_variants(&f).into_iter().map(|(n, _)| n).collect();
-        assert_eq!(names.len(), 15, "{names:?}");
+        assert_eq!(names.len(), 16, "{names:?}");
         assert!(names.contains(&"PushBatch".to_string()));
         assert!(names.contains(&"SnapshotDecode".to_string()));
         assert!(names.contains(&"BankBatch".to_string()));
         assert!(names.contains(&"ShardRestart".to_string()));
         assert!(names.contains(&"FaultInjected".to_string()));
+        assert!(names.contains(&"ViewPublished".to_string()));
     }
 
     #[test]

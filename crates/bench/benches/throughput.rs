@@ -27,7 +27,12 @@
 //!   merge fan-in, spawn + join) at 8 shards;
 //! * `obs_overhead` — the same engine workload with and without an
 //!   attached [`EngineObserver`], reporting the instrumentation
-//!   overhead (the observability layer's contract is < 5%).
+//!   overhead (the observability layer's contract is < 5%);
+//! * `read_plane` — the epoch-published read plane: ingest throughput
+//!   with 0 vs 4 concurrent readers hammering cloned [`ReadHandle`]s
+//!   (the contract is that readers never cut ingest throughput by
+//!   more than ~10%), plus single-reader query latency on a live
+//!   published view.
 //!
 //! Each benchmark runs a fixed number of timed repetitions after a
 //! warm-up pass and reports the *median* wall time, ns per element,
@@ -52,7 +57,7 @@ use hindex_core::{
     CashRegisterHIndex, CashRegisterParams, ExponentialHistogram, HeavyHitters,
     HeavyHittersParams, RandomOrderEstimator, RandomOrderParams, ShiftingWindow,
 };
-use hindex_engine::{EngineConfig, ShardedEngine};
+use hindex_engine::{EngineConfig, ReadHandle, ShardedEngine};
 use hindex_obs::EngineObserver;
 use std::sync::Arc;
 use hindex_sketch::distinct::DistinctCounter;
@@ -671,6 +676,100 @@ fn obs_overhead() {
     );
 }
 
+/// The read plane under contention: the same `cash_update`-style
+/// workload ingested with an epoch-publishing plane attached, with 0
+/// and then 4 reader threads polling cloned [`ReadHandle`]s for the
+/// whole run. Readers poll at a bounded rate (~2k queries/s each, an
+/// aggressive dashboard) rather than busy-spinning: a query is just an
+/// atomic load plus a short read-lock on an `Arc` slot, so what a spin
+/// loop would measure on a small host is timeslice starvation, not the
+/// plane. Ingest throughput must not drop by more than ~10% — the
+/// printed ratio is the contract's evidence.
+fn read_plane() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    type ContendedSetup =
+        (ShardedEngine<CashTable, (u64, u64)>, Arc<AtomicBool>, Vec<std::thread::JoinHandle<u64>>);
+    let updates: Vec<(u64, u64)> = (0..50_000u64).map(|i| (i % 700, 1)).collect();
+    let n = updates.len() as u64;
+    let config = || {
+        EngineConfig::builder()
+            .shards(4)
+            .batch(256)
+            .publish_interval(2_048)
+            .build()
+            .unwrap()
+    };
+    let quiet = bench_with_setup(
+        "read_plane",
+        "ingest_readers_0",
+        n,
+        7,
+        || ShardedEngine::new(config(), CashTable::new()),
+        |mut engine: ShardedEngine<CashTable, (u64, u64)>| {
+            engine.ingest_batch(&updates);
+            engine.finish().unwrap().estimate()
+        },
+    );
+    let contended = bench_with_setup(
+        "read_plane",
+        "ingest_readers_4",
+        n,
+        7,
+        || {
+            let engine = ShardedEngine::new(config(), CashTable::new());
+            let handle = engine.read_handle().unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let (h, s) = (handle.clone(), Arc::clone(&stop));
+                    std::thread::spawn(move || {
+                        let mut seen = 0u64;
+                        while !s.load(Ordering::Relaxed) {
+                            if let Some(view) = h.query() {
+                                seen += black_box(view.epoch() > 0) as u64;
+                            }
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            (engine, stop, readers)
+        },
+        |(mut engine, stop, readers): ContendedSetup| {
+            engine.ingest_batch(&updates);
+            let estimate = engine.finish().unwrap().estimate();
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                black_box(r.join().unwrap());
+            }
+            estimate
+        },
+    );
+    let slowdown = contended.as_secs_f64() / quiet.as_secs_f64() - 1.0;
+    println!(
+        "{:<18} {:<24} {:>10.2}% ingest slowdown under 4 readers",
+        "", "", slowdown * 100.0
+    );
+
+    // Single-reader query cost against a live published view (the
+    // handle stays valid after the engine retires — it owns the cell).
+    let mut engine = ShardedEngine::new(config(), CashTable::new());
+    let handle: ReadHandle<CashTable> = engine.read_handle().unwrap();
+    engine.ingest_batch(&updates);
+    let epoch = engine.publish_now().expect("engine has a read plane");
+    assert!(handle.wait_for_epoch(epoch, 5_000), "publish never completed");
+    engine.finish().unwrap();
+    const QUERIES: u64 = 1_000_000;
+    bench("read_plane", "reader_query", QUERIES, 7, || {
+        let mut acc = 0u64;
+        for _ in 0..QUERIES {
+            acc ^= black_box(handle.query().unwrap().epoch());
+        }
+        acc
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -705,6 +804,7 @@ fn main() {
             "engine_scaling" => engine_scaling(),
             "engine_overheads" => engine_overheads(),
             "obs_overhead" => obs_overhead(),
+            "read_plane" => read_plane(),
             other => {
                 eprintln!("unknown --only group `{other}`");
                 std::process::exit(2);
@@ -721,6 +821,7 @@ fn main() {
         engine_scaling();
         engine_overheads();
         obs_overhead();
+        read_plane();
     }
     if let Some(path) = json {
         write_json(&path);

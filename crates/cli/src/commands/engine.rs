@@ -1,16 +1,22 @@
 //! `hindex engine`: sharded parallel ingestion of a cash-register
 //! stream, optionally supervised with deterministic fault injection.
+//!
+//! Both engine policies run through **one generic driver** written
+//! against the [`Engine`] trait; the plain [`ShardedEngine`] and the
+//! self-healing [`SupervisedEngine`] differ only in construction and
+//! two policy hooks (read-plane access, which the trait — living below
+//! the engine crate — cannot name).
 
 use crate::args::Parsed;
 use crate::io::read_updates;
 use hindex_baseline::CashTable;
 use hindex_common::{
-    ApproxKind, Delta, Epsilon, Estimate, Guarantee, Mergeable, Snapshot, SpaceUsage,
+    ApproxKind, Delta, Engine, Epsilon, Estimate, Guarantee, Mergeable, Snapshot, SpaceUsage,
 };
 use hindex_core::{CashRegisterHIndex, CashRegisterParams};
 use hindex_engine::{
-    BatchIngest, EngineConfig, FaultPlan, QueryReport, Routable, ShardedEngine, SupervisedEngine,
-    SupervisorConfig,
+    BatchIngest, EngineConfig, EngineError, FaultPlan, QueryReport, ReadHandle, ShardedEngine,
+    SupervisedEngine, SupervisorConfig,
 };
 use hindex_obs::EngineObserver;
 use rand::rngs::StdRng;
@@ -19,6 +25,11 @@ use std::io::Read;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How long the driver waits for a forced publish to complete before
+/// falling back to a synchronous merge. Generous: workers only have to
+/// clone and send their state.
+const PUBLISH_WAIT_MS: u64 = 5_000;
+
 /// Runs the `engine` subcommand: partitions the update stream across
 /// worker shards, then answers from the merged shard states. With
 /// `--obs on`, an [`EngineObserver`] is attached and its metrics
@@ -26,7 +37,10 @@ use std::time::Instant;
 /// `--supervise on`), the run goes through the self-healing
 /// [`SupervisedEngine`]: micro-checkpoints, bounded replay, and
 /// restart-from-checkpoint on worker death — the printed `digest` is
-/// bit-comparable with a fault-free run's.
+/// bit-comparable with a fault-free run's. With `--publish-interval N`
+/// the engine carries a lock-free read plane and the report is
+/// answered from its final published view (`--fresh on` forces the
+/// synchronous merge instead); either way the digest is bit-identical.
 ///
 /// # Errors
 ///
@@ -40,6 +54,8 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     let seed = parsed.u64_or("seed", 0)?;
     let shards = parsed.u64_or("shards", 4)? as usize;
     let batch = parsed.u64_or("batch", 1024)? as usize;
+    let publish = parsed.u64_or("publish-interval", 0)?;
+    let fresh = matches!(parsed.str_or("fresh", "off"), "on" | "true" | "1");
     let observe = matches!(parsed.str_or("obs", "off"), "on" | "true" | "1");
     let faults_spec = parsed.str_or("faults", "").to_string();
     let supervise = !faults_spec.is_empty()
@@ -52,6 +68,9 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     }
     let updates: Vec<(u64, u64)> = raw.iter().map(|&(p, d)| (p, d as u64)).collect();
     let mut builder = EngineConfig::builder().shards(shards).batch(batch);
+    if publish > 0 {
+        builder = builder.publish_interval(publish);
+    }
     // The supervised path always carries an observer: restart and
     // loss accounting come from its counters. Metrics are only
     // *printed* with `--obs on`.
@@ -61,111 +80,260 @@ pub fn run(parsed: &Parsed, input: &mut dyn Read) -> Result<String, String> {
     }
     let config = builder.build().map_err(|e| e.to_string())?;
 
-    if supervise {
-        return run_supervised(
-            parsed, config, &faults_spec, algorithm, eps, delta, seed, observe, &updates,
-        );
-    }
+    let policy = if supervise {
+        let sup = SupervisorConfig {
+            checkpoint_interval: parsed.u64_or("ckpt-interval", 4)?,
+            max_replay_words: parsed.u64_or("replay-words", 1 << 20)? as usize,
+            max_restarts: u32::try_from(parsed.u64_or("max-restarts", 8)?)
+                .map_err(|_| "--max-restarts out of range".to_string())?,
+            backoff_ms: 0,
+        };
+        let plan = if faults_spec.is_empty() {
+            FaultPlan::none()
+        } else {
+            FaultPlan::parse(&faults_spec, shards, updates.len() as u64)?
+        };
+        let fault_line = if plan.is_empty() {
+            "none".to_string()
+        } else {
+            match plan.seed {
+                // Echo the seed so a `rand=N@now` run can be replayed.
+                Some(s) => format!("{} planned (seed {s})", plan.faults.len()),
+                None => format!("{} planned ({faults_spec})", plan.faults.len()),
+            }
+        };
+        suppress_injected_panics();
+        Some((sup, plan, fault_line))
+    } else {
+        None
+    };
 
-    let (name, report, elapsed, digest) = match algorithm {
+    let suffix = if supervise { ", supervised" } else { "" };
+    let (name, outcome) = match algorithm {
         "sketch" => {
             let params = CashRegisterParams::Additive { epsilon: eps, delta };
             let contract = Guarantee::randomized(ApproxKind::Additive, eps, delta);
             let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
-            let mut engine = ShardedEngine::new(config, prototype);
-            let start = Instant::now();
-            engine.ingest_batch(&updates);
-            let report = engine.report(Some(contract)).map_err(|e| e.to_string())?;
-            let elapsed = start.elapsed();
-            let merged = engine.finish().map_err(|e| e.to_string())?;
-            (
-                format!("sharded ℓ₀-sampling sketch (Alg 6, x = {})", merged.num_samplers()),
-                report,
-                elapsed,
-                merged.frame_digest(),
-            )
+            launch(config, policy.as_ref(), prototype, &updates, Some(contract), fresh, |m| {
+                format!("sharded ℓ₀-sampling sketch (Alg 6, x = {}){suffix}", m.num_samplers())
+            })?
         }
-        "exact" => {
-            let mut engine = ShardedEngine::new(config, CashTable::new());
-            let start = Instant::now();
-            engine.ingest_batch(&updates);
-            let report = engine.report(None).map_err(|e| e.to_string())?;
-            let elapsed = start.elapsed();
-            let merged = engine.finish().map_err(|e| e.to_string())?;
-            ("sharded exact table".into(), report, elapsed, merged.frame_digest())
-        }
+        "exact" => launch(config, policy.as_ref(), CashTable::new(), &updates, None, fresh, |_| {
+            format!("sharded exact table{suffix}")
+        })?,
         other => return Err(format!("unknown --algorithm `{other}` (sketch|exact)")),
     };
 
-    let secs = elapsed.as_secs_f64();
+    let secs = outcome.elapsed.as_secs_f64();
     let rate = if secs > 0.0 {
         format!("{:.0}", updates.len() as f64 / secs)
     } else {
         "inf".into()
     };
-    let mut out = format!(
-        "algorithm : {name}\nupdates   : {}\nshards    : {shards} (batch {batch})\n\
-         h-index   : {}\ndigest    : {digest:#018x}\nspace     : {} words (whole pipeline)\n\
-         contract  : {}\ndegraded  : {}\ningest    : {rate} updates/s\n",
-        updates.len(),
-        report.estimate,
-        report.space_words,
-        contract_line(&report),
-        if report.degraded.is_empty() {
-            "no".to_string()
-        } else {
-            format!("yes, dead shards {:?}", report.degraded)
-        },
-    );
-    if let Some(obs) = &report.obs {
-        out.push('\n');
-        out.push_str(&obs.render_text());
+    let metrics = observer.as_ref().map(|o| o.snapshot());
+    let report = &outcome.report;
+    let mut out = format!("algorithm : {name}\nupdates   : {}\n", updates.len());
+    out.push_str(&format!("shards    : {shards} (batch {batch})\n"));
+    if let Some((_, _, fault_line)) = &policy {
+        let (restarts, replayed) = metrics
+            .as_ref()
+            .map_or((0, 0), |m| (m.restarts, m.replayed_batches));
+        out.push_str(&format!(
+            "faults    : {fault_line}\nrestarts  : {restarts} (replayed {replayed} batches)\n"
+        ));
+    }
+    if let Some(epoch) = report.epoch {
+        out.push_str(&format!(
+            "published : epoch {epoch} (staleness {})\n",
+            report.staleness
+        ));
+    }
+    out.push_str(&format!(
+        "h-index   : {}\ndigest    : {:#018x}\n",
+        report.estimate, outcome.digest
+    ));
+    if outcome.scratch > 0 || policy.is_some() {
+        out.push_str(&format!(
+            "space     : {} words (+ {} replay scratch)\n",
+            report.space_words, outcome.scratch
+        ));
+    } else {
+        out.push_str(&format!(
+            "space     : {} words (whole pipeline)\n",
+            report.space_words
+        ));
+    }
+    out.push_str(&format!("contract  : {}\n", contract_line(report)));
+    if outcome.dead.is_empty() {
+        out.push_str("degraded  : no\n");
+    } else {
+        let lost = metrics.as_ref().map_or(0, |m| m.items_lost);
+        out.push_str(&format!(
+            "degraded  : yes, dead shards {:?} ({lost} updates lost)\n",
+            outcome.dead
+        ));
+    }
+    out.push_str(&format!("ingest    : {rate} updates/s\n"));
+    if observe {
+        if let Some(m) = &metrics {
+            out.push('\n');
+            out.push_str(&m.render_text());
+        }
     }
     Ok(out)
 }
 
-/// The supervised (self-healing) engine path, shared by `--supervise`
-/// and `--faults`.
-#[allow(clippy::too_many_arguments)]
-fn run_supervised(
-    parsed: &Parsed,
-    config: EngineConfig,
-    faults_spec: &str,
-    algorithm: &str,
-    eps: Epsilon,
-    delta: Delta,
-    seed: u64,
-    observe: bool,
-    updates: &[(u64, u64)],
-) -> Result<String, String> {
-    let shards = parsed.u64_or("shards", 4)? as usize;
-    let batch = parsed.u64_or("batch", 1024)? as usize;
-    let sup = SupervisorConfig {
-        checkpoint_interval: parsed.u64_or("ckpt-interval", 4)?,
-        max_replay_words: parsed.u64_or("replay-words", 1 << 20)? as usize,
-        max_restarts: u32::try_from(parsed.u64_or("max-restarts", 8)?)
-            .map_err(|_| "--max-restarts out of range".to_string())?,
-        backoff_ms: 0,
-    };
-    let plan = if faults_spec.is_empty() {
-        FaultPlan::none()
-    } else {
-        FaultPlan::parse(faults_spec, shards, updates.len() as u64)?
-    };
-    let fault_line = if plan.is_empty() {
-        "none".to_string()
-    } else {
-        match plan.seed {
-            // Echo the seed so a `rand=N@now` run can be replayed.
-            Some(s) => format!("{} planned (seed {s})", plan.faults.len()),
-            None => format!("{} planned ({faults_spec})", plan.faults.len()),
-        }
-    };
-    let observer = config.observer().cloned();
+/// Everything the report printer needs from a finished run, whichever
+/// policy (and answer path) produced it.
+struct Outcome {
+    /// The typed query report; `epoch`/`staleness` are set when the
+    /// answer came from the read plane.
+    report: QueryReport,
+    /// Frame digest of the answering state: the final published view
+    /// when the read plane answered, the synchronous merge otherwise.
+    digest: u64,
+    /// Replay-log scratch words at the end of the stream.
+    scratch: usize,
+    /// Shards whose updates are lost for good.
+    dead: Vec<usize>,
+    /// Ingest wall time (stream start to report).
+    elapsed: std::time::Duration,
+}
 
-    // Injected kills travel the genuine panic path; without this the
-    // default hook would spray expected backtraces over stderr. Real
-    // (non-injected) panics still print normally.
+/// Constructs the requested policy around `prototype` and hands it to
+/// the generic driver; `name` renders the algorithm line from the
+/// final merged estimator. The only policy-specific code left in this
+/// file.
+fn launch<E>(
+    config: EngineConfig,
+    policy: Option<&(SupervisorConfig, FaultPlan, String)>,
+    prototype: E,
+    updates: &[(u64, u64)],
+    contract: Option<Guarantee>,
+    fresh: bool,
+    name: impl FnOnce(&E) -> String,
+) -> Result<(String, Outcome), String>
+where
+    E: BatchIngest<(u64, u64)>
+        + Mergeable
+        + Estimate
+        + SpaceUsage
+        + Snapshot
+        + Clone
+        + Send
+        + Sync
+        + 'static,
+{
+    let (merged, outcome) = match policy {
+        Some((sup, plan, _)) => drive(
+            SupervisedEngine::with_faults(config, sup.clone(), plan.clone(), prototype)
+                .map_err(|e| e.to_string())?,
+            updates,
+            contract,
+            fresh,
+        )?,
+        None => drive(ShardedEngine::new(config, prototype), updates, contract, fresh)?,
+    };
+    Ok((name(&merged), outcome))
+}
+
+/// Policy hooks the unified driver needs beyond the [`Engine`] verb
+/// set: the trait lives below the engine crate and cannot name
+/// [`ReadHandle`], so read-plane access enters through this adapter.
+trait Drivable<E>:
+    Engine<(u64, u64), Output = E, Error = EngineError, Report = QueryReport> + SpaceUsage
+{
+    /// Handle onto the read plane, when one was configured.
+    fn handle(&self) -> Option<ReadHandle<E>>;
+    /// Forces a publish at the current offset; `None` when there is no
+    /// plane (or, supervised, when a shard is terminal — a published
+    /// view is never degraded).
+    fn force_publish(&mut self) -> Option<u64>;
+}
+
+impl<E> Drivable<E> for ShardedEngine<E, (u64, u64)>
+where
+    E: BatchIngest<(u64, u64)> + Mergeable + Estimate + SpaceUsage + Clone + Send + Sync + 'static,
+{
+    fn handle(&self) -> Option<ReadHandle<E>> {
+        self.read_handle()
+    }
+    fn force_publish(&mut self) -> Option<u64> {
+        self.publish_now()
+    }
+}
+
+impl<E> Drivable<E> for SupervisedEngine<E, (u64, u64)>
+where
+    E: BatchIngest<(u64, u64)>
+        + Mergeable
+        + Estimate
+        + SpaceUsage
+        + Snapshot
+        + Clone
+        + Send
+        + Sync
+        + 'static,
+{
+    fn handle(&self) -> Option<ReadHandle<E>> {
+        self.read_handle()
+    }
+    fn force_publish(&mut self) -> Option<u64> {
+        self.publish_now()
+    }
+}
+
+/// The one driver both policies share: ingest the whole stream, answer
+/// (from the read plane's final published view when one exists and
+/// `fresh` is off, from a synchronous merge otherwise), then retire
+/// the engine through the lossy path so dead shards are reported, not
+/// fatal.
+fn drive<N, E>(
+    mut engine: N,
+    updates: &[(u64, u64)],
+    contract: Option<Guarantee>,
+    fresh: bool,
+) -> Result<(E, Outcome), String>
+where
+    N: Drivable<E>,
+    E: Estimate + SpaceUsage + Snapshot,
+{
+    let start = Instant::now();
+    engine.ingest_batch(updates);
+    engine.flush();
+
+    // Answer from the read plane when possible: force a publish at the
+    // final offset and wait for the workers to complete the epoch. Any
+    // failure (no plane, terminal shard, timeout) falls back to the
+    // synchronous merge — same bits, just not exercising the plane.
+    let mut plane_answer = None;
+    if !fresh {
+        if let (Some(handle), Some(epoch)) = (engine.handle(), engine.force_publish()) {
+            if handle.wait_for_epoch(epoch, PUBLISH_WAIT_MS) {
+                if let (Some(view), Some(report)) = (handle.query(), handle.report(contract)) {
+                    plane_answer = Some((report, view.estimator().frame_digest()));
+                }
+            }
+        }
+    }
+    let (report, plane_digest) = match plane_answer {
+        Some((report, digest)) => (report, Some(digest)),
+        None => (engine.report(contract).map_err(|e| e.to_string())?, None),
+    };
+    let elapsed = start.elapsed();
+    let scratch = engine.scratch_words();
+    let degraded = engine.finish_degraded().map_err(|e| e.to_string())?;
+    let digest = plane_digest.unwrap_or_else(|| degraded.estimator.frame_digest());
+    Ok((
+        degraded.estimator,
+        Outcome { report, digest, scratch, dead: degraded.dead_shards, elapsed },
+    ))
+}
+
+/// Injected kills travel the genuine panic path; without this the
+/// default hook would spray expected backtraces over stderr. Real
+/// (non-injected) panics still print normally.
+fn suppress_injected_panics() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -176,98 +344,6 @@ fn run_supervised(
             default_hook(info);
         }
     }));
-
-    let start = Instant::now();
-    let (name, estimate, digest, outcome) = match algorithm {
-        "sketch" => {
-            let params = CashRegisterParams::Additive { epsilon: eps, delta };
-            let prototype = CashRegisterHIndex::new(params, &mut StdRng::seed_from_u64(seed));
-            let (merged, outcome) = supervised_run(config, sup, plan, prototype, updates)?;
-            (
-                format!("sharded ℓ₀-sampling sketch (Alg 6, x = {}), supervised", merged.num_samplers()),
-                merged.estimate(),
-                merged.frame_digest(),
-                outcome,
-            )
-        }
-        "exact" => {
-            let (merged, outcome) = supervised_run(config, sup, plan, CashTable::new(), updates)?;
-            (
-                "sharded exact table, supervised".to_string(),
-                merged.estimate(),
-                merged.frame_digest(),
-                outcome,
-            )
-        }
-        other => return Err(format!("unknown --algorithm `{other}` (sketch|exact)")),
-    };
-    let elapsed = start.elapsed();
-
-    let secs = elapsed.as_secs_f64();
-    let rate = if secs > 0.0 {
-        format!("{:.0}", updates.len() as f64 / secs)
-    } else {
-        "inf".into()
-    };
-    let metrics = observer.as_ref().map(|o| o.snapshot());
-    let (restarts, replayed, lost) = metrics
-        .as_ref()
-        .map_or((0, 0, 0), |m| (m.restarts, m.replayed_batches, m.items_lost));
-    let mut out = format!(
-        "algorithm : {name}\nupdates   : {}\nshards    : {shards} (batch {batch})\n\
-         faults    : {fault_line}\nrestarts  : {restarts} (replayed {replayed} batches)\n\
-         h-index   : {estimate}\ndigest    : {digest:#018x}\n\
-         space     : {} words (+ {} replay scratch)\n\
-         degraded  : {}\ningest    : {rate} updates/s\n",
-        updates.len(),
-        outcome.space,
-        outcome.scratch,
-        if outcome.dead.is_empty() {
-            "no".to_string()
-        } else {
-            format!("yes, dead shards {:?} ({lost} updates lost)", outcome.dead)
-        },
-    );
-    if observe {
-        if let Some(m) = &metrics {
-            out.push('\n');
-            out.push_str(&m.render_text());
-        }
-    }
-    Ok(out)
-}
-
-/// Peak space and survivor accounting captured around the merge.
-struct SupOutcome {
-    space: usize,
-    scratch: usize,
-    dead: Vec<usize>,
-}
-
-/// Drives a [`SupervisedEngine`] over the whole stream and merges the
-/// survivors (degraded merge: terminal shards are reported, not
-/// fatal — the caller prints them).
-fn supervised_run<E>(
-    config: EngineConfig,
-    sup: SupervisorConfig,
-    plan: FaultPlan,
-    prototype: E,
-    updates: &[(u64, u64)],
-) -> Result<(E, SupOutcome), String>
-where
-    E: BatchIngest<(u64, u64)> + Mergeable + Snapshot + SpaceUsage + Clone + Send + 'static,
-    (u64, u64): Routable,
-{
-    let mut engine = SupervisedEngine::with_faults(config, sup, plan, prototype)
-        .map_err(|e| e.to_string())?;
-    engine.ingest_batch(updates);
-    engine.flush();
-    let (space, scratch) = (engine.space_words(), engine.scratch_words());
-    let degraded = engine.finish_degraded().map_err(|e| e.to_string())?;
-    Ok((
-        degraded.estimator,
-        SupOutcome { space, scratch, dead: degraded.dead_shards },
-    ))
 }
 
 /// Human-readable form of the report's approximation contract.
@@ -388,6 +464,58 @@ mod tests {
         assert!(sup.contains("faults    : none"), "{sup}");
         assert!(sup.contains("restarts  : 0"), "{sup}");
         assert_eq!(digest_line(&plain), digest_line(&sup));
+    }
+
+    #[test]
+    fn published_answer_is_bit_identical_to_fresh_merge() {
+        // The read-plane contract at the CLI boundary: answering from
+        // the final published view, from a forced synchronous merge,
+        // and from an engine with no read plane at all must all print
+        // the same digest.
+        let stream: String = (0..500u64).map(|k| format!("{} 3\n", k % 35)).collect();
+        for algorithm in ["exact", "sketch"] {
+            let base = &[
+                "engine", "--algorithm", algorithm, "--shards", "3", "--batch", "16",
+            ];
+            let plain = run_str(base, &stream).unwrap();
+            let mut published: Vec<&str> = base.to_vec();
+            published.extend_from_slice(&["--publish-interval", "64"]);
+            let pub_out = run_str(&published, &stream).unwrap();
+            let mut fresh: Vec<&str> = published.clone();
+            fresh.extend_from_slice(&["--fresh", "on"]);
+            let fresh_out = run_str(&fresh, &stream).unwrap();
+            assert!(
+                pub_out.contains("published : epoch"),
+                "read-plane answer should report its epoch: {pub_out}"
+            );
+            assert!(
+                pub_out.contains("(staleness 0)"),
+                "a forced final publish covers the whole stream: {pub_out}"
+            );
+            assert!(!fresh_out.contains("published :"), "{fresh_out}");
+            assert_eq!(digest_line(&plain), digest_line(&pub_out), "{algorithm}");
+            assert_eq!(digest_line(&plain), digest_line(&fresh_out), "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn supervised_publish_survives_chaos() {
+        // Kill-sweep under a live read plane: the final published view
+        // must still match the clean run bit for bit (incomplete
+        // epochs from killed workers are discarded, never published).
+        let stream: String = (0..600u64).map(|k| format!("{} 1\n", k % 40)).collect();
+        let base = &[
+            "engine", "--algorithm", "exact", "--shards", "3", "--batch", "16",
+        ];
+        let clean = run_str(base, &stream).unwrap();
+        let mut chaotic: Vec<&str> = base.to_vec();
+        chaotic.extend_from_slice(&[
+            "--faults", "sweep@50=100", "--publish-interval", "128",
+        ]);
+        let out = run_str(&chaotic, &stream).unwrap();
+        assert!(out.contains("published : epoch"), "{out}");
+        assert!(out.contains("degraded  : no"), "{out}");
+        assert_eq!(digest_line(&clean), digest_line(&out));
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn checkpoint_bytes<E>(
     prefix: &[(u64, u64)],
 ) -> Result<(Vec<u8>, u64), String>
 where
-    E: BatchIngest<(u64, u64)> + Clone + Mergeable + Snapshot + Send + 'static,
+    E: BatchIngest<(u64, u64)> + Clone + Mergeable + Snapshot + Send + Sync + 'static,
 {
     let observer = config.observer().cloned();
     let mut engine = ShardedEngine::new(config, prototype);
@@ -144,7 +144,7 @@ fn restore_and_replay<E>(
     updates: &[(u64, u64)],
 ) -> Result<(u64, u64, usize, usize), String>
 where
-    E: BatchIngest<(u64, u64)> + CashRegisterEstimator + Clone + Mergeable + Snapshot + Send + 'static,
+    E: BatchIngest<(u64, u64)> + CashRegisterEstimator + Clone + Mergeable + Snapshot + Send + Sync + 'static,
 {
     let sw = Stopwatch::start();
     let (checkpoint, _) = EngineCheckpoint::<E>::read_from(bytes)

@@ -3,7 +3,7 @@
 //! ```text
 //! hindex agg   [--eps 0.1] [--algorithm window|histogram|random|heap|store] [--n N] < counts.txt
 //! hindex cash  [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] < updates.txt
-//! hindex engine [--shards 4] [--batch 1024] [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] [--obs on] [--faults SPEC] [--supervise on] < updates.txt
+//! hindex engine [--shards 4] [--batch 1024] [--eps 0.2] [--delta 0.1] [--algorithm sketch|exact] [--seed S] [--obs on] [--faults SPEC] [--supervise on] [--publish-interval N] [--fresh on] < updates.txt
 //! hindex metrics [--shards 4] [--batch 64] [--n 10000] [--trace K] [< updates.txt]
 //! hindex hh    [--eps 0.2] [--delta 0.1] [--seed S] [--threshold T] < papers.txt
 //! hindex snapshot --out ckpt.bin [--cut K] [engine flags] < updates.txt
@@ -71,6 +71,9 @@ pub fn usage() -> &'static str {
               SPEC = kill@T:S | fail@T:S=K | stall@T:S=MS | corrupt@T:S | sweep@T=STRIDE\n\
               | rand=N@SEED, comma-separated)  --ckpt-interval N (4)\n\
               --max-restarts R (8)  --replay-words W (1048576)\n\
+              --publish-interval N (0: off; answer from the lock-free read plane,\n\
+              publishing a merged view every N items)  --fresh on (force a\n\
+              synchronous merge even when a read plane is attached)\n\
        metrics run an instrumented engine, print Prometheus-style metrics\n\
               --shards S (4)  --batch B (64)  --n N (10000, when stdin is empty)\n\
               --trace K (0: append the last K trace events)\n\

@@ -22,6 +22,7 @@
 #![deny(missing_docs)]
 
 pub mod approx;
+pub mod engine;
 pub mod error;
 pub mod grid;
 pub mod hindex;
@@ -33,6 +34,7 @@ pub mod traits;
 pub mod variants;
 
 pub use approx::{within_additive, within_multiplicative, ApproxKind, Guarantee};
+pub use engine::{Degraded, Engine};
 pub use error::{Error, Result};
 pub use grid::ExpGrid;
 pub use hindex::{h_index, h_index_sorted_desc, h_support, IncrementalHIndex};

@@ -97,7 +97,17 @@ impl<E: Snapshot> Snapshot for EngineCheckpoint<E> {
             states.push(r.get_nested::<E>()?);
         }
         Ok(Self {
-            config: EngineConfig { shards, batch_size, queue_depth, observer: None },
+            // Neither the observer nor the publish cadence is part of
+            // the binary format: both are runtime wiring a restorer
+            // re-attaches (the format predates the read plane and
+            // stays stable across it).
+            config: EngineConfig {
+                shards,
+                batch_size,
+                queue_depth,
+                publish_interval: None,
+                observer: None,
+            },
             tick,
             shards: states,
         })

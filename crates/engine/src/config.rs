@@ -18,6 +18,11 @@ pub struct EngineConfig {
     /// Batches in flight per shard before ingestion blocks
     /// (backpressure). Must be ≥ 1.
     pub queue_depth: usize,
+    /// Read-plane publish cadence: every this many routed items the
+    /// engine publishes an epoch view to its
+    /// [`ReadHandle`](crate::ReadHandle)s. `None` (the default)
+    /// disables the read plane entirely; `Some(0)` is invalid.
+    pub publish_interval: Option<u64>,
     /// Instrumentation sink driven by the engine's router thread;
     /// `None` leaves every hot path a branch-on-`None`.
     pub(crate) observer: Option<Arc<EngineObserver>>,
@@ -29,6 +34,7 @@ impl Default for EngineConfig {
             shards: 4,
             batch_size: 1024,
             queue_depth: 4,
+            publish_interval: None,
             observer: None,
         }
     }
@@ -77,6 +83,11 @@ impl EngineConfig {
         }
         if self.queue_depth == 0 {
             return Err(EngineError::InvalidConfig { what: "queue_depth must be ≥ 1" });
+        }
+        if self.publish_interval == Some(0) {
+            return Err(EngineError::InvalidConfig {
+                what: "publish_interval must be ≥ 1 when set",
+            });
         }
         if let Some(o) = &self.observer {
             if o.shards() != self.shards {
@@ -130,6 +141,17 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn queue_depth(mut self, queue_depth: usize) -> Self {
         self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Enables the read plane: publish an epoch view every `interval`
+    /// routed items (see [`ShardedEngine::read_handle`]). Must be ≥ 1
+    /// or [`Self::build`] rejects the config.
+    ///
+    /// [`ShardedEngine::read_handle`]: crate::ShardedEngine::read_handle
+    #[must_use]
+    pub fn publish_interval(mut self, interval: u64) -> Self {
+        self.config.publish_interval = Some(interval);
         self
     }
 
@@ -230,6 +252,14 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn publish_interval_zero_is_rejected() {
+        assert!(EngineConfig::builder().publish_interval(0).build().is_err());
+        let config = EngineConfig::builder().publish_interval(512).build().unwrap();
+        assert_eq!(config.publish_interval, Some(512));
+        assert_eq!(EngineConfig::default().publish_interval, None);
     }
 
     #[test]

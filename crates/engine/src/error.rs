@@ -55,16 +55,6 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Result of an explicit lossy query over an engine with dead shards.
-#[derive(Debug, Clone)]
-pub struct Degraded<E> {
-    /// The merge of every surviving shard's state.
-    pub estimator: E,
-    /// Indices of the dead shards whose updates are missing from
-    /// `estimator` (empty when nothing was lost).
-    pub dead_shards: Vec<usize>,
-}
-
 /// Everything a caller at a reporting boundary (CLI, bench harness)
 /// wants from one query, in one typed value: the estimate, the
 /// approximation contract it was computed under, the space spent, how
@@ -83,6 +73,15 @@ pub struct QueryReport {
     /// Dead shards whose updates are missing from `estimate` (empty
     /// for a lossless answer).
     pub degraded: Vec<usize>,
+    /// The read-plane epoch this report was served from, when it came
+    /// from a published view ([`ReadHandle::report`]); `None` for a
+    /// fresh synchronous merge.
+    ///
+    /// [`ReadHandle::report`]: crate::ReadHandle::report
+    pub epoch: Option<u64>,
+    /// Items the stream had routed past this report's view when it was
+    /// read. Always `0` for a fresh synchronous merge.
+    pub staleness: u64,
     /// Metrics snapshot from the attached observer, if any.
     pub obs: Option<Box<MetricsSnapshot>>,
 }

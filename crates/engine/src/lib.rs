@@ -3,15 +3,24 @@
 //! The paper's estimators are small — a few kilowords — but the streams
 //! they are meant for (every citation event of a corpus) are firehoses.
 //! This crate turns any [`Mergeable`] estimator into a parallel
-//! ingestion pipeline:
+//! ingestion pipeline, structured as explicit layers:
+//!
+//! ```text
+//!   routing layer   router.rs   item→shard assignment, batching, tick
+//!   runtime core    runtime.rs  the one worker loop + lifecycle
+//!   policy layers   lib.rs      ShardedEngine   (fail-hard)
+//!                   supervisor.rs SupervisedEngine (self-healing)
+//!   read plane      read_plane.rs epoch-published views, ReadHandle
+//! ```
 //!
 //! ```text
 //!             ┌────────────┐   bounded    ┌──────────┐
 //!  updates →  │ router     │── channel ──▶│ shard 0  │ estimator clone
 //!             │ (batches,  │── channel ──▶│ shard 1  │ estimator clone
 //!             │  by author)│── channel ──▶│   ...    │
-//!             └────────────┘              └──────────┘
-//!                                   query: snapshot + merge
+//!             └────────────┘              └─────┬────┘
+//!                          query: snapshot + merge
+//!                          publish: epoch views ─▶ aggregator ─▶ ReadHandle
 //! ```
 //!
 //! * The caller owns a [`ShardedEngine`] and feeds items one at a time
@@ -33,6 +42,11 @@
 //!   into one estimator without stopping ingestion.
 //!   [`ShardedEngine::finish`] retires the workers and returns the
 //!   final merged estimator.
+//! * Both engines — the fail-hard [`ShardedEngine`] and the
+//!   self-healing [`SupervisedEngine`] — are thin policy layers over
+//!   the same runtime core (one worker loop, one command set, one
+//!   router) and implement the same
+//!   [`Engine`] trait, so drivers are written once and handed either.
 //!
 //! Estimators plug in through [`BatchIngest`], which is implemented
 //! automatically for every
@@ -44,6 +58,20 @@
 //! `u64` items) — including their `ingest_batch` fast paths, which is
 //! where the engine's throughput comes from on key-skewed streams.
 //!
+//! # The read plane
+//!
+//! An engine built with
+//! [`EngineConfigBuilder::publish_interval`] additionally *publishes*:
+//! every `interval` routed items the router flushes its partial
+//! batches and threads an epoch marker through every shard's channel;
+//! the shards' state clones are merged off-thread and swapped into an
+//! epoch-versioned cell that any number of cloned [`ReadHandle`]s
+//! query with `&self` — concurrent readers never block the router or
+//! each other, and every published view is bit-identical to an
+//! on-demand merge at the view's recorded offset. See
+//! [`read_plane`](crate::ReadHandle) and `docs/ENGINE.md` for the
+//! epoch/staleness contract.
+//!
 //! # Concurrency audit
 //!
 //! The engine's correctness argument has exactly three legs, each
@@ -53,7 +81,9 @@
 //! 1. **Per-shard FIFO.** Each shard's channel delivers its batches in
 //!    send order, so a shard's estimator sees a deterministic
 //!    sub-stream: routing is a pure function of `(item, tick)` and the
-//!    router runs single-threaded.
+//!    router runs single-threaded. Read-plane markers ride the same
+//!    FIFO, so a shard's epoch contribution covers exactly the batches
+//!    dispatched before the marker.
 //! 2. **Cross-shard order freedom.** Shards interleave arbitrarily, but
 //!    every pluggable estimator is [`Mergeable`] over *commutative,
 //!    exact* state (field addition, counter addition), so any
@@ -62,14 +92,15 @@
 //!    single-threaded and asserts bit-identical merged state.
 //! 3. **No shared mutable state.** Workers own their estimator clones;
 //!    the only cross-thread traffic is by-value message passing
-//!    (`sync_channel`), queries clone a snapshot rather than lock, and
-//!    `#![forbid(unsafe_code)]` (lint L4) rules out hand-rolled
-//!    sharing. A worker that panics poisons nothing: the engine marks
-//!    the shard dead, harvests the panic payload, and `finish`/`query`
-//!    return [`EngineError::ShardDead`] carrying it — the shard's
-//!    updates are lost, so no exact answer exists. Callers that prefer
-//!    a lossy answer over none opt in explicitly via
-//!    [`ShardedEngine::query_degraded`] /
+//!    (`sync_channel`) plus the read plane's epoch cell (a monotone
+//!    atomic over `Arc`-swapped immutable views), queries clone a
+//!    snapshot rather than lock, and `#![forbid(unsafe_code)]` (lint
+//!    L4) rules out hand-rolled sharing. A worker that panics poisons
+//!    nothing: the engine marks the shard dead, harvests the panic
+//!    payload, and `finish`/`query` return [`EngineError::ShardDead`]
+//!    carrying it — the shard's updates are lost, so no exact answer
+//!    exists. Callers that prefer a lossy answer over none opt in
+//!    explicitly via [`ShardedEngine::query_degraded`] /
 //!    [`ShardedEngine::finish_degraded`], which merge the surviving
 //!    shards and report which ones are missing.
 //!
@@ -87,8 +118,8 @@
 //!
 //! # Self-healing
 //!
-//! [`SupervisedEngine`] wraps the same worker model in a supervisor
-//! that takes per-shard micro-checkpoints every
+//! [`SupervisedEngine`] runs the same workers under a supervisor that
+//! takes per-shard micro-checkpoints every
 //! [`SupervisorConfig::checkpoint_interval`] batches (encoded on the
 //! worker thread, so the router never stalls), keeps a bounded replay
 //! log of batches since each shard's last micro-checkpoint, and on
@@ -109,7 +140,10 @@
 //! fired from the router thread (never from workers), so for a fixed
 //! input and seed the counters and the event sequence are
 //! bit-reproducible; wall-clock durations live only in latency
-//! histograms, which the determinism suite ignores. An uninstrumented
+//! histograms, which the determinism suite ignores. (The read plane's
+//! completion gauge and reader counters are the documented exception:
+//! they fire from the aggregator and reader threads and are excluded
+//! from determinism diffs, like queue depths.) An uninstrumented
 //! engine pays one branch-on-`None` per batch boundary — the
 //! `obs_overhead` bench group holds this under 5%.
 //! [`ShardedEngine::report`] packages a query, the approximation
@@ -123,13 +157,19 @@ mod checkpoint;
 mod config;
 mod error;
 pub mod faults;
+mod read_plane;
 mod replay;
+mod router;
+mod runtime;
 mod supervisor;
 
 pub use checkpoint::EngineCheckpoint;
 pub use config::{EngineConfig, EngineConfigBuilder, SupervisorConfig};
-pub use error::{Degraded, EngineError, QueryReport};
+pub use error::{EngineError, QueryReport};
 pub use faults::{FaultKind, FaultPlan};
+pub use hindex_common::{Degraded, Engine};
+pub use read_plane::{ReadHandle, ReadView};
+pub use router::{mix64, Routable};
 pub use supervisor::SupervisedEngine;
 
 use error::panic_message;
@@ -138,7 +178,10 @@ use hindex_common::{
     SpaceUsage, TurnstileEstimator,
 };
 use hindex_obs::Stopwatch;
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use read_plane::ReadPlane;
+use router::Router;
+use runtime::{merge_all, spawn_worker, Command, WorkerCtx};
+use std::sync::mpsc::SyncSender;
 
 /// Batched ingestion of stream items of type `T`.
 ///
@@ -180,55 +223,11 @@ impl<E: TurnstileEstimator> BatchIngest<(u64, i64)> for E {
     }
 }
 
-/// How a stream item picks its shard.
-pub trait Routable {
-    /// Shard for this item. `shards ≥ 1`; `tick` is a monotone
-    /// per-engine counter usable for round-robin routing.
-    fn route(&self, shards: usize, tick: u64) -> usize;
-}
-
-/// SplitMix64 finalizer: decorrelates consecutive paper ids so shards
-/// stay balanced even on sequential-id streams. Exposed so callers can
-/// predict (or replicate) the engine's key→shard assignment.
-pub fn mix64(mut x: u64) -> u64 {
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// Cash-register updates route by paper index: every update to a paper
-/// lands on the same shard.
-impl Routable for (u64, u64) {
-    fn route(&self, shards: usize, _tick: u64) -> usize {
-        (mix64(self.0) % shards as u64) as usize
-    }
-}
-
-/// Turnstile updates route by paper index too: an insert and its later
-/// retraction must meet on the same shard for per-shard coalescing to
-/// cancel them (any partition would still *merge* correctly — linear
-/// sketches cancel across shards — but keeping a paper's history
-/// together is what lets the batch path collapse it early).
-impl Routable for (u64, i64) {
-    fn route(&self, shards: usize, _tick: u64) -> usize {
-        (mix64(self.0) % shards as u64) as usize
-    }
-}
-
-/// Aggregate values are independent; round-robin keeps shards balanced.
-impl Routable for u64 {
-    fn route(&self, shards: usize, tick: u64) -> usize {
-        (tick % shards as u64) as usize
-    }
-}
-
-pub(crate) enum Command<E, T> {
-    Batch(Vec<T>),
-    Snapshot(Sender<E>),
-}
-
 /// A multi-threaded sharded ingestion pipeline around a [`Mergeable`]
-/// estimator.
+/// estimator — the *fail-hard* policy over the shared shard runtime:
+/// a dead worker makes strict queries refuse until the caller opts
+/// into degradation. (The self-healing policy is [`SupervisedEngine`];
+/// both implement [`Engine`].)
 ///
 /// ```
 /// use hindex_common::{CashRegisterEstimator, Estimate, SpaceUsage};
@@ -248,25 +247,30 @@ pub(crate) enum Command<E, T> {
 ///
 /// Attach an [`EngineObserver`](hindex_obs::EngineObserver) through
 /// the builder to get metrics, traces, and a [`QueryReport`] — see the
-/// crate docs and `docs/OBSERVABILITY.md`.
+/// crate docs and `docs/OBSERVABILITY.md`. Configure a
+/// `publish_interval` and clone [`ShardedEngine::read_handle`] into
+/// reader threads for lock-free concurrent queries.
 pub struct ShardedEngine<E, T> {
     config: EngineConfig,
+    /// Routing + batching + stream offset (shared with the supervisor).
+    router: Router<T>,
     senders: Vec<SyncSender<Command<E, T>>>,
     handles: Vec<Option<std::thread::JoinHandle<E>>>,
-    /// Per-shard pending (unsent) batch.
-    buffers: Vec<Vec<T>>,
     /// Shards whose worker has died (send or join failed); their
     /// updates are lost and strict queries refuse to answer.
     dead: Vec<bool>,
     /// Panic payload harvested from each dead shard's worker, when one
     /// was recoverable.
     dead_reason: Vec<Option<String>>,
-    tick: u64,
+    /// The read plane, when `publish_interval` is configured. Dropped
+    /// after the workers are joined (see `Drop`), which is what lets
+    /// the aggregator drain and exit.
+    plane: Option<ReadPlane<E>>,
 }
 
 impl<E, T> ShardedEngine<E, T>
 where
-    E: BatchIngest<T> + Mergeable + Clone + Send + 'static,
+    E: BatchIngest<T> + Mergeable + Clone + Send + Sync + 'static,
     T: Routable + Send + 'static,
 {
     /// Spawns the worker shards, each owning a clone of `prototype`.
@@ -305,7 +309,7 @@ where
         let shard_states = checkpoint.shards.len() as u64;
         let engine = Self::spawn(checkpoint.config, checkpoint.shards, checkpoint.tick);
         if let Some(o) = &engine.config.observer {
-            o.on_restore(engine.tick, shard_states, sw.elapsed_nanos());
+            o.on_restore(engine.router.tick(), shard_states, sw.elapsed_nanos());
         }
         Ok(engine)
     }
@@ -315,22 +319,28 @@ where
         assert!(config.batch_size >= 1, "batch_size must be positive");
         assert!(config.queue_depth >= 1, "queue_depth must be positive");
         assert_eq!(states.len(), config.shards, "one state per shard");
+        let plane = config
+            .publish_interval
+            .map(|interval| ReadPlane::new(config.shards, interval, config.observer.clone()));
         let mut senders = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
-        for estimator in states {
-            let (tx, rx) = sync_channel::<Command<E, T>>(config.queue_depth);
-            handles.push(Some(std::thread::spawn(move || worker(estimator, &rx))));
-            senders.push(tx);
+        for (shard, estimator) in states.into_iter().enumerate() {
+            let ctx = WorkerCtx {
+                views: plane.as_ref().and_then(ReadPlane::view_sender),
+                ..WorkerCtx::plain(shard)
+            };
+            let lineage = spawn_worker(config.queue_depth, estimator, 0, ctx);
+            senders.push(lineage.sender);
+            handles.push(Some(lineage.handle));
         }
-        let buffers = (0..config.shards).map(|_| Vec::new()).collect();
         Self {
             dead: vec![false; config.shards],
             dead_reason: vec![None; config.shards],
+            router: Router::new(config.shards, config.batch_size, tick),
             config,
             senders,
             handles,
-            buffers,
-            tick,
+            plane,
         }
     }
 
@@ -342,15 +352,14 @@ where
 
     /// Routes one item to its shard; hands the shard's batch to the
     /// worker when it reaches `batch_size` (blocking if that shard's
-    /// queue is full).
+    /// queue is full), and publishes a read-plane epoch when one is
+    /// due.
     pub fn ingest(&mut self, item: T) {
-        let shard = item.route(self.config.shards, self.tick);
-        self.tick += 1;
-        let buf = &mut self.buffers[shard];
-        buf.push(item);
-        if buf.len() >= self.config.batch_size {
-            let batch = std::mem::replace(buf, Vec::with_capacity(self.config.batch_size));
+        if let Some((shard, batch)) = self.router.push(item) {
             self.send(shard, batch);
+        }
+        if self.plane.as_ref().is_some_and(|p| p.due(self.router.tick())) {
+            let _ = self.publish_now();
         }
     }
 
@@ -364,7 +373,7 @@ where
             self.ingest(item);
         }
         if let Some(o) = &self.config.observer {
-            o.on_push_batch(self.tick, items.len() as u64);
+            o.on_push_batch(self.router.tick(), items.len() as u64);
         }
     }
 
@@ -372,13 +381,46 @@ where
     pub fn flush(&mut self) {
         for shard in 0..self.config.shards {
             if let Some(o) = &self.config.observer {
-                o.on_queue_depth(shard, self.buffers[shard].len() as u64);
+                o.on_queue_depth(shard, self.router.pending(shard) as u64);
             }
-            if !self.buffers[shard].is_empty() {
-                let batch = std::mem::take(&mut self.buffers[shard]);
+            if let Some(batch) = self.router.take(shard) {
                 self.send(shard, batch);
             }
         }
+        if let Some(plane) = &self.plane {
+            plane.note_offset(self.router.tick());
+        }
+    }
+
+    /// A cloneable, `&self` handle onto the engine's published views,
+    /// or `None` when the engine was built without a
+    /// `publish_interval`. Clone it into as many reader threads as you
+    /// like; see [`ReadHandle`].
+    #[must_use]
+    pub fn read_handle(&self) -> Option<ReadHandle<E>> {
+        self.plane.as_ref().map(ReadPlane::handle)
+    }
+
+    /// Forces a read-plane publish at the current stream offset and
+    /// returns the epoch issued, or `None` when the engine has no read
+    /// plane. The epoch completes asynchronously — pair with
+    /// [`ReadHandle::wait_for_epoch`] when the completed view is
+    /// needed. Flushes first, so the published view covers exactly
+    /// [`Self::stream_offset`] items.
+    pub fn publish_now(&mut self) -> Option<u64> {
+        self.plane.as_ref()?;
+        self.flush();
+        let offset = self.router.tick();
+        let epoch = self.plane.as_mut()?.begin_epoch(offset);
+        for shard in 0..self.config.shards {
+            if self.dead[shard] {
+                continue; // incomplete epoch: never published
+            }
+            if self.senders[shard].send(Command::Publish { epoch, offset }).is_err() {
+                self.mark_dead(shard);
+            }
+        }
+        Some(epoch)
     }
 
     /// Anytime query: flushes, snapshots every shard *in place* (the
@@ -394,7 +436,7 @@ where
             return Err(err);
         }
         if let Some(o) = &self.config.observer {
-            o.on_merge(self.tick, self.config.shards as u64);
+            o.on_merge(self.router.tick(), self.config.shards as u64);
         }
         let merged = merge_all(states).ok_or(EngineError::AllShardsDead)?;
         self.observe_bank(&merged);
@@ -408,7 +450,7 @@ where
         if let Some(o) = &self.config.observer {
             if let Some(bank) = merged.bank_counters() {
                 if !bank.is_empty() {
-                    o.on_bank_batch(self.tick, &bank);
+                    o.on_bank_batch(self.router.tick(), &bank);
                 }
             }
         }
@@ -422,9 +464,9 @@ where
         let dead_shards = self.dead_shard_indices();
         if let Some(o) = &self.config.observer {
             let live = self.config.shards - dead_shards.len();
-            o.on_merge(self.tick, live as u64);
+            o.on_merge(self.router.tick(), live as u64);
             if !dead_shards.is_empty() {
-                o.on_query_degraded(self.tick, dead_shards.len() as u64);
+                o.on_query_degraded(self.router.tick(), dead_shards.len() as u64);
             }
         }
         match merge_all(states) {
@@ -441,7 +483,9 @@ where
     /// is attached) a metrics snapshot — the one value reporting
     /// boundaries should hand on. `contract` is the guarantee the
     /// prototype estimator was built under; pass `None` for exact
-    /// baselines.
+    /// baselines. Always a *fresh* synchronous merge; for the
+    /// published-view flavour (with epoch and staleness filled in) see
+    /// [`ReadHandle::report`].
     pub fn report(&mut self, contract: Option<Guarantee>) -> Result<QueryReport, EngineError>
     where
         E: Estimate + SpaceUsage,
@@ -453,6 +497,8 @@ where
             approx_contract: contract,
             space_words,
             degraded: degraded.dead_shards,
+            epoch: None,
+            staleness: 0,
             obs: self.config.observer.as_ref().map(|o| Box::new(o.snapshot())),
         })
     }
@@ -472,11 +518,11 @@ where
         let shards: Vec<E> = states.into_iter().flatten().collect();
         debug_assert_eq!(shards.len(), self.config.shards);
         if let Some(o) = &self.config.observer {
-            o.on_checkpoint(self.tick, shards.len() as u64, sw.elapsed_nanos());
+            o.on_checkpoint(self.router.tick(), shards.len() as u64, sw.elapsed_nanos());
         }
         Ok(EngineCheckpoint {
             config: self.config.clone(),
-            tick: self.tick,
+            tick: self.router.tick(),
             shards,
         })
     }
@@ -485,7 +531,7 @@ where
     /// a [`Self::restore`], replay the input stream from this offset.
     #[must_use]
     pub fn stream_offset(&self) -> u64 {
-        self.tick
+        self.router.tick()
     }
 
     /// Retires the engine: flushes, joins all workers, and returns the
@@ -539,7 +585,7 @@ where
     /// Items buffered locally, not yet handed to any worker.
     #[must_use]
     pub fn buffered_items(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
+        self.router.buffered_items()
     }
 
     /// Indices of shards whose workers have died.
@@ -590,7 +636,7 @@ where
         debug_assert!(shard < self.dead.len(), "shard index computed by the router");
         self.dead[shard] = true;
         if let Some(o) = &self.config.observer {
-            o.on_shard_panicked(self.tick, shard, 1);
+            o.on_shard_panicked(self.router.tick(), shard, 1);
         }
         if self.dead_reason[shard].is_none() {
             self.dead_reason[shard] = Some(reason);
@@ -609,19 +655,22 @@ where
         let full = batch.len() >= self.config.batch_size;
         if self.dead[shard] {
             if let Some(o) = &self.config.observer {
-                o.on_batch_lost(self.tick, shard, len);
+                o.on_batch_lost(self.router.tick(), shard, len);
             }
             return;
         }
         if self.senders[shard].send(Command::Batch(batch)).is_err() {
             self.mark_dead(shard);
             if let Some(o) = &self.config.observer {
-                o.on_batch_lost(self.tick, shard, len);
+                o.on_batch_lost(self.router.tick(), shard, len);
             }
             return;
         }
         if let Some(o) = &self.config.observer {
-            o.on_flush(self.tick, shard, len, full);
+            o.on_flush(self.router.tick(), shard, len, full);
+        }
+        if let Some(plane) = &self.plane {
+            plane.note_offset(self.router.tick());
         }
     }
 
@@ -665,24 +714,73 @@ where
     }
 }
 
-/// Merges the surviving shard states in shard order; `None` when every
-/// shard is gone.
-pub(crate) fn merge_all<E: Mergeable>(states: Vec<Option<E>>) -> Option<E> {
-    let mut it = states.into_iter().flatten();
-    let mut merged = it.next()?;
-    for state in it {
-        merged.merge(&state);
+/// The [`Engine`] verb set, delegating to the inherent methods — the
+/// plain engine is the fail-hard policy behind the unified interface.
+impl<E, T> Engine<T> for ShardedEngine<E, T>
+where
+    E: BatchIngest<T> + Mergeable + Estimate + SpaceUsage + Clone + Send + Sync + 'static,
+    T: Routable + Send + 'static,
+{
+    type Output = E;
+    type Error = EngineError;
+    type Checkpoint = EngineCheckpoint<E>;
+    type Report = QueryReport;
+
+    fn ingest(&mut self, item: T) {
+        ShardedEngine::ingest(self, item);
     }
-    Some(merged)
+
+    fn ingest_batch(&mut self, items: &[T])
+    where
+        T: Copy,
+    {
+        ShardedEngine::ingest_batch(self, items);
+    }
+
+    fn flush(&mut self) {
+        ShardedEngine::flush(self);
+    }
+
+    fn query(&mut self) -> Result<E, EngineError> {
+        ShardedEngine::query(self)
+    }
+
+    fn query_degraded(&mut self) -> Result<Degraded<E>, EngineError> {
+        ShardedEngine::query_degraded(self)
+    }
+
+    fn report(&mut self, contract: Option<Guarantee>) -> Result<QueryReport, EngineError> {
+        ShardedEngine::report(self, contract)
+    }
+
+    fn checkpoint(&mut self) -> Result<EngineCheckpoint<E>, EngineError> {
+        ShardedEngine::checkpoint(self)
+    }
+
+    fn finish(self) -> Result<E, EngineError> {
+        ShardedEngine::finish(self)
+    }
+
+    fn finish_degraded(self) -> Result<Degraded<E>, EngineError> {
+        ShardedEngine::finish_degraded(self)
+    }
+
+    fn stream_offset(&self) -> u64 {
+        ShardedEngine::stream_offset(self)
+    }
+
+    fn dead_shard_indices(&self) -> Vec<usize> {
+        ShardedEngine::dead_shard_indices(self)
+    }
 }
 
 /// Space of the whole pipeline: the sum of the *live* shard estimators'
 /// space (obtained by snapshot; dead shards hold nothing) plus the
-/// bounded channel capacity and the router's local buffers, one word
-/// per item slot.
+/// bounded channel capacity, the router's local buffers (one word per
+/// item slot), and the latest published read-plane view, if any.
 impl<E, T> SpaceUsage for ShardedEngine<E, T>
 where
-    E: BatchIngest<T> + Mergeable + Clone + Send + SpaceUsage + 'static,
+    E: BatchIngest<T> + Mergeable + Clone + Send + Sync + SpaceUsage + 'static,
     T: Routable + Send + 'static,
 {
     fn space_words(&self) -> usize {
@@ -695,7 +793,12 @@ where
         let item_words = std::mem::size_of::<T>().div_ceil(std::mem::size_of::<u64>());
         let channel_words =
             self.config.shards * self.config.queue_depth * self.config.batch_size * item_words;
-        shard_words + channel_words + self.buffered_items() * item_words
+        let view_words = self
+            .plane
+            .as_ref()
+            .and_then(|p| p.handle().query())
+            .map_or(0, |v| v.estimator().space_words());
+        shard_words + channel_words + self.buffered_items() * item_words + view_words
     }
 }
 
@@ -705,24 +808,9 @@ impl<E, T> Drop for ShardedEngine<E, T> {
         for handle in self.handles.drain(..).flatten() {
             let _ = handle.join();
         }
+        // `plane` drops with the struct, after the joins above — its
+        // Drop joins the aggregator, which by then has no live sender.
     }
-}
-
-fn worker<E, T>(mut estimator: E, rx: &Receiver<Command<E, T>>) -> E
-where
-    E: BatchIngest<T> + Clone,
-{
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Command::Batch(batch) => estimator.apply_batch(&batch),
-            Command::Snapshot(reply) => {
-                // The query side may have given up (dropped receiver);
-                // ingestion must not die with it.
-                let _ = reply.send(estimator.clone());
-            }
-        }
-    }
-    estimator
 }
 
 #[cfg(test)]
@@ -827,30 +915,6 @@ mod tests {
             // Linear sketches: merged state is bit-identical to the
             // serial stream, so estimates agree exactly.
             assert_eq!(merged.estimate(), serial.estimate(), "{shards} shards");
-        }
-    }
-
-    #[test]
-    fn same_paper_always_same_shard() {
-        for paper in 0..100u64 {
-            let a = (paper, 1u64).route(8, 0);
-            let b = (paper, 5u64).route(8, 123);
-            assert_eq!(a, b);
-        }
-    }
-
-    #[test]
-    fn routing_is_balanced() {
-        let shards = 8usize;
-        let mut counts = vec![0usize; shards];
-        for paper in 0..8_000u64 {
-            counts[(paper, 1u64).route(shards, 0)] += 1;
-        }
-        for (s, &c) in counts.iter().enumerate() {
-            assert!(
-                c > 700 && c < 1_300,
-                "shard {s} got {c} of 8000 sequential papers"
-            );
         }
     }
 
@@ -1022,5 +1086,79 @@ mod tests {
             },
             CashTable::new(),
         );
+    }
+
+    #[test]
+    fn published_views_are_bit_identical_to_serial_prefixes() {
+        let interval = 256u64;
+        let config = EngineConfig {
+            shards: 3,
+            batch_size: 16,
+            queue_depth: 2,
+            publish_interval: Some(interval),
+            ..EngineConfig::default()
+        };
+        let mut engine = ShardedEngine::new(config, CashTable::new());
+        let reader = engine.read_handle().unwrap();
+        // Serial prefix digests at every possible publish offset.
+        let mut serial = CashTable::new();
+        let mut prefix = std::collections::HashMap::new();
+        prefix.insert(0u64, serial.frame_digest());
+        for k in 0..2_000u64 {
+            serial.ingest(k % 90, 1);
+            prefix.insert(k + 1, serial.frame_digest());
+        }
+        for k in 0..2_000u64 {
+            engine.ingest((k % 90, 1));
+        }
+        let epoch = engine.publish_now().unwrap();
+        assert!(reader.wait_for_epoch(epoch, 5_000), "aggregator stalled");
+        let view = reader.query().unwrap();
+        assert_eq!(view.offset(), 2_000);
+        assert_eq!(view.staleness(), 0);
+        assert_eq!(view.estimator().frame_digest(), prefix[&view.offset()]);
+        // The engine also auto-published along the way; every epoch is
+        // at an interval boundary and the final query agrees with the
+        // last published view.
+        assert!(reader.epoch() >= 2_000 / interval);
+        let final_digest = engine.finish().unwrap().frame_digest();
+        assert_eq!(final_digest, prefix[&2_000]);
+    }
+
+    #[test]
+    fn engine_without_read_plane_has_no_handle() {
+        let engine = ShardedEngine::new(EngineConfig::with_shards(2), CashTable::new());
+        assert!(engine.read_handle().is_none());
+        let _ = engine.finish().unwrap();
+    }
+
+    /// Drive both policies through the unified trait: the generic
+    /// driver below cannot name either concrete engine.
+    fn drive_generic<N>(mut engine: N) -> (u64, u64)
+    where
+        N: Engine<(u64, u64), Output = CashTable, Error = EngineError>,
+    {
+        for k in 0..900u64 {
+            engine.ingest((k % 30, 1));
+        }
+        engine.flush();
+        let h = engine.query().unwrap().estimate();
+        let offset = engine.stream_offset();
+        assert!(engine.dead_shard_indices().is_empty());
+        let fin = engine.finish().unwrap();
+        assert_eq!(fin.estimate(), h);
+        (h, offset)
+    }
+
+    #[test]
+    fn both_policies_speak_the_engine_trait() {
+        let plain = ShardedEngine::new(EngineConfig::with_shards(2), CashTable::new());
+        let supervised = SupervisedEngine::new(
+            EngineConfig::with_shards(2),
+            SupervisorConfig::default(),
+            CashTable::new(),
+        )
+        .unwrap();
+        assert_eq!(drive_generic(plain), drive_generic(supervised));
     }
 }

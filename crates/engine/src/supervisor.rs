@@ -1,16 +1,19 @@
-//! The self-healing layer: supervised shards with micro-checkpoints
-//! and replay-based recovery.
+//! The self-healing policy layer: supervised shards with
+//! micro-checkpoints and replay-based recovery.
 //!
-//! [`SupervisedEngine`] runs the same router/worker model as
-//! [`ShardedEngine`](crate::ShardedEngine), with three additions:
+//! [`SupervisedEngine`] runs the *same* worker loop as
+//! [`ShardedEngine`](crate::ShardedEngine) — the one in
+//! `runtime.rs` — under a supervising policy with three additions:
 //!
 //! 1. **Micro-checkpoints.** Every worker encodes its estimator state
 //!    (a [`Snapshot`] frame) once at spawn and then every
 //!    [`SupervisorConfig::checkpoint_interval`] applied batches, on the
-//!    *worker* thread — the router never stalls for encoding. Frames
-//!    flow to the supervisor over an unbounded channel and are drained
-//!    opportunistically at dispatch boundaries and synchronously after
-//!    every join.
+//!    *worker* thread — the router never stalls for encoding. Frame
+//!    emission is the supervisor's `on_applied` callback (see
+//!    [`WorkerCtx`]); the plain engine passes no callback and pays
+//!    nothing. Frames flow to the supervisor over an unbounded channel
+//!    and are drained opportunistically at dispatch boundaries and
+//!    synchronously after every join.
 //! 2. **Replay logs.** Every batch dispatched to a shard is also
 //!    appended to that shard's bounded [`ReplayLog`]; a frame at batch
 //!    ordinal *n* lets the log discard everything below *n*.
@@ -37,30 +40,35 @@
 //! channel). Identical seeded runs therefore produce identical merged
 //! states, restart counts, and event traces; the only racy observables
 //! are gauge readings taken mid-run, same as queue depths.
+//!
+//! # The read plane under supervision
+//!
+//! With a `publish_interval` configured, the supervised engine
+//! publishes epoch views exactly like the plain engine, with one extra
+//! rule: a publish is **skipped entirely** while any shard is terminal
+//! — a published view is *never* degraded. Epoch markers are not
+//! replay-logged: a worker that dies holding its marker takes the
+//! epoch down with it (the aggregator discards the incomplete epoch),
+//! so a kill-and-heal can delay publication but can never surface a
+//! non-healed view. `tests/engine_faults.rs` pins this.
+//!
+//! [`WorkerCtx`]: crate::runtime::WorkerCtx
 
 use crate::config::{EngineConfig, SupervisorConfig};
-use crate::error::{panic_message, Degraded, EngineError};
+use crate::checkpoint::EngineCheckpoint;
+use crate::error::{panic_message, EngineError, QueryReport};
 use crate::faults::{self, Fault, FaultKind, FaultPlan};
+use crate::read_plane::{ReadHandle, ReadPlane};
 use crate::replay::ReplayLog;
-use crate::{merge_all, BatchIngest, Routable};
+use crate::runtime::{merge_all, spawn_worker, Command, WorkerCtx};
+use crate::router::Router;
+use crate::{BatchIngest, Routable};
 use hindex_common::snapshot::fnv1a;
-use hindex_common::{Mergeable, Snapshot, SpaceUsage};
+use hindex_common::{Degraded, Engine, Estimate, Guarantee, Mergeable, Snapshot, SpaceUsage};
 use hindex_obs::{EngineObserver, Stopwatch};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-/// Commands a supervised worker understands. Superset of the plain
-/// worker's: stalls and poisons exist only for fault injection.
-enum SupCommand<E, T> {
-    Batch(Vec<T>),
-    Snapshot(Sender<E>),
-    /// Injected delay: sleep this many milliseconds (backpressures the
-    /// router and delays frames; never changes results).
-    Stall(u64),
-    /// Injected kill: panic on the worker thread with this message.
-    Poison(String),
-}
 
 /// One micro-checkpoint: the estimator's frame bytes after `applied`
 /// batches.
@@ -84,7 +92,7 @@ fn frame_checksum_ok(bytes: &[u8]) -> bool {
 
 /// Everything the supervisor tracks per shard.
 struct ShardState<E, T> {
-    sender: Option<SyncSender<SupCommand<E, T>>>,
+    sender: Option<SyncSender<Command<E, T>>>,
     handle: Option<JoinHandle<E>>,
     frames: Receiver<Frame>,
     log: ReplayLog<T>,
@@ -104,70 +112,11 @@ struct ShardState<E, T> {
     terminal: Option<String>,
 }
 
-/// Spawns one worker lineage: command channel, thread, frame channel.
-fn spawn_worker<E, T>(
-    queue_depth: usize,
-    interval: u64,
-    state: E,
-    base: u64,
-) -> (SyncSender<SupCommand<E, T>>, JoinHandle<E>, Receiver<Frame>)
-where
-    E: BatchIngest<T> + Snapshot + Clone + Send + 'static,
-    T: Send + 'static,
-{
-    let (tx, rx) = sync_channel::<SupCommand<E, T>>(queue_depth);
-    let (frame_tx, frame_rx) = channel::<Frame>();
-    let handle = std::thread::spawn(move || sup_worker(state, base, interval, &rx, &frame_tx));
-    (tx, handle, frame_rx)
-}
-
-/// The supervised worker loop: apply batches, emit a frame at spawn
-/// and every `interval` applied batches, answer snapshots, honour
-/// injected stalls/poisons.
-fn sup_worker<E, T>(
-    mut estimator: E,
-    base: u64,
-    interval: u64,
-    rx: &Receiver<SupCommand<E, T>>,
-    frames: &Sender<Frame>,
-) -> E
-where
-    E: BatchIngest<T> + Snapshot + Clone,
-{
-    // The spawn frame: every lineage has a recovery base even if it
-    // dies before its first interval. Sent before the first recv, so
-    // FIFO guarantees it is drainable at any later join.
-    let _ = frames.send(Frame { applied: base, bytes: estimator.to_bytes() });
-    let mut applied = base;
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            SupCommand::Batch(batch) => {
-                estimator.apply_batch(&batch);
-                applied += 1;
-                if (applied - base).is_multiple_of(interval) {
-                    // Encoded here, on the worker thread; the router
-                    // never blocks on frame encoding.
-                    let _ = frames.send(Frame { applied, bytes: estimator.to_bytes() });
-                }
-            }
-            SupCommand::Snapshot(reply) => {
-                // The query side may have given up (dropped receiver);
-                // ingestion must not die with it.
-                let _ = reply.send(estimator.clone());
-            }
-            SupCommand::Stall(ms) => {
-                std::thread::sleep(std::time::Duration::from_millis(ms));
-            }
-            SupCommand::Poison(msg) => faults::detonate(&msg),
-        }
-    }
-    estimator
-}
-
 /// A [`ShardedEngine`](crate::ShardedEngine) that heals itself: worker
 /// death triggers restart-from-micro-checkpoint plus replay instead of
 /// data loss, bounded by [`SupervisorConfig::max_restarts`] and the
-/// replay-log budget.
+/// replay-log budget. The *self-healing* policy behind the unified
+/// [`Engine`] trait.
 ///
 /// ```
 /// use hindex_baseline::CashTable;
@@ -191,13 +140,17 @@ pub struct SupervisedEngine<E, T> {
     plan: Vec<Fault>,
     fired: Vec<bool>,
     shards: Vec<ShardState<E, T>>,
-    buffers: Vec<Vec<T>>,
-    tick: u64,
+    /// Routing + batching + stream offset (shared with the plain
+    /// engine).
+    router: Router<T>,
+    /// The read plane, when `publish_interval` is configured. Declared
+    /// last so it drops after `Drop` joins the workers.
+    plane: Option<ReadPlane<E>>,
 }
 
 impl<E, T> SupervisedEngine<E, T>
 where
-    E: BatchIngest<T> + Mergeable + Snapshot + Clone + Send + 'static,
+    E: BatchIngest<T> + Mergeable + Snapshot + Clone + Send + Sync + 'static,
     T: Routable + Clone + Send + 'static,
 {
     /// Supervised engine without injected faults.
@@ -228,15 +181,25 @@ where
     ) -> Result<Self, EngineError> {
         config.validate()?;
         sup.validate()?;
-        let mut shards = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
-            let (sender, handle, frames) =
-                spawn_worker(config.queue_depth, sup.checkpoint_interval, prototype.clone(), 0);
-            shards.push(ShardState {
+        let plane = config
+            .publish_interval
+            .map(|interval| ReadPlane::new(config.shards, interval, config.observer.clone()));
+        let mut engine = Self {
+            router: Router::new(config.shards, config.batch_size, 0),
+            fired: vec![false; plan.faults.len()],
+            plan: plan.faults,
+            shards: Vec::with_capacity(config.shards),
+            plane,
+            config,
+            sup,
+        };
+        for shard in 0..engine.config.shards {
+            let (sender, handle, frames) = engine.spawn_lineage(shard, prototype.clone(), 0);
+            engine.shards.push(ShardState {
                 sender: Some(sender),
                 handle: Some(handle),
                 frames,
-                log: ReplayLog::new(sup.max_replay_words),
+                log: ReplayLog::new(engine.sup.max_replay_words),
                 frame: None,
                 deaths: 0,
                 restarts: 0,
@@ -246,15 +209,35 @@ where
                 terminal: None,
             });
         }
-        Ok(Self {
-            buffers: (0..config.shards).map(|_| Vec::new()).collect(),
-            fired: vec![false; plan.faults.len()],
-            plan: plan.faults,
-            shards,
-            tick: 0,
-            config,
-            sup,
-        })
+        Ok(engine)
+    }
+
+    /// Spawns one worker lineage on the shared runtime: the frame
+    /// emission that makes it *supervised* is the `on_applied` closure
+    /// (encode on the worker thread at spawn and every
+    /// `checkpoint_interval` applied batches).
+    fn spawn_lineage(
+        &self,
+        shard: usize,
+        state: E,
+        base: u64,
+    ) -> (SyncSender<Command<E, T>>, JoinHandle<E>, Receiver<Frame>) {
+        let (frame_tx, frame_rx) = channel::<Frame>();
+        let interval = self.sup.checkpoint_interval;
+        let on_applied = Box::new(move |estimator: &E, applied: u64| {
+            // `applied == base` at spawn: 0 is a multiple, so every
+            // lineage emits its base frame before its first recv.
+            if (applied - base).is_multiple_of(interval) {
+                let _ = frame_tx.send(Frame { applied, bytes: estimator.to_bytes() });
+            }
+        });
+        let ctx = WorkerCtx {
+            shard,
+            on_applied: Some(on_applied),
+            views: self.plane.as_ref().and_then(ReadPlane::view_sender),
+        };
+        let lineage = spawn_worker(self.config.queue_depth, state, base, ctx);
+        (lineage.sender, lineage.handle, frame_rx)
     }
 
     /// The engine configuration in effect.
@@ -272,7 +255,7 @@ where
     /// Items routed so far.
     #[must_use]
     pub fn stream_offset(&self) -> u64 {
-        self.tick
+        self.router.tick()
     }
 
     /// Indices of shards that are terminally dead (healing exhausted).
@@ -296,15 +279,14 @@ where
     }
 
     /// Routes one item to its shard; dispatches the shard's batch when
-    /// it reaches `batch_size`.
+    /// it reaches `batch_size`, and publishes a read-plane epoch when
+    /// one is due.
     pub fn ingest(&mut self, item: T) {
-        let shard = item.route(self.config.shards, self.tick);
-        self.tick += 1;
-        let buf = &mut self.buffers[shard];
-        buf.push(item);
-        if buf.len() >= self.config.batch_size {
-            let batch = std::mem::replace(buf, Vec::with_capacity(self.config.batch_size));
+        if let Some((shard, batch)) = self.router.push(item) {
             self.dispatch(shard, batch);
+        }
+        if self.plane.as_ref().is_some_and(|p| p.due(self.router.tick())) {
+            let _ = self.publish_now();
         }
     }
 
@@ -318,7 +300,7 @@ where
             self.ingest(item);
         }
         if let Some(o) = self.obs() {
-            o.on_push_batch(self.tick, items.len() as u64);
+            o.on_push_batch(self.router.tick(), items.len() as u64);
         }
     }
 
@@ -328,17 +310,57 @@ where
     pub fn flush(&mut self) {
         for shard in 0..self.config.shards {
             if let Some(o) = self.obs() {
-                o.on_queue_depth(shard, self.buffers[shard].len() as u64);
+                o.on_queue_depth(shard, self.router.pending(shard) as u64);
             }
-            if self.buffers[shard].is_empty() {
-                if self.shards[shard].terminal.is_none() {
-                    self.apply_faults(shard);
+            match self.router.take(shard) {
+                Some(batch) => self.dispatch(shard, batch),
+                None => {
+                    if self.shards[shard].terminal.is_none() {
+                        self.apply_faults(shard);
+                    }
                 }
-            } else {
-                let batch = std::mem::take(&mut self.buffers[shard]);
-                self.dispatch(shard, batch);
             }
         }
+        if let Some(plane) = &self.plane {
+            plane.note_offset(self.router.tick());
+        }
+    }
+
+    /// A cloneable, `&self` handle onto the engine's published views,
+    /// or `None` when the engine was built without a
+    /// `publish_interval`. See [`ReadHandle`].
+    #[must_use]
+    pub fn read_handle(&self) -> Option<ReadHandle<E>> {
+        self.plane.as_ref().map(ReadPlane::handle)
+    }
+
+    /// Forces a read-plane publish at the current stream offset and
+    /// returns the epoch issued. `None` when the engine has no read
+    /// plane **or any shard is terminal** — a published view is never
+    /// degraded. Down-but-healable lineages are healed first, so the
+    /// epoch covers exactly [`Self::stream_offset`] items when it
+    /// completes.
+    pub fn publish_now(&mut self) -> Option<u64> {
+        self.plane.as_ref()?;
+        self.flush();
+        for shard in 0..self.config.shards {
+            self.ensure_live(shard);
+        }
+        if self.shards.iter().any(|s| s.terminal.is_some()) {
+            return None;
+        }
+        let offset = self.router.tick();
+        let epoch = self.plane.as_mut()?.begin_epoch(offset);
+        for s in &self.shards {
+            if let Some(tx) = &s.sender {
+                // A send failure means the worker died holding the
+                // marker: the epoch stays incomplete and is discarded
+                // by the aggregator — never published short. The death
+                // itself is detected (and healed) at the next dispatch.
+                let _ = tx.send(Command::Publish { epoch, offset });
+            }
+        }
+        Some(epoch)
     }
 
     /// The dispatch path: log the batch, drain frames, fire due
@@ -350,7 +372,7 @@ where
         let full = batch.len() >= self.config.batch_size;
         if self.shards[shard].terminal.is_some() {
             if let Some(o) = &obs {
-                o.on_batch_lost(self.tick, shard, len);
+                o.on_batch_lost(self.router.tick(), shard, len);
             }
             return;
         }
@@ -360,14 +382,14 @@ where
         let evicted = self.shards[shard].log.push(batch);
         if evicted.entries > 0 {
             if let Some(o) = &obs {
-                o.on_replay_overflow(self.tick, shard, evicted.entries);
+                o.on_replay_overflow(self.router.tick(), shard, evicted.entries);
             }
             if evicted.undelivered_items > 0 {
                 // Updates that never reached any worker just left the
                 // log: the shard can no longer become correct. Honest
                 // degradation, never a silently wrong answer.
                 if let Some(o) = &obs {
-                    o.on_batch_lost(self.tick, shard, evicted.undelivered_items);
+                    o.on_batch_lost(self.router.tick(), shard, evicted.undelivered_items);
                 }
                 self.terminal(shard, "replay log overflowed past undelivered batches");
                 return;
@@ -396,13 +418,13 @@ where
             .replay_from(self.shards[shard].log.next().saturating_sub(1));
         let payload = newest.into_iter().next().map(|(_, b, _)| b);
         let sent = match (payload, &self.shards[shard].sender) {
-            (Some(b), Some(tx)) => tx.send(SupCommand::Batch(b)).is_ok(),
+            (Some(b), Some(tx)) => tx.send(Command::Batch(b)).is_ok(),
             _ => false,
         };
         if sent {
             self.shards[shard].log.mark_newest_delivered();
             if let Some(o) = &obs {
-                o.on_flush(self.tick, shard, len, full);
+                o.on_flush(self.router.tick(), shard, len, full);
             }
         } else {
             // The worker died on its own (estimator bug); harvest and
@@ -418,12 +440,12 @@ where
         let obs = self.obs();
         for i in 0..self.plan.len() {
             let fault = self.plan[i];
-            if self.fired[i] || fault.shard != shard || fault.tick > self.tick {
+            if self.fired[i] || fault.shard != shard || fault.tick > self.router.tick() {
                 continue;
             }
             self.fired[i] = true;
             if let Some(o) = &obs {
-                o.on_fault_injected(self.tick, u32::try_from(shard).ok(), fault.kind.code());
+                o.on_fault_injected(self.router.tick(), u32::try_from(shard).ok(), fault.kind.code());
             }
             match fault.kind {
                 FaultKind::Kill => {
@@ -431,7 +453,7 @@ where
                         // Queued behind every in-flight batch: the
                         // worker applies them all, then panics — the
                         // genuine crash path, FIFO-deterministic.
-                        let _ = tx.send(SupCommand::Poison(format!(
+                        let _ = tx.send(Command::Poison(format!(
                             "kill shard {shard} at tick {}",
                             fault.tick
                         )));
@@ -444,7 +466,7 @@ where
                 }
                 FaultKind::Stall => {
                     if let Some(tx) = &self.shards[shard].sender {
-                        let _ = tx.send(SupCommand::Stall(fault.arg));
+                        let _ = tx.send(Command::Stall(fault.arg));
                     }
                 }
                 FaultKind::Corrupt => {
@@ -508,7 +530,7 @@ where
                     s.deaths += 1;
                     s.last_reason = Some(panic_message(payload.as_ref()));
                     if let Some(o) = &obs {
-                        o.on_shard_panicked(self.tick, shard, s.deaths);
+                        o.on_shard_panicked(self.router.tick(), shard, s.deaths);
                     }
                 }
             }
@@ -544,7 +566,7 @@ where
         let lost = s.log.undelivered_items();
         if lost > 0 {
             if let Some(o) = &obs {
-                o.on_batch_lost(self.tick, shard, lost);
+                o.on_batch_lost(self.router.tick(), shard, lost);
             }
         }
     }
@@ -594,15 +616,16 @@ where
                     self.sup.backoff_ms << shift,
                 ));
             }
-            let (sender, handle, frames) =
-                spawn_worker(self.config.queue_depth, self.sup.checkpoint_interval, state, base);
+            let (sender, handle, frames) = self.spawn_lineage(shard, state, base);
+            // Only batches are replayed — epoch markers are not logged,
+            // so a healed lineage never re-contributes to an old epoch.
             let replay = self.shards[shard].log.replay_from(base);
             let mut newly_flushed: Vec<u64> = Vec::new();
             let mut replayed = 0u64;
             let mut died_mid_replay = false;
             for (_, batch, delivered) in replay {
                 let len = batch.len() as u64;
-                if sender.send(SupCommand::Batch(batch)).is_err() {
+                if sender.send(Command::Batch(batch)).is_err() {
                     died_mid_replay = true;
                     break;
                 }
@@ -626,9 +649,9 @@ where
                 // lineage already flushed are not re-counted; batches
                 // delivered for the first time by this replay are.
                 for len in newly_flushed {
-                    o.on_flush(self.tick, shard, len, len >= self.config.batch_size as u64);
+                    o.on_flush(self.router.tick(), shard, len, len >= self.config.batch_size as u64);
                 }
-                o.on_shard_restart(self.tick, shard, replayed, sw.elapsed_nanos());
+                o.on_shard_restart(self.router.tick(), shard, replayed, sw.elapsed_nanos());
                 o.on_replay_words(shard, self.shards[shard].log.words() as u64);
             }
             return true;
@@ -678,7 +701,7 @@ where
         debug_assert!(shard < self.shards.len(), "shard index computed by the router");
         let tx = self.shards[shard].sender.as_ref()?;
         let (reply_tx, reply_rx) = channel();
-        tx.send(SupCommand::Snapshot(reply_tx)).ok()?;
+        tx.send(Command::Snapshot(reply_tx)).ok()?;
         reply_rx.recv().ok()
     }
 
@@ -692,7 +715,7 @@ where
             return Err(err);
         }
         if let Some(o) = self.obs() {
-            o.on_merge(self.tick, self.config.shards as u64);
+            o.on_merge(self.router.tick(), self.config.shards as u64);
         }
         merge_all(states).ok_or(EngineError::AllShardsDead)
     }
@@ -704,15 +727,75 @@ where
         let states = self.snapshot_states();
         let dead_shards = self.dead_shard_indices();
         if let Some(o) = self.obs() {
-            o.on_merge(self.tick, (self.config.shards - dead_shards.len()) as u64);
+            o.on_merge(self.router.tick(), (self.config.shards - dead_shards.len()) as u64);
             if !dead_shards.is_empty() {
-                o.on_query_degraded(self.tick, dead_shards.len() as u64);
+                o.on_query_degraded(self.router.tick(), dead_shards.len() as u64);
             }
         }
         match merge_all(states) {
             Some(estimator) => Ok(Degraded { estimator, dead_shards }),
             None => Err(EngineError::AllShardsDead),
         }
+    }
+
+    /// Lossy anytime query packaged as a typed [`QueryReport`] — same
+    /// contract as
+    /// [`ShardedEngine::report`](crate::ShardedEngine::report), healing
+    /// through worker deaths first. Always a fresh synchronous merge
+    /// (`epoch: None`); see [`ReadHandle::report`] for the
+    /// published-view flavour.
+    ///
+    /// # Errors
+    ///
+    /// Only when no shard survives.
+    pub fn report(&mut self, contract: Option<Guarantee>) -> Result<QueryReport, EngineError>
+    where
+        E: Estimate + SpaceUsage,
+    {
+        let degraded = self.query_degraded()?;
+        let space_words = self.space_words();
+        Ok(QueryReport {
+            estimate: degraded.estimator.estimate(),
+            approx_contract: contract,
+            space_words,
+            degraded: degraded.dead_shards,
+            epoch: None,
+            staleness: 0,
+            obs: self.config.observer.as_ref().map(|o| Box::new(o.snapshot())),
+        })
+    }
+
+    /// Freezes the supervised engine into the *same*
+    /// [`EngineCheckpoint`] format the plain engine uses — heal first,
+    /// strict snapshot, geometry + offset. A checkpoint taken here is
+    /// restorable by
+    /// [`ShardedEngine::restore`](crate::ShardedEngine::restore)
+    /// (supervision state — replay logs, restart budgets — is
+    /// transient and deliberately not persisted).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShardDead`] when any shard is terminal or a
+    /// snapshot cannot be obtained.
+    pub fn checkpoint(&mut self) -> Result<EngineCheckpoint<E>, EngineError> {
+        let sw = Stopwatch::start();
+        self.flush();
+        let states = self.snapshot_states();
+        if let Some(err) = self.first_dead_error() {
+            return Err(err);
+        }
+        if let Some(missing) = states.iter().position(Option::is_none) {
+            return Err(EngineError::shard_dead(missing));
+        }
+        let shards: Vec<E> = states.into_iter().flatten().collect();
+        if let Some(o) = self.obs() {
+            o.on_checkpoint(self.router.tick(), shards.len() as u64, sw.elapsed_nanos());
+        }
+        Ok(EngineCheckpoint {
+            config: self.config.clone(),
+            tick: self.router.tick(),
+            shards,
+        })
     }
 
     /// Retires the engine: flushes, heals anything healable, joins all
@@ -771,7 +854,7 @@ where
                     s.deaths += 1;
                     s.last_reason = Some(panic_message(payload.as_ref()));
                     if let Some(o) = &obs {
-                        o.on_shard_panicked(self.tick, shard, s.deaths);
+                        o.on_shard_panicked(self.router.tick(), shard, s.deaths);
                     }
                     self.drain_frames(shard);
                     if !self.heal(shard) {
@@ -783,6 +866,75 @@ where
     }
 }
 
+/// The [`Engine`] verb set, delegating to the inherent methods — the
+/// supervised engine is the self-healing policy behind the unified
+/// interface. (The extra `Snapshot` bound is what buys the healing.)
+impl<E, T> Engine<T> for SupervisedEngine<E, T>
+where
+    E: BatchIngest<T>
+        + Mergeable
+        + Snapshot
+        + Estimate
+        + SpaceUsage
+        + Clone
+        + Send
+        + Sync
+        + 'static,
+    T: Routable + Clone + Send + 'static,
+{
+    type Output = E;
+    type Error = EngineError;
+    type Checkpoint = EngineCheckpoint<E>;
+    type Report = QueryReport;
+
+    fn ingest(&mut self, item: T) {
+        SupervisedEngine::ingest(self, item);
+    }
+
+    fn ingest_batch(&mut self, items: &[T])
+    where
+        T: Copy,
+    {
+        SupervisedEngine::ingest_batch(self, items);
+    }
+
+    fn flush(&mut self) {
+        SupervisedEngine::flush(self);
+    }
+
+    fn query(&mut self) -> Result<E, EngineError> {
+        SupervisedEngine::query(self)
+    }
+
+    fn query_degraded(&mut self) -> Result<Degraded<E>, EngineError> {
+        SupervisedEngine::query_degraded(self)
+    }
+
+    fn report(&mut self, contract: Option<Guarantee>) -> Result<QueryReport, EngineError> {
+        SupervisedEngine::report(self, contract)
+    }
+
+    fn checkpoint(&mut self) -> Result<EngineCheckpoint<E>, EngineError> {
+        SupervisedEngine::checkpoint(self)
+    }
+
+    fn finish(self) -> Result<E, EngineError> {
+        SupervisedEngine::finish(self)
+    }
+
+    fn finish_degraded(self) -> Result<Degraded<E>, EngineError> {
+        SupervisedEngine::finish_degraded(self)
+    }
+
+    fn stream_offset(&self) -> u64 {
+        SupervisedEngine::stream_offset(self)
+    }
+
+    fn dead_shard_indices(&self) -> Vec<usize> {
+        SupervisedEngine::dead_shard_indices(self)
+    }
+}
+
 /// Steady-state space versus transient recovery space: shard
 /// estimators, channels, and router buffers are `space_words` (the
 /// ledger comparable with the paper's bounds); replay logs are
@@ -790,7 +942,7 @@ where
 /// recovery exact.
 impl<E, T> SpaceUsage for SupervisedEngine<E, T>
 where
-    E: BatchIngest<T> + Mergeable + Snapshot + Clone + Send + SpaceUsage + 'static,
+    E: BatchIngest<T> + Mergeable + Snapshot + Clone + Send + Sync + SpaceUsage + 'static,
     T: Routable + Clone + Send + 'static,
 {
     fn space_words(&self) -> usize {
@@ -803,8 +955,7 @@ where
             .sum();
         let channel_words =
             self.config.shards * self.config.queue_depth * self.config.batch_size * item_words;
-        let buffered: usize = self.buffers.iter().map(Vec::len).sum();
-        frame_words + channel_words + buffered * item_words
+        frame_words + channel_words + self.router.buffered_items() * item_words
     }
 
     fn scratch_words(&self) -> usize {
@@ -820,6 +971,7 @@ impl<E, T> Drop for SupervisedEngine<E, T> {
                 let _ = handle.join();
             }
         }
+        // `plane` drops with the struct, after the joins above.
     }
 }
 
@@ -1018,5 +1170,45 @@ mod tests {
         assert!(engine.scratch_words() > 0);
         assert!(engine.space_words() > 0);
         assert!(engine.finish().is_ok());
+    }
+
+    #[test]
+    fn supervised_checkpoint_restores_into_plain_engine() {
+        let updates = staircase(40, 30);
+        let serial = ShardedEngineRef::run(&updates);
+        let mut engine =
+            SupervisedEngine::new(small_config(3), SupervisorConfig::default(), CashTable::new())
+                .unwrap();
+        let cut = updates.len() / 2;
+        engine.ingest_batch(&updates[..cut]);
+        let checkpoint = engine.checkpoint().unwrap();
+        assert_eq!(checkpoint.stream_offset(), cut as u64);
+        drop(engine);
+        // Cross-policy recovery: a supervised checkpoint resumes on the
+        // plain engine (same format, same routing, same offset).
+        let mut resumed = crate::ShardedEngine::restore(checkpoint).unwrap();
+        resumed.ingest_batch(&updates[cut..]);
+        let merged = resumed.finish().unwrap();
+        assert_eq!(merged.frame_digest(), serial.frame_digest());
+    }
+
+    #[test]
+    fn supervised_read_plane_publishes_clean_views() {
+        let updates = staircase(40, 40);
+        let serial = ShardedEngineRef::run(&updates);
+        let config = EngineConfig {
+            publish_interval: Some(300),
+            ..small_config(2)
+        };
+        let mut engine =
+            SupervisedEngine::new(config, SupervisorConfig::default(), CashTable::new()).unwrap();
+        let reader = engine.read_handle().unwrap();
+        engine.ingest_batch(&updates);
+        let epoch = engine.publish_now().unwrap();
+        assert!(reader.wait_for_epoch(epoch, 5_000), "aggregator stalled");
+        let view = reader.query().unwrap();
+        assert_eq!(view.offset(), updates.len() as u64);
+        assert_eq!(view.estimator().frame_digest(), serial.frame_digest());
+        assert_eq!(engine.finish().unwrap().frame_digest(), serial.frame_digest());
     }
 }

@@ -46,6 +46,10 @@ pub struct EngineObserver {
     batches_lost: Counter,
     items_lost: Counter,
     faults_injected: Counter,
+    views_published: Counter,
+    reader_queries: Counter,
+    reader_misses: Counter,
+    published_epoch: Gauge,
     per_shard_items: Vec<Counter>,
     queue_depth: Vec<Gauge>,
     replay_words: Vec<Gauge>,
@@ -55,6 +59,7 @@ pub struct EngineObserver {
     restore_ns: LatencyHistogram,
     snapshot_ns: LatencyHistogram,
     recovery_ns: LatencyHistogram,
+    publish_ns: LatencyHistogram,
     /// Latest bank-kernel totals reported by the merged estimator at a
     /// query boundary (absolute values, not increments).
     bank: Mutex<BankCounters>,
@@ -84,6 +89,10 @@ impl EngineObserver {
             batches_lost: Counter::new(),
             items_lost: Counter::new(),
             faults_injected: Counter::new(),
+            views_published: Counter::new(),
+            reader_queries: Counter::new(),
+            reader_misses: Counter::new(),
+            published_epoch: Gauge::new(),
             per_shard_items: (0..shards).map(|_| Counter::new()).collect(),
             queue_depth: (0..shards).map(|_| Gauge::new()).collect(),
             replay_words: (0..shards).map(|_| Gauge::new()).collect(),
@@ -93,6 +102,7 @@ impl EngineObserver {
             restore_ns: LatencyHistogram::new(),
             snapshot_ns: LatencyHistogram::new(),
             recovery_ns: LatencyHistogram::new(),
+            publish_ns: LatencyHistogram::new(),
             bank: Mutex::new(BankCounters::default()),
             tracer: Tracer::default(),
         }
@@ -254,6 +264,37 @@ impl EngineObserver {
         self.tracer.record(EventKind::FaultInjected, tick, shard, kind_code);
     }
 
+    /// The router issued read-plane publish markers for `epoch` to
+    /// every live shard at logical `tick`. Fired from the router
+    /// thread, so the publish sequence is deterministic for a seeded
+    /// run; the epoch's *completion* is reported separately by
+    /// [`EngineObserver::on_view_ready`].
+    pub fn on_view_published(&self, tick: u64, epoch: u64) {
+        self.views_published.inc();
+        self.tracer.record(EventKind::ViewPublished, tick, None, epoch);
+    }
+
+    /// The read-plane aggregator finished merging and swapping in the
+    /// view for `epoch`, taking `nanos` from last shard reply to
+    /// publication. Gauge + histogram only (no trace event): completion
+    /// instants are scheduler-dependent, like frame arrivals.
+    pub fn on_view_ready(&self, epoch: u64, nanos: u64) {
+        self.published_epoch.set(epoch);
+        self.publish_ns.record(nanos);
+    }
+
+    /// A reader queried a [`ReadHandle`]; `hit` says whether a
+    /// published view existed. Fired from reader threads — counters
+    /// only, so concurrent readers never contend on a lock.
+    ///
+    /// [`ReadHandle`]: ../hindex_engine/struct.ReadHandle.html
+    pub fn on_read_query(&self, hit: bool) {
+        self.reader_queries.inc();
+        if !hit {
+            self.reader_misses.inc();
+        }
+    }
+
     /// Freezes the current state into an exportable snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -294,6 +335,10 @@ impl EngineObserver {
             batches_lost: self.batches_lost.get(),
             items_lost: self.items_lost.get(),
             faults_injected: self.faults_injected.get(),
+            views_published: self.views_published.get(),
+            reader_queries: self.reader_queries.get(),
+            reader_misses: self.reader_misses.get(),
+            published_epoch: self.published_epoch.get(),
             per_shard_items,
             queue_depths,
             queue_depth_peaks,
@@ -308,6 +353,7 @@ impl EngineObserver {
             restore_ns: self.restore_ns.summary(),
             snapshot_ns: self.snapshot_ns.summary(),
             recovery_ns: self.recovery_ns.summary(),
+            publish_ns: self.publish_ns.summary(),
             bank,
             events_recorded: self.tracer.recorded(),
             events: self.tracer.events(),
@@ -353,6 +399,14 @@ pub struct MetricsSnapshot {
     pub items_lost: u64,
     /// Faults injected by a seeded fault plan.
     pub faults_injected: u64,
+    /// Read-plane publish markers issued by the router (epochs begun).
+    pub views_published: u64,
+    /// Queries answered through a cloneable read handle.
+    pub reader_queries: u64,
+    /// Read-handle queries that found no published view yet.
+    pub reader_misses: u64,
+    /// Newest epoch whose merged view is visible to readers.
+    pub published_epoch: u64,
     /// Items routed to each shard.
     pub per_shard_items: Vec<u64>,
     /// Current buffered items per shard.
@@ -381,6 +435,8 @@ pub struct MetricsSnapshot {
     pub snapshot_ns: LatencySummary,
     /// Shard recovery (respawn + replay) latency.
     pub recovery_ns: LatencySummary,
+    /// Read-plane view merge-and-swap latency.
+    pub publish_ns: LatencySummary,
     /// Bank-kernel totals from the last query merge (zeroes when the
     /// estimator has no bank path or it never ran). Derived rates:
     /// [`MetricsSnapshot::bank_tile_fill`],
@@ -471,6 +527,14 @@ impl MetricsSnapshot {
             "Items inside lost batches.", self.items_lost);
         metric(&mut s, "hindex_engine_faults_injected_total", "counter",
             "Faults injected by a seeded fault plan.", self.faults_injected);
+        metric(&mut s, "hindex_engine_views_published_total", "counter",
+            "Read-plane publish markers issued (epochs begun).", self.views_published);
+        metric(&mut s, "hindex_engine_published_epoch", "gauge",
+            "Newest epoch visible to read-handle queries.", self.published_epoch);
+        metric(&mut s, "hindex_engine_reader_queries_total", "counter",
+            "Queries answered through cloneable read handles.", self.reader_queries);
+        metric(&mut s, "hindex_engine_reader_misses_total", "counter",
+            "Read-handle queries that found no published view.", self.reader_misses);
 
         let _ = writeln!(s, "# HELP hindex_engine_shard_items_total Items routed per shard.");
         let _ = writeln!(s, "# TYPE hindex_engine_shard_items_total counter");
@@ -512,6 +576,7 @@ impl MetricsSnapshot {
             ("hindex_engine_restore", &self.restore_ns),
             ("hindex_engine_snapshot", &self.snapshot_ns),
             ("hindex_engine_recovery", &self.recovery_ns),
+            ("hindex_engine_publish", &self.publish_ns),
         ] {
             metric(&mut s, &format!("{name}_count"), "counter",
                 "Operations timed.", sum.count);
@@ -569,6 +634,10 @@ mod tests {
         o.on_batch_lost(11, 0, 7);
         o.on_replay_overflow(12, 0, 2);
         o.on_fault_injected(12, Some(0), 1);
+        o.on_view_published(13, 2);
+        o.on_view_ready(2, 9_000);
+        o.on_read_query(true);
+        o.on_read_query(false);
         o.on_bank_batch(
             13,
             &BankCounters {
@@ -602,6 +671,11 @@ mod tests {
         assert_eq!(snap.batches_lost, 1);
         assert_eq!(snap.items_lost, 7);
         assert_eq!(snap.faults_injected, 1);
+        assert_eq!(snap.views_published, 1);
+        assert_eq!(snap.published_epoch, 2);
+        assert_eq!(snap.reader_queries, 2);
+        assert_eq!(snap.reader_misses, 1);
+        assert_eq!(snap.publish_ns.count, 1);
         assert_eq!(snap.replay_words, vec![0, 48]);
         assert_eq!(snap.replay_words_peaks, vec![0, 48]);
         assert_eq!(snap.recovery_ns.count, 1);
@@ -620,7 +694,7 @@ mod tests {
         assert!((snap.bank_tile_fill() - 900.0 / 1024.0).abs() < 1e-9);
         assert!((snap.bank_survivor_touches_per_item() - 154.0).abs() < 1e-9);
         assert!(snap.bank_hash_reuse() > 0.98);
-        assert_eq!(snap.events_recorded, 17); // flush records 2 events
+        assert_eq!(snap.events_recorded, 18); // flush records 2 events
     }
 
     #[test]
@@ -646,6 +720,10 @@ mod tests {
         assert!(text.contains("hindex_engine_items_lost_total 7"));
         assert!(text.contains("hindex_engine_replay_words{shard=\"1\"} 48"));
         assert!(text.contains("hindex_engine_recovery_count 1"));
+        assert!(text.contains("hindex_engine_views_published_total 1"));
+        assert!(text.contains("hindex_engine_published_epoch 2"));
+        assert!(text.contains("hindex_engine_reader_queries_total 2"));
+        assert!(text.contains("hindex_engine_publish_count 1"));
         assert!(text.lines().count() > 40);
     }
 

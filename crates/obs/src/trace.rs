@@ -55,6 +55,12 @@ pub enum EventKind {
     /// The fault harness injected a planned fault (`value` = the
     /// fault's kind code).
     FaultInjected,
+    /// The router issued a read-plane publish marker to every live
+    /// shard (`value` = the epoch being published). Fired from the
+    /// router thread at marker issuance, so seeded runs trace the same
+    /// publish sequence; the *completion* of the epoch is a gauge, not
+    /// an event.
+    ViewPublished,
 }
 
 impl EventKind {
@@ -77,6 +83,7 @@ impl EventKind {
             EventKind::BatchLost => "batch_lost",
             EventKind::ReplayOverflow => "replay_overflow",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::ViewPublished => "view_published",
         }
     }
 }

@@ -37,15 +37,21 @@
 # `cash_update` group (the Alg 6 ℓ₀-bank ingest paths) at full size —
 # the quick way to re-measure the bank kernel against the recorded
 # baseline.
+#
+# Full runs (no --quick / bank) also regenerate the complete
+# experiments log under target/experiments_output.txt — it is build
+# output, not a tracked artifact (EXPERIMENTS.md quotes the numbers
+# that matter).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="BENCH_pr7.json"
 EXTRA=()
+FULL=1
 for arg in "$@"; do
     case "${arg}" in
-        --quick) EXTRA+=("--quick") ;;
-        bank) EXTRA+=("--only" "cash_update") ;;
+        --quick) EXTRA+=("--quick"); FULL=0 ;;
+        bank) EXTRA+=("--only" "cash_update"); FULL=0 ;;
         *) OUT="${arg}" ;;
     esac
 done
@@ -59,3 +65,11 @@ case "${OUT}" in
 esac
 cargo bench -p hindex-bench --offline --bench throughput -- --json "${OUT}" "${EXTRA[@]+"${EXTRA[@]}"}"
 echo "==> wrote ${OUT}"
+
+if [ "${FULL}" = 1 ]; then
+    echo "==> experiments all -> target/experiments_output.txt"
+    mkdir -p target
+    cargo run -q --release --offline -p hindex-bench --bin experiments -- all \
+        > target/experiments_output.txt
+    echo "==> wrote target/experiments_output.txt"
+fi

@@ -50,16 +50,33 @@ echo "${chaos_stream}" | cargo run -q --release --offline -p hindex-cli --bin hi
 echo "==> chaos tests (fault injection, replay, honest degradation)"
 cargo test -q --offline -p hindex --test engine_faults
 
+echo "==> read plane (concurrent readers, monotone epochs, bit-identity)"
+cargo test -q --offline -p hindex --test read_plane
+# Cross-check at the CLI boundary: answering from the final published
+# view (--publish-interval) must print the same digest as forcing a
+# synchronous merge of the identical run (--fresh on).
+plane_stream=$(seq 0 2999 | awk '{ print $1 % 140, 1 + $1 % 2 }')
+plane_digest=$(echo "${plane_stream}" | cargo run -q --release --offline -p hindex-cli --bin hindex -- \
+    engine --algorithm exact --shards 3 --batch 32 --publish-interval 256 | grep '^digest')
+fresh_digest=$(echo "${plane_stream}" | cargo run -q --release --offline -p hindex-cli --bin hindex -- \
+    engine --algorithm exact --shards 3 --batch 32 --publish-interval 256 --fresh on | grep '^digest')
+echo "    published ${plane_digest#digest    : }  fresh ${fresh_digest#digest    : }"
+[ "${plane_digest}" = "${fresh_digest}" ] || {
+    echo "    FAIL: published view diverged from the synchronous merge"; exit 1; }
+
 echo "==> debug invariant layer (feature-gated assertions + proptests)"
 cargo test -q --offline -p hindex-hashing --features debug_invariants
 cargo test -q --offline -p hindex-sketch --features debug_invariants
 cargo test -q --offline -p hindex --features debug_invariants \
     --test invariants --test engine_schedules --test adversarial \
-    --test snapshot_roundtrip --test engine_recovery --test observability
+    --test snapshot_roundtrip --test engine_recovery --test observability \
+    --test read_plane
 
 echo "==> concurrency audit (best effort: miri / thread sanitizer)"
 # Both need a nightly toolchain; this gate must pass on a stock stable
 # install, so each stage is attempted and skipped cleanly if absent.
+# The engine crate's own tests include the ReadHandle concurrent-reader
+# stress, so either tool audits the read plane's lock-free publish path.
 if cargo +nightly miri --version >/dev/null 2>&1; then
     MIRIFLAGS="-Zmiri-disable-isolation" \
         cargo +nightly miri test --offline -p hindex-engine

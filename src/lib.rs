@@ -51,8 +51,9 @@ pub mod prelude {
     pub use hindex_common::{AggregateEstimator, CashRegisterEstimator, Delta, Epsilon, Estimate, EstimatorParams, IncrementalHIndex, Mergeable, SpaceUsage, TurnstileEstimator, h_index, h_support};
     pub use hindex_core::prelude::*;
     pub use hindex_engine::{
-        BatchIngest, Degraded, EngineCheckpoint, EngineConfig, EngineError, FaultKind,
-        FaultPlan, QueryReport, Routable, ShardedEngine, SupervisedEngine, SupervisorConfig,
+        BatchIngest, Degraded, Engine, EngineCheckpoint, EngineConfig, EngineError, FaultKind,
+        FaultPlan, QueryReport, ReadHandle, ReadView, Routable, ShardedEngine, SupervisedEngine,
+        SupervisorConfig,
     };
     pub use hindex_obs::{EngineObserver, Event, EventKind, MetricsSnapshot, Tracer};
     pub use hindex_stream::prelude::*;

@@ -101,6 +101,74 @@ fn killing_every_shard_recovers_bit_identically() {
     }
 }
 
+/// Kill + heal under a live read plane: a marker held by a killed
+/// worker dies with it, leaving that epoch incomplete — the aggregator
+/// discards it rather than publishing a view missing the dead shard's
+/// updates. So every view any reader can observe, during a kill sweep
+/// over every shard, is still an exact serial prefix of the stream.
+#[test]
+fn kill_and_heal_never_publishes_a_non_healed_view() {
+    use hindex::baseline::CashTable;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let updates = stream(3_000);
+    // Serial single-threaded reference at every prefix.
+    let prefixes: Arc<Vec<u64>> = Arc::new({
+        let mut table = CashTable::new();
+        let mut out = vec![table.frame_digest()];
+        for &(p, d) in &updates {
+            table.ingest(p, d);
+            out.push(table.frame_digest());
+        }
+        out
+    });
+    let shards = 3usize;
+    let cfg = EngineConfig::builder()
+        .shards(shards)
+        .batch(16)
+        .queue_depth(2)
+        .publish_interval(128)
+        .build()
+        .unwrap();
+    let plan = FaultPlan::kill_sweep(shards, 200, 400);
+    assert!(plan.kills_every_shard(shards));
+    let mut engine =
+        SupervisedEngine::with_faults(cfg, SupervisorConfig::default(), plan, CashTable::new())
+            .unwrap();
+    let handle = engine.read_handle().expect("publish_interval set");
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let (h, s, prefixes) = (handle.clone(), Arc::clone(&stop), Arc::clone(&prefixes));
+        std::thread::spawn(move || {
+            let (mut observed, mut last_epoch) = (0u64, 0u64);
+            while !s.load(Ordering::Relaxed) {
+                if let Some(view) = h.query() {
+                    assert!(view.epoch() >= last_epoch, "epoch regressed");
+                    last_epoch = view.epoch();
+                    assert_eq!(
+                        view.estimator().frame_digest(),
+                        prefixes[view.offset() as usize],
+                        "published a torn or non-healed view at offset {}",
+                        view.offset()
+                    );
+                    observed += 1;
+                }
+                std::thread::yield_now();
+            }
+            observed
+        })
+    };
+    engine.ingest_batch(&updates);
+    let epoch = engine.publish_now().expect("all shards healable");
+    assert!(handle.wait_for_epoch(epoch, 10_000), "post-heal publish never completed");
+    stop.store(true, Ordering::Relaxed);
+    assert!(reader.join().unwrap() > 0, "reader never saw a view");
+    let view = handle.query().unwrap();
+    assert_eq!(view.offset(), updates.len() as u64);
+    assert_eq!(view.estimator().frame_digest(), *prefixes.last().unwrap());
+    assert_eq!(engine.finish().unwrap().frame_digest(), *prefixes.last().unwrap());
+}
+
 #[test]
 fn seeded_random_plans_are_replayable() {
     let updates = stream(2_000);
